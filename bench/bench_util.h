@@ -1,0 +1,97 @@
+#ifndef D3T_BENCH_BENCH_UTIL_H_
+#define D3T_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/cli.h"
+#include "exp/experiment.h"
+
+namespace d3t::bench {
+
+/// Every figure bench supports two scales:
+///  * CI scale (default): reduced repositories/items/ticks so the whole
+///    bench suite completes in minutes on a laptop;
+///  * --full: the paper's §6.1 base case (1 source + 100 repositories +
+///    600 routers, 100 items, 10,000 ticks). Expect long runtimes.
+inline void AddCommonFlags(CommandLine& cli) {
+  cli.AddFlag("full", "false", "run at the paper's full scale");
+  cli.AddFlag("seed", "42", "master RNG seed");
+  cli.AddFlag("repositories", "0", "override repository count (0 = auto)");
+  cli.AddFlag("items", "0", "override item count (0 = auto)");
+  cli.AddFlag("ticks", "0", "override ticks per trace (0 = auto)");
+  cli.AddFlag("help", "false", "print usage");
+}
+
+/// Builds the base experiment config from the parsed flags.
+inline exp::ExperimentConfig ConfigFromFlags(const CommandLine& cli) {
+  exp::ExperimentConfig config;
+  if (cli.GetBool("full")) {
+    config.repositories = 100;
+    config.routers = 600;
+    config.items = 100;
+    config.ticks = 10000;
+  } else {
+    config.repositories = 40;
+    config.routers = 160;
+    config.items = 20;
+    config.ticks = 1200;
+  }
+  if (cli.GetInt("repositories") > 0) {
+    config.repositories = static_cast<size_t>(cli.GetInt("repositories"));
+    config.routers = config.repositories * 4;
+  }
+  if (cli.GetInt("items") > 0) {
+    config.items = static_cast<size_t>(cli.GetInt("items"));
+  }
+  if (cli.GetInt("ticks") > 0) {
+    config.ticks = static_cast<size_t>(cli.GetInt("ticks"));
+  }
+  config.seed = static_cast<uint64_t>(cli.GetInt("seed"));
+  return config;
+}
+
+/// Parses flags; on --help or a parse error prints usage and exits.
+inline CommandLine ParseFlagsOrDie(int argc, char** argv,
+                                   CommandLine cli) {
+  Status status = cli.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 cli.Help(argv[0]).c_str());
+    std::exit(2);
+  }
+  if (cli.GetBool("help")) {
+    std::fprintf(stdout, "%s", cli.Help(argv[0]).c_str());
+    std::exit(0);
+  }
+  return cli;
+}
+
+/// Prints the standard bench banner tying the binary to its paper
+/// artifact.
+inline void PrintBanner(const std::string& artifact,
+                        const std::string& what,
+                        const exp::ExperimentConfig& config) {
+  std::printf("== %s — %s ==\n", artifact.c_str(), what.c_str());
+  std::printf(
+      "config: %zu repositories, %zu routers, %zu items, %zu ticks, "
+      "seed %llu\n\n",
+      config.repositories, config.routers, config.items, config.ticks,
+      static_cast<unsigned long long>(config.seed));
+}
+
+/// Dies with a message if an experiment failed.
+inline exp::ExperimentResult ValueOrDie(Result<exp::ExperimentResult> r,
+                                        const char* what) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+}  // namespace d3t::bench
+
+#endif  // D3T_BENCH_BENCH_UTIL_H_

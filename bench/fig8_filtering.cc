@@ -1,0 +1,75 @@
+// Reproduces Figure 8: the importance of filtering during update
+// propagation. The paper emulates "disseminate every update" with a
+// T=100% workload and compares against a T=0% workload whose loose
+// tolerances filter most updates, across the degree-of-cooperation
+// sweep.
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+
+namespace d3t {
+namespace {
+
+int Main(int argc, char** argv) {
+  CommandLine cli;
+  bench::AddCommonFlags(cli);
+  cli = bench::ParseFlagsOrDie(argc, argv, std::move(cli));
+  exp::ExperimentConfig base = bench::ConfigFromFlags(cli);
+
+  bench::PrintBanner("Figure 8", "importance of filtering updates", base);
+
+  exp::ExperimentConfig flood_config = base;
+  flood_config.stringent_fraction = 1.0;  // everything violates => flood
+  exp::ExperimentConfig filtered_config = base;
+  filtered_config.stringent_fraction = 0.0;
+
+  Result<exp::Workbench> flood_bench = exp::Workbench::Create(flood_config);
+  Result<exp::Workbench> filtered_bench =
+      exp::Workbench::Create(filtered_config);
+  if (!flood_bench.ok() || !filtered_bench.ok()) {
+    std::fprintf(stderr, "workbench construction failed\n");
+    return 1;
+  }
+
+  std::vector<size_t> degrees =
+      cli.GetBool("full")
+          ? std::vector<size_t>{1, 2, 3, 5, 8, 12, 20, 40, 70, 100}
+          : std::vector<size_t>{1, 2, 4, 8, 16,
+                                static_cast<size_t>(base.repositories)};
+
+  TablePrinter table({"Degree", "AllUpdates: loss%", "AllUpdates: msgs",
+                      "Filtered: loss%", "Filtered: msgs"});
+  for (size_t degree : degrees) {
+    exp::ExperimentConfig flood = flood_config;
+    flood.coop_degree = degree;
+    flood.policy = "all-updates";
+    exp::ExperimentResult flood_result =
+        bench::ValueOrDie(flood_bench->Run(flood), "flood run");
+
+    exp::ExperimentConfig filtered = filtered_config;
+    filtered.coop_degree = degree;
+    filtered.policy = "distributed";
+    exp::ExperimentResult filtered_result =
+        bench::ValueOrDie(filtered_bench->Run(filtered), "filtered run");
+
+    table.AddRow({TablePrinter::Int(degree),
+                  TablePrinter::Num(flood_result.metrics.loss_percent, 2),
+                  TablePrinter::Int(flood_result.metrics.messages),
+                  TablePrinter::Num(filtered_result.metrics.loss_percent, 2),
+                  TablePrinter::Int(filtered_result.metrics.messages)});
+  }
+  table.Print();
+  std::printf(
+      "\n(paper: the all-updates system loses fidelity across the whole "
+      "degree range\nwhile the filtered system stays flat near zero — "
+      "intelligent filtering reduces\nboth network overhead and repository "
+      "load.)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace d3t
+
+int main(int argc, char** argv) { return d3t::Main(argc, argv); }

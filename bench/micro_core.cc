@@ -1,0 +1,196 @@
+// Google-benchmark microbenchmarks for the hot paths of the library:
+// event queue throughput, filtering predicates, routing, LeLA
+// construction, trace generation and an end-to-end engine run.
+
+#include <benchmark/benchmark.h>
+
+#include "core/coherency.h"
+#include "core/engine.h"
+#include "core/lela.h"
+#include "core/pull.h"
+#include "net/routing.h"
+#include "net/topology_generator.h"
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+
+namespace d3t {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (size_t i = 0; i < batch; ++i) {
+      queue.Schedule(static_cast<sim::SimTime>(rng.NextBounded(1 << 20)),
+                     [](sim::SimTime) {});
+    }
+    while (!queue.empty()) queue.RunNext();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+void BM_ForwardingPredicate(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<double> values(4096);
+  for (auto& v : values) v = rng.NextDoubleInRange(10.0, 11.0);
+  size_t i = 0;
+  for (auto _ : state) {
+    const double v = values[i++ & 4095];
+    benchmark::DoNotOptimize(
+        core::ShouldForwardDistributed(v, 10.5, 0.05, 0.01));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForwardingPredicate);
+
+void BM_FloydWarshall(benchmark::State& state) {
+  Rng rng(3);
+  net::TopologyGeneratorOptions options;
+  options.router_count = static_cast<size_t>(state.range(0));
+  options.repository_count = 20;
+  Result<net::Topology> topo = net::GenerateTopology(options, rng);
+  for (auto _ : state) {
+    auto routing = net::RoutingTables::FloydWarshall(*topo);
+    benchmark::DoNotOptimize(routing);
+  }
+}
+BENCHMARK(BM_FloydWarshall)->Arg(100)->Arg(300)->Unit(benchmark::kMillisecond);
+
+void BM_DijkstraRows(benchmark::State& state) {
+  Rng rng(4);
+  net::TopologyGeneratorOptions options;
+  options.router_count = static_cast<size_t>(state.range(0));
+  options.repository_count = 20;
+  Result<net::Topology> topo = net::GenerateTopology(options, rng);
+  std::vector<net::NodeId> rows;
+  rows.push_back(topo->SourceNode());
+  for (net::NodeId repo : topo->RepositoryNodes()) rows.push_back(repo);
+  for (auto _ : state) {
+    auto routing = net::RoutingTables::DijkstraRows(*topo, rows);
+    benchmark::DoNotOptimize(routing);
+  }
+}
+BENCHMARK(BM_DijkstraRows)->Arg(100)->Arg(300)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LelaBuild(benchmark::State& state) {
+  const size_t repos = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  core::InterestOptions workload;
+  workload.repository_count = repos;
+  workload.item_count = 50;
+  auto interests = core::GenerateInterests(workload, rng);
+  auto delays =
+      net::OverlayDelayModel::Uniform(repos + 1, sim::Millis(20));
+  core::LelaOptions options;
+  options.coop_degree = 5;
+  for (auto _ : state) {
+    Rng build_rng(6);
+    auto built =
+        core::BuildOverlay(delays, interests, 50, options, build_rng);
+    benchmark::DoNotOptimize(built);
+  }
+}
+BENCHMARK(BM_LelaBuild)->Arg(100)->Arg(300)->Unit(benchmark::kMillisecond);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  trace::SyntheticTraceOptions options;
+  options.tick_count = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(7);
+    auto trace = trace::GenerateSyntheticTrace(options, rng);
+    benchmark::DoNotOptimize(trace);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TraceGeneration)->Arg(10000);
+
+void BM_PullEngineEndToEnd(benchmark::State& state) {
+  Rng rng(9);
+  const size_t repos = 20, items = 5;
+  core::InterestOptions workload;
+  workload.repository_count = repos;
+  workload.item_count = items;
+  auto interests = core::GenerateInterests(workload, rng);
+  auto delays =
+      net::OverlayDelayModel::Uniform(repos + 1, sim::Millis(20));
+  std::vector<trace::Trace> traces;
+  for (size_t i = 0; i < items; ++i) {
+    trace::SyntheticTraceOptions trace_options;
+    trace_options.tick_count = 500;
+    traces.push_back(
+        std::move(trace::GenerateSyntheticTrace(trace_options, rng))
+            .value());
+  }
+  core::PullOptions options;
+  options.comp_delay = sim::Millis(1);
+  for (auto _ : state) {
+    core::PullEngine engine(delays, interests, traces, options);
+    auto metrics = engine.Run();
+    benchmark::DoNotOptimize(metrics);
+  }
+}
+BENCHMARK(BM_PullEngineEndToEnd)->Unit(benchmark::kMillisecond);
+
+void BM_OverlayRemoveMember(benchmark::State& state) {
+  Rng rng(10);
+  core::InterestOptions workload;
+  workload.repository_count = 100;
+  workload.item_count = 30;
+  auto interests = core::GenerateInterests(workload, rng);
+  auto delays =
+      net::OverlayDelayModel::Uniform(101, sim::Millis(20));
+  core::LelaOptions lela;
+  lela.coop_degree = 5;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng build_rng(11);
+    auto built =
+        core::BuildOverlay(delays, interests, 30, lela, build_rng);
+    state.ResumeTiming();
+    for (core::OverlayIndex m = 2; m <= 100; m += 2) {
+      benchmark::DoNotOptimize(built->overlay.RemoveMember(m));
+    }
+  }
+}
+BENCHMARK(BM_OverlayRemoveMember)->Unit(benchmark::kMillisecond);
+
+void BM_EngineEndToEnd(benchmark::State& state) {
+  Rng rng(8);
+  const size_t repos = 30, items = 10;
+  core::InterestOptions workload;
+  workload.repository_count = repos;
+  workload.item_count = items;
+  auto interests = core::GenerateInterests(workload, rng);
+  auto delays =
+      net::OverlayDelayModel::Uniform(repos + 1, sim::Millis(20));
+  core::LelaOptions lela;
+  lela.coop_degree = 5;
+  auto built = core::BuildOverlay(delays, interests, items, lela, rng);
+  std::vector<trace::Trace> traces;
+  for (size_t i = 0; i < items; ++i) {
+    trace::SyntheticTraceOptions trace_options;
+    trace_options.tick_count = 500;
+    traces.push_back(
+        std::move(trace::GenerateSyntheticTrace(trace_options, rng))
+            .value());
+  }
+  for (auto _ : state) {
+    core::DistributedDisseminator policy;
+    core::Engine engine(built->overlay, delays, traces, policy,
+                        core::EngineOptions{});
+    auto metrics = engine.Run();
+    benchmark::DoNotOptimize(metrics);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(items * 500));
+}
+BENCHMARK(BM_EngineEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace d3t
+
+BENCHMARK_MAIN();

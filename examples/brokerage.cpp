@@ -1,0 +1,143 @@
+// A brokerage scenario combining the full public API surface:
+//   * end clients (traders and dashboards) attach to regional mirrors
+//     and state per-ticker coherency requirements (paper §1.2);
+//   * the mirrors' data needs are *derived* from their clients — the
+//     most stringent requirement per ticker wins;
+//   * two exchanges (multi-source) each feed their own listings through
+//     LeLA-built dissemination graphs over the shared mirror network;
+//   * the same client workload is also served by direct adaptive-TTR
+//     polling for comparison.
+//
+//   $ ./build/examples/brokerage
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/clients.h"
+#include "core/pull.h"
+#include "exp/experiment.h"
+#include "exp/multi_source.h"
+#include "net/routing.h"
+#include "net/topology_generator.h"
+#include "trace/synthetic.h"
+
+int main() {
+  d3t::Rng rng(88);
+  constexpr size_t kMirrors = 24;
+  constexpr size_t kTickers = 10;
+
+  // 1. Client population: each mirror serves 3-12 clients; 40% are
+  // traders with cent-level tolerances.
+  d3t::core::ClientWorkloadOptions client_options;
+  client_options.repository_count = kMirrors;
+  client_options.item_count = kTickers;
+  client_options.min_clients_per_repository = 3;
+  client_options.max_clients_per_repository = 12;
+  client_options.stringent_fraction = 0.4;
+  std::vector<d3t::core::Client> clients =
+      d3t::core::GenerateClients(client_options, rng);
+  std::vector<d3t::core::InterestSet> interests =
+      d3t::core::DeriveInterests(clients, kMirrors);
+  size_t derived_items = 0;
+  for (const auto& interest : interests) derived_items += interest.size();
+  std::printf(
+      "brokerage: %zu clients across %zu mirrors; derived %zu "
+      "(mirror, ticker) needs\n\n",
+      clients.size(), kMirrors, derived_items);
+
+  // 2. Two exchanges feeding the shared mirror network (multi-source).
+  // RunMultiSource derives its own workload, so here we drive the parts
+  // manually to reuse the client-derived interests.
+  d3t::net::TopologyGeneratorOptions topo_options;
+  topo_options.router_count = 100;
+  topo_options.repository_count = kMirrors;
+  topo_options.source_count = 2;
+  auto topo = d3t::net::GenerateTopology(topo_options, rng);
+  if (!topo.ok()) {
+    std::fprintf(stderr, "topology: %s\n",
+                 topo.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<d3t::net::NodeId> rows = topo->SourceNodes();
+  for (auto repo : topo->RepositoryNodes()) rows.push_back(repo);
+  auto routing = d3t::net::RoutingTables::DijkstraRows(*topo, rows);
+  if (!routing.ok()) {
+    std::fprintf(stderr, "routing: %s\n",
+                 routing.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<d3t::trace::Trace> traces =
+      d3t::trace::BuildTraceLibrary(kTickers, 1500, rng);
+
+  d3t::TablePrinter table(
+      {"Exchange", "Tickers", "Loss%", "Messages", "SourceChecks"});
+  double pair_weighted_loss = 0.0;
+  uint64_t pairs = 0;
+  for (size_t s = 0; s < 2; ++s) {
+    auto delays = d3t::net::OverlayDelayModel::FromRoutingWithSource(
+        *topo, *routing, topo->SourceNodes()[s]);
+    if (!delays.ok()) {
+      std::fprintf(stderr, "delays: %s\n",
+                   delays.status().ToString().c_str());
+      return 1;
+    }
+    // Exchange s lists the tickers congruent to s mod 2.
+    std::vector<d3t::core::InterestSet> listed(interests.size());
+    for (size_t i = 0; i < interests.size(); ++i) {
+      for (const auto& [item, c] : interests[i]) {
+        if (item % 2 == s) listed[i].emplace(item, c);
+      }
+    }
+    d3t::core::LelaOptions lela;
+    lela.coop_degree = 4;
+    auto built =
+        d3t::core::BuildOverlay(*delays, listed, kTickers, lela, rng);
+    if (!built.ok()) {
+      std::fprintf(stderr, "lela: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    d3t::core::DistributedDisseminator policy;
+    d3t::core::Engine engine(built->overlay, *delays, traces, policy,
+                             d3t::core::EngineOptions{});
+    auto metrics = engine.Run();
+    if (!metrics.ok()) {
+      std::fprintf(stderr, "engine: %s\n",
+                   metrics.status().ToString().c_str());
+      return 1;
+    }
+    pair_weighted_loss += metrics->pair_loss_percent *
+                          static_cast<double>(metrics->tracked_pairs);
+    pairs += metrics->tracked_pairs;
+    table.AddRow({"exchange " + std::to_string(s),
+                  d3t::TablePrinter::Int(kTickers / 2),
+                  d3t::TablePrinter::Num(metrics->loss_percent, 3),
+                  d3t::TablePrinter::Int(metrics->messages),
+                  d3t::TablePrinter::Int(metrics->source_checks)});
+  }
+  table.Print();
+  const double push_loss =
+      pairs > 0 ? pair_weighted_loss / static_cast<double>(pairs) : 0.0;
+
+  // 3. The same clients served by direct adaptive polling of exchange 0
+  // (pull baseline; exchange delays approximated by the first source).
+  auto pull_delays = d3t::net::OverlayDelayModel::FromRoutingWithSource(
+      *topo, *routing, topo->SourceNodes()[0]);
+  d3t::core::PullOptions pull_options;
+  d3t::core::PullEngine pull(*pull_delays, interests, traces, pull_options);
+  auto pull_metrics = pull.Run();
+  if (!pull_metrics.ok()) {
+    std::fprintf(stderr, "pull: %s\n",
+                 pull_metrics.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "\ncooperative push: %.3f%% loss (pair-weighted)\n"
+      "adaptive-TTR pull: %.3f%% loss, %llu wire messages, source "
+      "utilization %.0f%%\n",
+      push_loss, pull_metrics->loss_percent,
+      static_cast<unsigned long long>(pull_metrics->wire_messages),
+      100.0 * pull_metrics->source_utilization);
+  return 0;
+}

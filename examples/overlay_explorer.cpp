@@ -1,0 +1,128 @@
+// Inspects the structures LeLA builds: prints the level-by-level layout
+// of the dissemination graph, the cascading-augmentation statistics, and
+// an ASCII rendering of one item's dissemination tree (the d3t).
+//
+//   $ ./build/examples/overlay_explorer [--repositories N] [--degree D]
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/cli.h"
+#include "core/lela.h"
+#include "core/overlay_dot.h"
+#include "net/routing.h"
+#include "net/topology_generator.h"
+
+namespace {
+
+void PrintItemTree(const d3t::core::Overlay& overlay,
+                   d3t::core::ItemId item) {
+  std::printf("d3t for item %u (c values are the edge tolerances):\n", item);
+  const std::function<void(d3t::core::OverlayIndex, int)> walk =
+      [&](d3t::core::OverlayIndex node, int depth) {
+        for (int i = 0; i < depth; ++i) std::printf("  ");
+        if (node == d3t::core::kSourceOverlayIndex) {
+          std::printf("source\n");
+        } else {
+          const auto& serving = overlay.Serving(node, item);
+          std::printf("repo %u  c_serve=%.3f%s\n", node, serving.c_serve,
+                      serving.own_interest ? "" : "  (altruistic)");
+        }
+        if (!overlay.Holds(node, item)) return;
+        for (const auto& edge : overlay.Serving(node, item).children) {
+          walk(edge.child, depth + 1);
+        }
+      };
+  walk(d3t::core::kSourceOverlayIndex, 0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  d3t::CommandLine cli;
+  cli.AddFlag("repositories", "15", "number of repositories");
+  cli.AddFlag("items", "4", "number of data items");
+  cli.AddFlag("degree", "3", "degree of cooperation");
+  cli.AddFlag("seed", "11", "rng seed");
+  cli.AddFlag("dot", "false", "also emit Graphviz for the d3g and item 0");
+  if (d3t::Status status = cli.Parse(argc, argv); !status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 cli.Help(argv[0]).c_str());
+    return 2;
+  }
+  const size_t repos = static_cast<size_t>(cli.GetInt("repositories"));
+  const size_t items = static_cast<size_t>(cli.GetInt("items"));
+  const size_t degree = static_cast<size_t>(cli.GetInt("degree"));
+
+  d3t::Rng rng(static_cast<uint64_t>(cli.GetInt("seed")));
+  d3t::net::TopologyGeneratorOptions topo_options;
+  topo_options.router_count = repos * 4;
+  topo_options.repository_count = repos;
+  auto topo = d3t::net::GenerateTopology(topo_options, rng);
+  auto routing = d3t::net::RoutingTables::FloydWarshall(*topo);
+  auto delays = d3t::net::OverlayDelayModel::FromRouting(*topo, *routing);
+  if (!delays.ok()) {
+    std::fprintf(stderr, "setup: %s\n",
+                 delays.status().ToString().c_str());
+    return 1;
+  }
+
+  d3t::core::InterestOptions workload;
+  workload.repository_count = repos;
+  workload.item_count = items;
+  auto interests = d3t::core::GenerateInterests(workload, rng);
+
+  d3t::core::LelaOptions lela;
+  lela.coop_degree = degree;
+  auto built =
+      d3t::core::BuildOverlay(*delays, interests, items, lela, rng);
+  if (!built.ok()) {
+    std::fprintf(stderr, "lela: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  const d3t::core::Overlay& overlay = built->overlay;
+
+  if (d3t::Status status = overlay.Validate(degree); !status.ok()) {
+    std::fprintf(stderr, "overlay invalid: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("overlay valid: Eq.(1) holds on every edge, fan-out <= %zu\n\n",
+              degree);
+
+  // Level-by-level layout.
+  std::map<uint32_t, std::vector<d3t::core::OverlayIndex>> by_level;
+  for (d3t::core::OverlayIndex m = 0; m < overlay.member_count(); ++m) {
+    by_level[overlay.level(m)].push_back(m);
+  }
+  for (const auto& [level, members] : by_level) {
+    std::printf("level %u:", level);
+    for (d3t::core::OverlayIndex m : members) {
+      std::printf(" %u(%zu items, %zu deps)", m,
+                  overlay.ItemsHeldBy(m).size(),
+                  overlay.ConnectionChildren(m).size());
+    }
+    std::printf("\n");
+  }
+
+  const auto shape = overlay.ComputeShape();
+  std::printf(
+      "\nshape: diameter %u, avg depth %.2f, avg dependents %.2f\n"
+      "construction: %zu demand edges, %zu augmented edges, %zu "
+      "multi-parent repositories\n\n",
+      shape.diameter, shape.avg_depth, shape.avg_dependents,
+      built->info.demand_edges, built->info.augmented_edges,
+      built->info.multi_parent_repositories);
+
+  PrintItemTree(overlay, 0);
+
+  if (cli.GetBool("dot")) {
+    std::printf("\n%% connection graph (pipe into `dot -Tsvg`):\n%s",
+                d3t::core::ConnectionsToDot(overlay).c_str());
+    std::printf("\n%% item 0 dissemination tree:\n%s",
+                d3t::core::ItemTreeToDot(overlay, 0).c_str());
+  }
+  return 0;
+}

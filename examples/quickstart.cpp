@@ -1,0 +1,114 @@
+// Quickstart for the d3t library: build a small network of cooperating
+// repositories, disseminate a synthetic stock trace through it with the
+// distributed (Eq. 3 + Eq. 7) algorithm, and report fidelity.
+//
+//   $ ./build/examples/quickstart
+//
+// Walkthrough:
+//   1. generate a physical topology (routers + repositories + source);
+//   2. route it (Floyd-Warshall) and extract overlay pair delays;
+//   3. declare each repository's data needs (items + coherency c);
+//   4. build the dissemination graph with LeLA;
+//   5. run the discrete-event simulation and print the metrics.
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/lela.h"
+#include "net/routing.h"
+#include "net/topology_generator.h"
+#include "trace/synthetic.h"
+
+int main() {
+  d3t::Rng rng(2002);  // VLDB 2002
+
+  // 1. Physical network: 1 source + 8 repositories + 40 routers.
+  d3t::net::TopologyGeneratorOptions topo_options;
+  topo_options.router_count = 40;
+  topo_options.repository_count = 8;
+  auto topo = d3t::net::GenerateTopology(topo_options, rng);
+  if (!topo.ok()) {
+    std::fprintf(stderr, "topology: %s\n", topo.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. Routing tables and overlay member-to-member delays.
+  auto routing = d3t::net::RoutingTables::FloydWarshall(*topo);
+  if (!routing.ok()) {
+    std::fprintf(stderr, "routing: %s\n",
+                 routing.status().ToString().c_str());
+    return 1;
+  }
+  auto delays = d3t::net::OverlayDelayModel::FromRouting(*topo, *routing);
+  if (!delays.ok()) {
+    std::fprintf(stderr, "delays: %s\n", delays.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Data needs: two items (think MSFT and ORCL). Even repositories
+  // are day traders (tight tolerances); odd ones are casual observers.
+  std::vector<d3t::core::InterestSet> interests;
+  for (int i = 0; i < 8; ++i) {
+    const bool trader = i % 2 == 0;
+    d3t::core::InterestSet needs;
+    needs[0] = trader ? 0.01 : 0.25;  // dollars of tolerated deviation
+    if (i % 3 != 0) needs[1] = trader ? 0.05 : 0.50;
+    interests.push_back(std::move(needs));
+  }
+
+  // 4. Build the dissemination graph with LeLA.
+  d3t::core::LelaOptions lela;
+  lela.coop_degree = 3;  // each member serves at most 3 dependents
+  auto built = d3t::core::BuildOverlay(*delays, interests, /*item_count=*/2,
+                                       lela, rng);
+  if (!built.ok()) {
+    std::fprintf(stderr, "lela: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  auto shape = built->overlay.ComputeShape();
+  std::printf("overlay built: diameter %u, avg depth %.2f, levels %zu\n",
+              shape.diameter, shape.avg_depth, built->info.levels);
+
+  // 5. Traces + simulation.
+  std::vector<d3t::trace::Trace> traces;
+  for (auto preset : {d3t::trace::Table1Presets()[0],    // MSFT
+                      d3t::trace::Table1Presets()[5]}) {  // ORCL
+    d3t::trace::SyntheticTraceOptions trace_options;
+    trace_options.name = preset.name;
+    trace_options.min_price = preset.min_price;
+    trace_options.max_price = preset.max_price;
+    trace_options.tick_count = 2000;  // ~33 simulated minutes
+    auto trace = d3t::trace::GenerateSyntheticTrace(trace_options, rng);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "trace: %s\n",
+                   trace.status().ToString().c_str());
+      return 1;
+    }
+    traces.push_back(std::move(trace).value());
+  }
+
+  d3t::core::DistributedDisseminator policy;
+  d3t::core::EngineOptions engine_options;  // 12.5 ms per dependent
+  d3t::core::Engine engine(built->overlay, *delays, traces, policy,
+                           engine_options);
+  auto metrics = engine.Run();
+  if (!metrics.ok()) {
+    std::fprintf(stderr, "engine: %s\n",
+                 metrics.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("simulated %.0f seconds of market data\n",
+              d3t::sim::ToSeconds(metrics->horizon));
+  std::printf("updates at source: %llu, messages pushed: %llu\n",
+              static_cast<unsigned long long>(metrics->source_updates),
+              static_cast<unsigned long long>(metrics->messages));
+  std::printf("system loss of fidelity: %.3f%%\n", metrics->loss_percent);
+  for (size_t m = 1; m < metrics->per_member_loss.size(); ++m) {
+    if (metrics->per_member_loss[m] < 0) continue;
+    std::printf("  repository %zu (%s): loss %.3f%%\n", m,
+                m % 2 == 1 ? "trader " : "casual ",
+                metrics->per_member_loss[m]);
+  }
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Second motivating workload from the paper's introduction: real-time
+// weather/sensor data in an industrial process-control setting. Unlike
+// the stock example this one builds its traces by hand (slow-drifting
+// temperatures punctuated by step changes), persists them as CSV, loads
+// them back through the trace I/O layer, and drives the engine directly
+// — demonstrating the lower-level public API.
+//
+//   $ ./build/examples/sensor_grid
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/lela.h"
+#include "net/routing.h"
+#include "net/topology_generator.h"
+#include "trace/trace_io.h"
+
+namespace {
+
+/// A temperature sensor: slow drift with occasional step changes
+/// (a valve opening, a batch starting).
+d3t::trace::Trace MakeSensorTrace(const std::string& name, double base_temp,
+                                  d3t::Rng& rng) {
+  std::vector<d3t::trace::Tick> ticks;
+  double temp = base_temp;
+  d3t::sim::SimTime now = 0;
+  for (int i = 0; i < 1800; ++i) {  // 30 simulated minutes, 1 Hz
+    ticks.push_back({now, temp});
+    now += d3t::sim::Seconds(1.0);
+    temp += rng.NextGaussian() * 0.02;  // drift
+    if (rng.NextBernoulli(0.005)) {     // process event
+      temp += rng.NextBernoulli(0.5) ? 2.0 : -2.0;
+    }
+  }
+  return d3t::trace::Trace(name, std::move(ticks));
+}
+
+}  // namespace
+
+int main() {
+  d3t::Rng rng(4242);
+  constexpr size_t kSensors = 6;
+  constexpr size_t kStations = 12;
+
+  // Sensor traces, written to CSV and read back (round-trip through the
+  // persistence layer, as a real deployment would replay logged data).
+  std::vector<d3t::trace::Trace> traces;
+  for (size_t s = 0; s < kSensors; ++s) {
+    d3t::trace::Trace trace = MakeSensorTrace(
+        "sensor" + std::to_string(s), 60.0 + 5.0 * static_cast<double>(s),
+        rng);
+    const std::string path = "/tmp/d3t_sensor" + std::to_string(s) + ".csv";
+    if (d3t::Status status = d3t::trace::SaveTraceCsv(trace, path);
+        !status.ok()) {
+      std::fprintf(stderr, "save: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    auto loaded = d3t::trace::LoadTraceCsv(path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    traces.push_back(std::move(loaded).value());
+  }
+  std::printf("loaded %zu sensor traces from CSV round-trip\n",
+              traces.size());
+
+  // Monitoring stations: control loops need 0.05-degree coherency on
+  // their own sensor; the plant dashboard tolerates half a degree on
+  // everything.
+  std::vector<d3t::core::InterestSet> interests(kStations);
+  for (size_t station = 0; station < kStations; ++station) {
+    d3t::core::InterestSet& needs = interests[station];
+    needs[static_cast<d3t::core::ItemId>(station % kSensors)] = 0.05;
+    for (size_t s = 0; s < kSensors; ++s) {
+      if (needs.find(static_cast<d3t::core::ItemId>(s)) == needs.end()) {
+        needs[static_cast<d3t::core::ItemId>(s)] = 0.5;
+      }
+    }
+  }
+
+  // Physical plant network: a modest LAN/WAN mix.
+  d3t::net::TopologyGeneratorOptions topo_options;
+  topo_options.router_count = 30;
+  topo_options.repository_count = kStations;
+  topo_options.link_delay_min_ms = 0.5;
+  topo_options.link_delay_mean_ms = 2.0;
+  auto topo = d3t::net::GenerateTopology(topo_options, rng);
+  if (!topo.ok()) {
+    std::fprintf(stderr, "topology: %s\n",
+                 topo.status().ToString().c_str());
+    return 1;
+  }
+  auto routing = d3t::net::RoutingTables::FloydWarshall(*topo);
+  auto delays = d3t::net::OverlayDelayModel::FromRouting(*topo, *routing);
+  if (!delays.ok()) {
+    std::fprintf(stderr, "delays: %s\n",
+                 delays.status().ToString().c_str());
+    return 1;
+  }
+
+  // Overlay + simulation under both exact dissemination policies.
+  d3t::core::LelaOptions lela;
+  lela.coop_degree = 4;
+  auto built =
+      d3t::core::BuildOverlay(*delays, interests, kSensors, lela, rng);
+  if (!built.ok()) {
+    std::fprintf(stderr, "lela: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+
+  for (const char* policy_name : {"distributed", "centralized"}) {
+    auto policy = d3t::core::MakeDisseminator(policy_name);
+    d3t::core::EngineOptions engine_options;
+    engine_options.comp_delay = d3t::sim::Millis(2.0);  // embedded CPUs
+    d3t::core::Engine engine(built->overlay, *delays, traces, *policy,
+                             engine_options);
+    auto metrics = engine.Run();
+    if (!metrics.ok()) {
+      std::fprintf(stderr, "engine: %s\n",
+                   metrics.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "%-12s loss %.3f%%  messages %-6llu source checks %llu\n",
+        policy_name, metrics->loss_percent,
+        static_cast<unsigned long long>(metrics->messages),
+        static_cast<unsigned long long>(metrics->source_checks));
+  }
+  std::printf(
+      "\ncontrol loops stay within 0.05 degrees of the live sensors while "
+      "the\ndashboard rides along on the same dissemination trees.\n");
+  return 0;
+}

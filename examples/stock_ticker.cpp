@@ -1,0 +1,100 @@
+// Scenario from the paper's introduction: a stock-price dissemination
+// service. Online traders demand cent-level coherency on hot tickers;
+// portfolio dashboards tolerate dollar-level staleness. This example
+// uses the experiment harness to contrast three deployment shapes on
+// identical workloads:
+//   * "direct"     — no cooperation, the exchange feeds every mirror;
+//   * "chain"      — maximal altruism, degree 1;
+//   * "controlled" — the degree picked by Eq. (2).
+//
+//   $ ./build/examples/stock_ticker [--full]
+
+#include <cstdio>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "exp/experiment.h"
+
+int main(int argc, char** argv) {
+  d3t::CommandLine cli;
+  cli.AddFlag("full", "false", "paper-scale run (slow)");
+  cli.AddFlag("seed", "7", "rng seed");
+  if (d3t::Status status = cli.Parse(argc, argv); !status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 cli.Help(argv[0]).c_str());
+    return 2;
+  }
+
+  d3t::exp::ExperimentConfig base;
+  if (cli.GetBool("full")) {
+    base.repositories = 100;
+    base.routers = 600;
+    base.items = 100;
+    base.ticks = 10000;
+  } else {
+    base.repositories = 30;
+    base.routers = 120;
+    base.items = 12;
+    base.ticks = 1500;
+  }
+  base.seed = static_cast<uint64_t>(cli.GetInt("seed"));
+  // Half of each mirror's tickers carry trader-grade (stringent)
+  // tolerances; the rest are dashboard-grade.
+  base.stringent_fraction = 0.5;
+
+  auto bench = d3t::exp::Workbench::Create(base);
+  if (!bench.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 bench.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "stock ticker service: %zu mirrors, %zu tickers, %zu price ticks "
+      "each\nmean mirror-to-mirror delay %.1f ms over %.1f router hops\n\n",
+      base.repositories, base.items, base.ticks,
+      bench->delays().PairDelayStats().mean() / 1000.0,
+      bench->delays().MeanPairHops());
+
+  d3t::TablePrinter table({"Deployment", "Degree", "Diameter", "Loss%",
+                           "Messages", "SourceMsgs"});
+  struct Shape {
+    const char* name;
+    size_t degree;
+    bool controlled;
+  };
+  const Shape shapes[] = {
+      {"direct (no coop)", base.repositories, false},
+      {"chain (degree 1)", 1, false},
+      {"controlled (Eq.2)", base.repositories, true},
+  };
+  double controlled_loss = 0, direct_loss = 0;
+  for (const Shape& shape : shapes) {
+    d3t::exp::ExperimentConfig config = base;
+    config.coop_degree = shape.degree;
+    config.controlled_cooperation = shape.controlled;
+    auto result = bench->Run(config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", shape.name,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    if (shape.controlled) controlled_loss = result->metrics.loss_percent;
+    if (shape.degree == base.repositories && !shape.controlled) {
+      direct_loss = result->metrics.loss_percent;
+    }
+    table.AddRow(
+        {shape.name, d3t::TablePrinter::Int(result->effective_degree),
+         d3t::TablePrinter::Int(result->shape.diameter),
+         d3t::TablePrinter::Num(result->metrics.loss_percent, 2),
+         d3t::TablePrinter::Int(result->metrics.messages),
+         d3t::TablePrinter::Int(result->metrics.source_messages)});
+  }
+  table.Print();
+  if (direct_loss > 0) {
+    std::printf(
+        "\ncontrolled cooperation cuts the loss of fidelity %.1fx vs "
+        "feeding every\nmirror from the exchange directly.\n",
+        controlled_loss > 0 ? direct_loss / controlled_loss : 999.0);
+  }
+  return 0;
+}

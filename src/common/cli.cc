@@ -1,0 +1,81 @@
+#include "common/cli.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace d3t {
+
+void CommandLine::AddFlag(const std::string& name,
+                          const std::string& default_value,
+                          const std::string& help) {
+  flags_[name] = Flag{default_value, default_value, help};
+}
+
+Status CommandLine::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("expected --flag, got: " + arg);
+    }
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::string value;
+    bool has_value = false;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag: --" + name);
+    }
+    if (!has_value) {
+      // `--flag value` form if the next token is not itself a flag;
+      // otherwise a bare boolean.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = value;
+  }
+  return Status::Ok();
+}
+
+std::string CommandLine::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? std::string() : it->second.value;
+}
+
+int64_t CommandLine::GetInt(const std::string& name) const {
+  return static_cast<int64_t>(std::strtoll(GetString(name).c_str(),
+                                           nullptr, 10));
+}
+
+double CommandLine::GetDouble(const std::string& name) const {
+  return std::strtod(GetString(name).c_str(), nullptr);
+}
+
+bool CommandLine::GetBool(const std::string& name) const {
+  const std::string v = GetString(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+bool CommandLine::Has(const std::string& name) const {
+  return flags_.count(name) != 0;
+}
+
+std::string CommandLine::Help(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: " << flag.default_value << ")  "
+       << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace d3t

@@ -1,0 +1,49 @@
+#ifndef D3T_COMMON_CLI_H_
+#define D3T_COMMON_CLI_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace d3t {
+
+/// Minimal command-line flag parser shared by the bench and example
+/// binaries. Accepts `--name=value`, `--name value` and bare `--flag`
+/// (boolean true). Unknown flags are an error so typos do not silently
+/// change an experiment.
+class CommandLine {
+ public:
+  /// Declares a flag with a default value and help text. Call before
+  /// Parse().
+  void AddFlag(const std::string& name, const std::string& default_value,
+               const std::string& help);
+
+  /// Parses argv. Returns InvalidArgument on unknown or malformed flags.
+  Status Parse(int argc, const char* const* argv);
+
+  /// Typed accessors; fall back to the declared default on parse failure.
+  std::string GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  bool Has(const std::string& name) const;
+
+  /// Renders a usage/help string listing all declared flags.
+  std::string Help(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace d3t
+
+#endif  // D3T_COMMON_CLI_H_

@@ -1,0 +1,84 @@
+#ifndef D3T_COMMON_RANDOM_H_
+#define D3T_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace d3t {
+
+/// SplitMix64 — used to seed Xoshiro and as a cheap stateless mixer.
+/// Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic, seedable PRNG (xoshiro256++) with the distribution
+/// helpers the simulator needs. All simulation randomness flows through
+/// this class so experiments are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double NextDoubleInRange(double lo, double hi);
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Pareto-distributed value with minimum `minimum` and shape `alpha`
+  /// (alpha > 1 required for a finite mean of minimum*alpha/(alpha-1)).
+  /// The paper draws node-to-node link delays from this family.
+  double NextPareto(double minimum, double alpha);
+
+  /// Pareto value parameterized by its mean instead of its shape:
+  /// alpha = mean / (mean - minimum). Requires mean > minimum > 0.
+  /// Matches the paper's delay model (mean 15 ms, minimum 2 ms).
+  double NextParetoWithMean(double minimum, double mean);
+
+  /// Exponential with the given mean (> 0).
+  double NextExponential(double mean);
+
+  /// Standard normal via Box–Muller.
+  double NextGaussian();
+
+  /// Fisher–Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Forks an independent stream; deterministic function of the current
+  /// state and `stream_id`. Used to give each subsystem its own stream.
+  Rng Fork(uint64_t stream_id);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace d3t
+
+#endif  // D3T_COMMON_RANDOM_H_

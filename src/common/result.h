@@ -1,0 +1,65 @@
+#ifndef D3T_COMMON_RESULT_H_
+#define D3T_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace d3t {
+
+/// A value-or-error holder in the spirit of absl::StatusOr. A `Result<T>`
+/// holds either a `T` or a non-OK `Status`. Accessing the value of an
+/// errored result is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a result holding `value`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a result holding a non-OK status. Passing an OK status is a
+  /// programming error: an OK result must carry a value.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the error status (OK if a value is held).
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value or `fallback` when errored.
+  T value_or(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace d3t
+
+#endif  // D3T_COMMON_RESULT_H_

@@ -1,0 +1,37 @@
+#include "common/status.h"
+
+namespace d3t {
+
+std::string_view StatusCodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "Ok";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kAlreadyExists:
+      return "AlreadyExists";
+    case Status::Code::kFailedPrecondition:
+      return "FailedPrecondition";
+    case Status::Code::kOutOfRange:
+      return "OutOfRange";
+    case Status::Code::kIoError:
+      return "IoError";
+    case Status::Code::kCapacityExhausted:
+      return "CapacityExhausted";
+    case Status::Code::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "Ok";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace d3t

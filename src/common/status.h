@@ -1,0 +1,94 @@
+#ifndef D3T_COMMON_STATUS_H_
+#define D3T_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+
+namespace d3t {
+
+/// RocksDB-style status object used for error handling throughout the
+/// library. The public API never throws; fallible operations return a
+/// `Status` (or a `Result<T>`, see result.h).
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kFailedPrecondition,
+    kOutOfRange,
+    kIoError,
+    kCapacityExhausted,
+    kInternal,
+  };
+
+  /// Default-constructed status is OK.
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status AlreadyExists(std::string_view msg) {
+    return Status(Code::kAlreadyExists, msg);
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(Code::kFailedPrecondition, msg);
+  }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(Code::kOutOfRange, msg);
+  }
+  static Status IoError(std::string_view msg) {
+    return Status(Code::kIoError, msg);
+  }
+  static Status CapacityExhausted(std::string_view msg) {
+    return Status(Code::kCapacityExhausted, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(Code::kInternal, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: bad fanout".
+  std::string ToString() const;
+
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsIoError() const { return code_ == Code::kIoError; }
+  bool IsCapacityExhausted() const {
+    return code_ == Code::kCapacityExhausted;
+  }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// Returns the canonical name of a status code ("Ok", "NotFound", ...).
+std::string_view StatusCodeName(Status::Code code);
+
+}  // namespace d3t
+
+/// Propagates a non-OK status to the caller. For internal use in .cc files.
+#define D3T_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::d3t::Status _d3t_status = (expr);            \
+    if (!_d3t_status.ok()) return _d3t_status;     \
+  } while (0)
+
+#endif  // D3T_COMMON_STATUS_H_

@@ -1,0 +1,34 @@
+#ifndef D3T_COMMON_TABLE_H_
+#define D3T_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace d3t {
+
+/// Fixed-width ASCII table used by every bench binary to print the rows
+/// and series the paper's tables and figures report.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(int64_t v);
+
+  /// Renders the table with a header rule.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace d3t
+
+#endif  // D3T_COMMON_TABLE_H_

@@ -1,0 +1,21 @@
+#include "core/coop_degree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace d3t::core {
+
+size_t ComputeCooperationDegree(const CoopDegreeInputs& inputs) {
+  if (inputs.max_resources == 0) return 1;
+  if (inputs.avg_comp_delay <= 0) return inputs.max_resources;
+  const double ratio = static_cast<double>(inputs.avg_comm_delay) /
+                       static_cast<double>(inputs.avg_comp_delay);
+  const double f = std::max(1.0, inputs.f);
+  const double degree = std::sqrt(std::max(0.0, ratio)) * (f / 14.0);
+  const long long rounded = std::llround(degree);
+  const size_t clamped =
+      rounded < 1 ? 1 : static_cast<size_t>(rounded);
+  return std::min(clamped, inputs.max_resources);
+}
+
+}  // namespace d3t::core

@@ -1,0 +1,215 @@
+#include "core/disseminator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/coherency.h"
+
+namespace d3t::core {
+
+namespace {
+
+/// Packs (node, item, child) into a single hash key. Node and child are
+/// < 2^20 members and items < 2^24 in any realistic configuration.
+uint64_t PackEdgeKey(OverlayIndex node, ItemId item, OverlayIndex child) {
+  return (static_cast<uint64_t>(node) << 44) |
+         (static_cast<uint64_t>(item) << 20) | static_cast<uint64_t>(child);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DistributedDisseminator
+
+void DistributedDisseminator::Initialize(
+    const Overlay& overlay, const std::vector<double>& initial_values) {
+  overlay_ = &overlay;
+  initial_values_ = initial_values;
+  last_sent_.clear();
+}
+
+BeginDecision DistributedDisseminator::BeginUpdate(sim::SimTime,
+                                                   OverlayIndex, ItemId,
+                                                   double, double) {
+  return BeginDecision{};
+}
+
+bool DistributedDisseminator::ShouldPush(sim::SimTime, OverlayIndex node,
+                                         ItemId item, const ItemEdge& edge,
+                                         double value, double /*tag*/) {
+  const Coherency parent_c =
+      node == kSourceOverlayIndex ? 0.0
+                                  : overlay_->Serving(node, item).c_serve;
+  auto it = last_sent_
+                .try_emplace(PackEdgeKey(node, item, edge.child),
+                             initial_values_[item])
+                .first;
+  if (ShouldForwardDistributed(value, it->second, edge.c, parent_c)) {
+    it->second = value;
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Eq3OnlyDisseminator
+
+void Eq3OnlyDisseminator::Initialize(
+    const Overlay& overlay, const std::vector<double>& initial_values) {
+  overlay_ = &overlay;
+  initial_values_ = initial_values;
+  last_sent_.clear();
+}
+
+BeginDecision Eq3OnlyDisseminator::BeginUpdate(sim::SimTime, OverlayIndex,
+                                               ItemId, double, double) {
+  return BeginDecision{};
+}
+
+bool Eq3OnlyDisseminator::ShouldPush(sim::SimTime, OverlayIndex node,
+                                     ItemId item, const ItemEdge& edge,
+                                     double value, double /*tag*/) {
+  auto it = last_sent_
+                .try_emplace(PackEdgeKey(node, item, edge.child),
+                             initial_values_[item])
+                .first;
+  if (ViolatesEq3(value, it->second, edge.c)) {
+    it->second = value;
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// CentralizedDisseminator
+
+void CentralizedDisseminator::Initialize(
+    const Overlay& overlay, const std::vector<double>& initial_values) {
+  per_item_.assign(overlay.item_count(), {});
+  for (ItemId item = 0; item < overlay.item_count(); ++item) {
+    std::vector<Coherency> tolerances;
+    for (OverlayIndex m = 1; m < overlay.member_count(); ++m) {
+      if (overlay.Holds(m, item)) {
+        tolerances.push_back(overlay.Serving(m, item).c_serve);
+      }
+    }
+    std::sort(tolerances.begin(), tolerances.end());
+    tolerances.erase(std::unique(tolerances.begin(), tolerances.end()),
+                     tolerances.end());
+    auto& states = per_item_[item];
+    states.reserve(tolerances.size());
+    const double v0 =
+        item < initial_values.size() ? initial_values[item] : 0.0;
+    for (Coherency c : tolerances) states.push_back({c, v0});
+  }
+}
+
+BeginDecision CentralizedDisseminator::BeginUpdate(sim::SimTime,
+                                                   OverlayIndex node,
+                                                   ItemId item, double value,
+                                                   double incoming_tag) {
+  if (node != kSourceOverlayIndex) {
+    // Repositories just relay the source-assigned tag.
+    return BeginDecision{incoming_tag, false, 0};
+  }
+  auto& states = per_item_[item];
+  BeginDecision decision;
+  decision.extra_checks = states.size();
+  double max_violated = -1.0;
+  for (const ToleranceState& s : states) {
+    if (ViolatesEq3(value, s.last_sent, s.c)) {
+      max_violated = std::max(max_violated, s.c);
+    }
+  }
+  if (max_violated < 0.0) {
+    decision.drop = true;
+    return decision;
+  }
+  // Record this value as the last sent for every tolerance <= the tag
+  // (all of them just received this value).
+  for (ToleranceState& s : states) {
+    if (s.c <= max_violated) s.last_sent = value;
+  }
+  decision.tag = max_violated;
+  return decision;
+}
+
+bool CentralizedDisseminator::ShouldPush(sim::SimTime, OverlayIndex /*node*/,
+                                         ItemId /*item*/,
+                                         const ItemEdge& edge,
+                                         double /*value*/, double tag) {
+  return edge.c <= tag;
+}
+
+size_t CentralizedDisseminator::UniqueToleranceCount(ItemId item) const {
+  return item < per_item_.size() ? per_item_[item].size() : 0;
+}
+
+// ---------------------------------------------------------------------------
+// AllUpdatesDisseminator
+
+void AllUpdatesDisseminator::Initialize(const Overlay&,
+                                        const std::vector<double>&) {}
+
+BeginDecision AllUpdatesDisseminator::BeginUpdate(sim::SimTime,
+                                                  OverlayIndex, ItemId,
+                                                  double, double) {
+  return BeginDecision{};
+}
+
+bool AllUpdatesDisseminator::ShouldPush(sim::SimTime, OverlayIndex, ItemId,
+                                        const ItemEdge&, double, double) {
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// TemporalDisseminator
+
+void TemporalDisseminator::Initialize(const Overlay&,
+                                      const std::vector<double>&) {
+  last_push_time_.clear();
+}
+
+BeginDecision TemporalDisseminator::BeginUpdate(sim::SimTime, OverlayIndex,
+                                                ItemId, double, double) {
+  return BeginDecision{};
+}
+
+bool TemporalDisseminator::ShouldPush(sim::SimTime now, OverlayIndex node,
+                                      ItemId item, const ItemEdge& edge,
+                                      double /*value*/, double /*tag*/) {
+  // Pushing every `period` bounds staleness in time: the "simpler
+  // problem" of §1.1. The first change after a quiet stretch is pushed
+  // immediately (last push time starts at 0).
+  auto it = last_push_time_
+                .try_emplace(PackEdgeKey(node, item, edge.child),
+                             -period_)
+                .first;
+  if (now - it->second >= period_) {
+    it->second = now;
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Disseminator> MakeDisseminator(const std::string& name) {
+  if (name == "distributed") {
+    return std::make_unique<DistributedDisseminator>();
+  }
+  if (name == "centralized") {
+    return std::make_unique<CentralizedDisseminator>();
+  }
+  if (name == "eq3-only") return std::make_unique<Eq3OnlyDisseminator>();
+  if (name == "all-updates") {
+    return std::make_unique<AllUpdatesDisseminator>();
+  }
+  if (name == "temporal") {
+    return std::make_unique<TemporalDisseminator>(sim::Seconds(5.0));
+  }
+  return nullptr;
+}
+
+}  // namespace d3t::core

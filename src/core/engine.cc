@@ -1,0 +1,216 @@
+#include "core/engine.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace d3t::core {
+
+namespace {
+
+uint64_t TrackerKey(OverlayIndex m, ItemId item) {
+  return (static_cast<uint64_t>(m) << 32) | item;
+}
+
+}  // namespace
+
+Engine::Engine(const Overlay& overlay, const net::OverlayDelayModel& delays,
+               const std::vector<trace::Trace>& traces,
+               Disseminator& disseminator, const EngineOptions& options)
+    : overlay_(overlay),
+      delays_(delays),
+      traces_(traces),
+      disseminator_(disseminator),
+      options_(options) {}
+
+Result<EngineMetrics> Engine::Run() {
+  if (traces_.size() != overlay_.item_count()) {
+    return Status::InvalidArgument(
+        "trace count must match overlay item count");
+  }
+  if (overlay_.member_count() != delays_.member_count()) {
+    return Status::InvalidArgument(
+        "overlay and delay model member counts differ");
+  }
+  if (options_.comp_delay < 0) {
+    return Status::InvalidArgument("negative computational delay");
+  }
+  std::vector<double> initial_values(traces_.size());
+  sim::SimTime horizon = 0;
+  for (size_t i = 0; i < traces_.size(); ++i) {
+    if (traces_[i].empty()) {
+      return Status::InvalidArgument("empty trace for item " +
+                                     std::to_string(i));
+    }
+    initial_values[i] = traces_[i].ticks().front().value;
+    horizon = std::max(horizon, traces_[i].ticks().back().time);
+  }
+
+  disseminator_.Initialize(overlay_, initial_values);
+  nodes_.assign(overlay_.member_count(), NodeState{});
+  source_values_ = initial_values;
+  metrics_ = EngineMetrics{};
+  metrics_.horizon = horizon;
+
+  // Fidelity trackers for every (repository, own-interest item) pair.
+  trackers_.clear();
+  tracker_index_.clear();
+  item_trackers_.assign(overlay_.item_count(), {});
+  for (OverlayIndex m = 1; m < overlay_.member_count(); ++m) {
+    for (ItemId item = 0; item < overlay_.item_count(); ++item) {
+      if (!overlay_.Holds(m, item)) continue;
+      const ItemServing& s = overlay_.Serving(m, item);
+      if (!s.own_interest) continue;
+      tracker_index_[TrackerKey(m, item)] = trackers_.size();
+      item_trackers_[item].push_back(trackers_.size());
+      trackers_.emplace_back(s.c_own, initial_values[item]);
+    }
+  }
+
+  // Per-trace tick chains (tick 0 is the synchronized initial value).
+  for (ItemId item = 0; item < traces_.size(); ++item) {
+    if (traces_[item].size() < 2) continue;
+    const sim::SimTime first = traces_[item].ticks()[1].time;
+    simulator_.ScheduleAt(first, [this, item](sim::SimTime t) {
+      HandleSourceTick(t, item, 1);
+    });
+  }
+
+  simulator_.RunUntil(horizon);
+
+  for (FidelityTracker& tracker : trackers_) tracker.Finalize(horizon);
+
+  // Aggregate per the paper: repository loss = mean over its items,
+  // system loss = mean over repositories that track anything.
+  metrics_.per_member_loss.assign(overlay_.member_count(), -1.0);
+  metrics_.per_member_loss[kSourceOverlayIndex] = 0.0;
+  double loss_sum = 0.0;
+  double pair_loss_sum = 0.0;
+  size_t repos_counted = 0;
+  for (OverlayIndex m = 1; m < overlay_.member_count(); ++m) {
+    double sum = 0.0;
+    size_t count = 0;
+    for (ItemId item = 0; item < overlay_.item_count(); ++item) {
+      auto it = tracker_index_.find(TrackerKey(m, item));
+      if (it == tracker_index_.end()) continue;
+      sum += trackers_[it->second].LossPercent();
+      ++count;
+    }
+    if (count > 0) {
+      const double loss = sum / static_cast<double>(count);
+      metrics_.per_member_loss[m] = loss;
+      loss_sum += loss;
+      pair_loss_sum += sum;
+      ++repos_counted;
+    }
+  }
+  metrics_.loss_percent =
+      repos_counted > 0 ? loss_sum / static_cast<double>(repos_counted)
+                        : 0.0;
+  metrics_.tracked_pairs = trackers_.size();
+  metrics_.pair_loss_percent =
+      trackers_.empty()
+          ? 0.0
+          : pair_loss_sum / static_cast<double>(trackers_.size());
+  metrics_.events = simulator_.events_executed();
+  return metrics_;
+}
+
+void Engine::HandleSourceTick(sim::SimTime t, ItemId item,
+                              size_t tick_index) {
+  const trace::Tick& tick = traces_[item].ticks()[tick_index];
+  assert(tick.time == t);
+  // A poll that repeats the previous value is not an update: nothing
+  // changed at the source, so nothing is checked or disseminated.
+  if (tick.value != source_values_[item]) {
+    source_values_[item] = tick.value;
+    // The true source value changes now, independent of dissemination
+    // backlog at the source node.
+    for (size_t tracker : item_trackers_[item]) {
+      trackers_[tracker].OnSourceValue(t, tick.value);
+    }
+    ++metrics_.source_updates;
+    Deliver(t, kSourceOverlayIndex, Job{item, tick.value, 0.0});
+  }
+
+  if (tick_index + 1 < traces_[item].size()) {
+    const sim::SimTime next = traces_[item].ticks()[tick_index + 1].time;
+    simulator_.ScheduleAt(next, [this, item, tick_index](sim::SimTime when) {
+      HandleSourceTick(when, item, tick_index + 1);
+    });
+  }
+}
+
+void Engine::Deliver(sim::SimTime t, OverlayIndex node, Job job) {
+  NodeState& state = nodes_[node];
+  state.queue.push_back(job);
+  if (!state.processing_scheduled) {
+    state.processing_scheduled = true;
+    const sim::SimTime start = std::max(t, state.busy_until);
+    simulator_.ScheduleAt(start, [this, node](sim::SimTime when) {
+      ProcessNext(when, node);
+    });
+  }
+}
+
+void Engine::ProcessNext(sim::SimTime t, OverlayIndex node) {
+  NodeState& state = nodes_[node];
+  assert(!state.queue.empty());
+  const Job job = state.queue.front();
+  state.queue.pop_front();
+
+  // Apply the value locally (refreshes this repository's copy).
+  if (node != kSourceOverlayIndex) {
+    auto it = tracker_index_.find(TrackerKey(node, job.item));
+    if (it != tracker_index_.end()) {
+      trackers_[it->second].OnRepositoryValue(t, job.value);
+    }
+  }
+
+  sim::SimTime busy = t;
+  const BeginDecision decision =
+      disseminator_.BeginUpdate(t, node, job.item, job.value, job.tag);
+  if (decision.extra_checks > 0) {
+    metrics_.checks += decision.extra_checks;
+    if (node == kSourceOverlayIndex) {
+      metrics_.source_checks += decision.extra_checks;
+    }
+    if (options_.tag_check_cost_factor > 0.0) {
+      busy += static_cast<sim::SimTime>(
+          std::llround(options_.tag_check_cost_factor *
+                       static_cast<double>(options_.comp_delay) *
+                       static_cast<double>(decision.extra_checks)));
+    }
+  }
+
+  if (!decision.drop && overlay_.Holds(node, job.item)) {
+    const ItemServing& serving = overlay_.Serving(node, job.item);
+    for (const ItemEdge& edge : serving.children) {
+      busy += options_.comp_delay;
+      ++metrics_.checks;
+      if (node == kSourceOverlayIndex) ++metrics_.source_checks;
+      if (disseminator_.ShouldPush(busy, node, job.item, edge, job.value,
+                                   decision.tag)) {
+        ++metrics_.messages;
+        if (node == kSourceOverlayIndex) ++metrics_.source_messages;
+        const sim::SimTime arrival = busy + delays_.Delay(node, edge.child);
+        const OverlayIndex child = edge.child;
+        const Job forwarded{job.item, job.value, decision.tag};
+        simulator_.ScheduleAt(arrival,
+                              [this, child, forwarded](sim::SimTime when) {
+                                Deliver(when, child, forwarded);
+                              });
+      }
+    }
+  }
+
+  state.busy_until = busy;
+  if (!state.queue.empty()) {
+    simulator_.ScheduleAt(busy, [this, node](sim::SimTime when) {
+      ProcessNext(when, node);
+    });
+  } else {
+    state.processing_scheduled = false;
+  }
+}
+
+}  // namespace d3t::core

@@ -1,0 +1,114 @@
+#ifndef D3T_CORE_ENGINE_H_
+#define D3T_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/disseminator.h"
+#include "core/fidelity.h"
+#include "core/overlay.h"
+#include "net/delay_model.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+
+namespace d3t::core {
+
+/// Timing parameters of the dissemination simulation.
+struct EngineOptions {
+  /// Computational delay charged for each dependent edge a node examines
+  /// while processing one update (the paper's 12.5 ms: check + prepare).
+  sim::SimTime comp_delay = sim::Millis(12.5);
+  /// Fraction of `comp_delay` charged per policy-internal check (the
+  /// centralized source's unique-tolerance scan). The paper models these
+  /// as part of source load; 0 excludes them from the time model while
+  /// still counting them in the check metric.
+  double tag_check_cost_factor = 0.0;
+};
+
+/// Results of one simulation run.
+struct EngineMetrics {
+  /// Mean loss of fidelity (%) over repositories; each repository's loss
+  /// is the mean over its own-interest items (paper §6.2).
+  double loss_percent = 0.0;
+  /// Mean loss over all (repository, item) pairs — weighting every
+  /// tracked pair equally. Used to aggregate multiple engines (e.g.
+  /// multi-source runs) without re-deriving per-repository item counts.
+  double pair_loss_percent = 0.0;
+  /// Number of tracked (repository, own-interest item) pairs.
+  uint64_t tracked_pairs = 0;
+  /// Per-member loss (% | index 0 = source, always 0). Members with no
+  /// own-interest items report -1.
+  std::vector<double> per_member_loss;
+  /// Total update messages pushed along overlay edges.
+  uint64_t messages = 0;
+  /// Messages pushed by the source itself.
+  uint64_t source_messages = 0;
+  /// Total dependent-edge checks plus policy-internal checks.
+  uint64_t checks = 0;
+  /// Checks performed at the source (Fig. 11a).
+  uint64_t source_checks = 0;
+  /// Source value ticks disseminated (excludes the initial value).
+  uint64_t source_updates = 0;
+  /// Simulation events executed.
+  uint64_t events = 0;
+  /// Observation window length (microseconds).
+  sim::SimTime horizon = 0;
+};
+
+/// Couples traces -> source -> overlay -> repositories on a discrete-
+/// event simulator with a busy-server model of computational delay at
+/// every node (DESIGN.md §5.2) and full-path communication delays from
+/// the overlay delay model.
+class Engine {
+ public:
+  /// All referenced objects must outlive the engine. `traces[i]` is the
+  /// value process of item i; `traces.size()` must equal
+  /// `overlay.item_count()` and every trace must be non-empty.
+  Engine(const Overlay& overlay, const net::OverlayDelayModel& delays,
+         const std::vector<trace::Trace>& traces,
+         Disseminator& disseminator, const EngineOptions& options);
+
+  /// Runs the full simulation once and returns the metrics.
+  Result<EngineMetrics> Run();
+
+ private:
+  struct Job {
+    ItemId item = kInvalidItem;
+    double value = 0.0;
+    double tag = 0.0;
+  };
+  struct NodeState {
+    std::deque<Job> queue;
+    sim::SimTime busy_until = 0;
+    bool processing_scheduled = false;
+  };
+
+  void HandleSourceTick(sim::SimTime t, ItemId item, size_t tick_index);
+  void Deliver(sim::SimTime t, OverlayIndex node, Job job);
+  void ProcessNext(sim::SimTime t, OverlayIndex node);
+
+  const Overlay& overlay_;
+  const net::OverlayDelayModel& delays_;
+  const std::vector<trace::Trace>& traces_;
+  Disseminator& disseminator_;
+  EngineOptions options_;
+
+  sim::Simulator simulator_;
+  std::vector<NodeState> nodes_;
+  /// Last value seen per item at the source; polls that repeat the
+  /// previous value are not updates and are not disseminated.
+  std::vector<double> source_values_;
+  std::vector<FidelityTracker> trackers_;
+  /// (member, item) -> tracker index.
+  std::unordered_map<uint64_t, size_t> tracker_index_;
+  /// item -> tracker indices to notify on every source tick.
+  std::vector<std::vector<size_t>> item_trackers_;
+  EngineMetrics metrics_;
+};
+
+}  // namespace d3t::core
+
+#endif  // D3T_CORE_ENGINE_H_

@@ -1,0 +1,58 @@
+#include "core/fidelity.h"
+
+#include <cassert>
+
+#include "core/coherency.h"
+
+namespace d3t::core {
+
+namespace {
+
+/// Measured violations use the fidelity slack so that boundary-exact
+/// deviations (which the forwarding predicates deliberately hold back)
+/// do not register as loss. See kFidelitySlack in core/coherency.h.
+bool MeasuredViolation(double source_value, double repo_value, Coherency c) {
+  return std::abs(source_value - repo_value) > c + kFidelitySlack;
+}
+
+}  // namespace
+
+FidelityTracker::FidelityTracker(Coherency c, double initial_value)
+    : c_(c), source_value_(initial_value), repo_value_(initial_value) {}
+
+void FidelityTracker::Advance(sim::SimTime t) {
+  if (finalized_) return;
+  assert(t >= last_event_);
+  if (violated_) out_of_sync_time_ += t - last_event_;
+  last_event_ = t;
+}
+
+void FidelityTracker::OnSourceValue(sim::SimTime t, double value) {
+  if (finalized_) return;
+  Advance(t);
+  source_value_ = value;
+  violated_ = MeasuredViolation(source_value_, repo_value_, c_);
+}
+
+void FidelityTracker::OnRepositoryValue(sim::SimTime t, double value) {
+  if (finalized_) return;
+  Advance(t);
+  repo_value_ = value;
+  violated_ = MeasuredViolation(source_value_, repo_value_, c_);
+}
+
+void FidelityTracker::Finalize(sim::SimTime end) {
+  if (finalized_) return;
+  if (end > last_event_) Advance(end);
+  window_ = end;
+  finalized_ = true;
+}
+
+double FidelityTracker::LossPercent() const {
+  assert(finalized_);
+  if (window_ <= 0) return 0.0;
+  return 100.0 * static_cast<double>(out_of_sync_time_) /
+         static_cast<double>(window_);
+}
+
+}  // namespace d3t::core

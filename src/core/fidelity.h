@@ -1,0 +1,55 @@
+#ifndef D3T_CORE_FIDELITY_H_
+#define D3T_CORE_FIDELITY_H_
+
+#include <cmath>
+
+#include "core/types.h"
+#include "sim/time.h"
+
+namespace d3t::core {
+
+/// Measures the fidelity of one (repository, item) pair: the fraction of
+/// observed time for which |repo value - source value| <= c (paper §1.1
+/// and §6.2). The tracker is fed both value processes in nondecreasing
+/// time order and integrates the out-of-tolerance duration.
+class FidelityTracker {
+ public:
+  FidelityTracker() = default;
+
+  /// `c` is the user-facing coherency requirement; both processes start
+  /// at `initial_value` at time 0 (in sync).
+  FidelityTracker(Coherency c, double initial_value);
+
+  void OnSourceValue(sim::SimTime t, double value);
+  void OnRepositoryValue(sim::SimTime t, double value);
+
+  /// Closes the observation window at `end`. Idempotent; later events
+  /// are ignored.
+  void Finalize(sim::SimTime end);
+
+  /// Out-of-tolerance time accumulated so far (through the last event or
+  /// Finalize()).
+  sim::SimTime out_of_sync_time() const { return out_of_sync_time_; }
+
+  /// Loss of fidelity in percent of the window [0, end]; Finalize() must
+  /// have been called.
+  double LossPercent() const;
+
+  bool violated() const { return violated_; }
+
+ private:
+  void Advance(sim::SimTime t);
+
+  Coherency c_ = 0.0;
+  double source_value_ = 0.0;
+  double repo_value_ = 0.0;
+  sim::SimTime last_event_ = 0;
+  sim::SimTime out_of_sync_time_ = 0;
+  sim::SimTime window_ = 0;
+  bool violated_ = false;
+  bool finalized_ = false;
+};
+
+}  // namespace d3t::core
+
+#endif  // D3T_CORE_FIDELITY_H_

@@ -1,0 +1,53 @@
+#include "core/interest.h"
+
+#include <cmath>
+#include <limits>
+
+namespace d3t::core {
+
+namespace {
+
+Coherency QuantizeTolerance(double c) {
+  // The paper's tolerance ranges are expressed in $0.001 steps.
+  return std::round(c * 1000.0) / 1000.0;
+}
+
+}  // namespace
+
+std::vector<InterestSet> GenerateInterests(const InterestOptions& options,
+                                           Rng& rng) {
+  std::vector<InterestSet> interests(options.repository_count);
+  for (auto& interest : interests) {
+    for (ItemId item = 0; item < options.item_count; ++item) {
+      if (!rng.NextBernoulli(options.item_probability)) continue;
+      const bool stringent = rng.NextBernoulli(options.stringent_fraction);
+      const Coherency c = QuantizeTolerance(
+          stringent
+              ? rng.NextDoubleInRange(options.stringent_lo,
+                                      options.stringent_hi)
+              : rng.NextDoubleInRange(options.loose_lo, options.loose_hi));
+      interest.emplace(item, c);
+    }
+    if (interest.empty() && options.ensure_nonempty &&
+        options.item_count > 0) {
+      const ItemId item =
+          static_cast<ItemId>(rng.NextBounded(options.item_count));
+      const Coherency c = QuantizeTolerance(rng.NextDoubleInRange(
+          options.loose_lo, options.loose_hi));
+      interest.emplace(item, c);
+    }
+  }
+  return interests;
+}
+
+double MeanCoherency(const InterestSet& interest) {
+  if (interest.empty()) return std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (const auto& [item, c] : interest) {
+    (void)item;
+    sum += c;
+  }
+  return sum / static_cast<double>(interest.size());
+}
+
+}  // namespace d3t::core

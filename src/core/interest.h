@@ -1,0 +1,48 @@
+#ifndef D3T_CORE_INTEREST_H_
+#define D3T_CORE_INTEREST_H_
+
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "core/types.h"
+
+namespace d3t::core {
+
+/// A repository's data needs: the items it wants and the coherency
+/// requirement for each. The map is ordered so iteration (and therefore
+/// LeLA construction) is deterministic.
+using InterestSet = std::map<ItemId, Coherency>;
+
+/// Parameters of the paper's workload generator (§6.1): every repository
+/// requests each item with probability `item_probability`; a fraction
+/// `stringent_fraction` (the paper's T%) of its chosen items get a
+/// stringent tolerance drawn from [stringent_lo, stringent_hi], the rest
+/// a loose tolerance from [loose_lo, loose_hi]. Tolerances are quantized
+/// to $0.001 like the paper's ranges ($0.01–$0.099 / $0.1–$0.999).
+struct InterestOptions {
+  size_t repository_count = 100;
+  size_t item_count = 100;
+  double item_probability = 0.5;
+  double stringent_fraction = 0.5;  // T in [0,1]
+  Coherency stringent_lo = 0.01;
+  Coherency stringent_hi = 0.099;
+  Coherency loose_lo = 0.1;
+  Coherency loose_hi = 0.999;
+  /// Guarantee at least one item per repository (keeps every repository
+  /// inside the overlay).
+  bool ensure_nonempty = true;
+};
+
+/// Generates the interest sets for all repositories. Index i of the
+/// result corresponds to overlay member i+1 (member 0 is the source).
+std::vector<InterestSet> GenerateInterests(const InterestOptions& options,
+                                           Rng& rng);
+
+/// Mean coherency tolerance of a set (used to order insertions by
+/// stringency). Returns +inf for an empty set so empty sets sort last.
+double MeanCoherency(const InterestSet& interest);
+
+}  // namespace d3t::core
+
+#endif  // D3T_CORE_INTEREST_H_

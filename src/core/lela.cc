@@ -1,0 +1,345 @@
+#include "core/lela.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace d3t::core {
+
+namespace {
+
+/// Working state of one construction.
+class Builder {
+ public:
+  Builder(const net::OverlayDelayModel& delays, size_t member_count,
+          size_t item_count, const LelaOptions& options, Rng& rng)
+      : delays_(delays),
+        options_(options),
+        rng_(rng),
+        overlay_(member_count, item_count) {}
+
+  /// One-time validation of options and the delay model; also roots the
+  /// source's holdings. Must be called (successfully) before any join.
+  Status Initialize();
+
+  /// Validates and places one repository.
+  Status JoinMember(OverlayIndex q, const InterestSet& needs);
+
+  const Overlay& overlay() const { return overlay_; }
+  const LelaBuildInfo& info() const { return info_; }
+  Overlay TakeOverlay() { return std::move(overlay_); }
+  LelaBuildInfo FinalInfo() {
+    info_.levels = levels_.size();
+    return info_;
+  }
+
+ private:
+  /// Cooperation capacity offered by `m`.
+  size_t DegreeOf(OverlayIndex m) const {
+    return options_.per_member_degree.empty()
+               ? options_.coop_degree
+               : options_.per_member_degree[m];
+  }
+
+  /// True when `parent` can already serve `item` at tolerance `c`.
+  bool CanServe(OverlayIndex parent, ItemId item, Coherency c) const {
+    if (!overlay_.Holds(parent, item)) return false;
+    return overlay_.Serving(parent, item).c_serve <= c;
+  }
+
+  double Preference(OverlayIndex candidate, OverlayIndex q,
+                    const InterestSet& needed) const;
+
+  Status InsertRepository(OverlayIndex q, const InterestSet& needed);
+
+  /// Ensures `node` can serve `item` at tolerance `c`, recursively
+  /// augmenting ancestors along existing connections (paper §4's
+  /// cascading effect). Returns the number of fresh per-item edges made.
+  size_t AugmentServe(OverlayIndex node, ItemId item, Coherency c,
+                      size_t depth);
+
+  const net::OverlayDelayModel& delays_;
+  const LelaOptions options_;
+  Rng& rng_;
+  Overlay overlay_;
+  std::vector<std::vector<OverlayIndex>> levels_{{kSourceOverlayIndex}};
+  LelaBuildInfo info_;
+};
+
+double Builder::Preference(OverlayIndex candidate, OverlayIndex q,
+                           const InterestSet& needed) const {
+  const double comm = static_cast<double>(delays_.Delay(candidate, q));
+  const double dependents = static_cast<double>(
+      overlay_.ConnectionChildren(candidate).size());
+  if (options_.preference == PreferenceFunction::kP2) {
+    return comm * (1.0 + dependents);
+  }
+  size_t servable = 0;
+  for (const auto& [item, c] : needed) {
+    if (CanServe(candidate, item, c)) ++servable;
+  }
+  return comm * (1.0 + dependents) /
+         (1.0 + static_cast<double>(servable));
+}
+
+size_t Builder::AugmentServe(OverlayIndex node, ItemId item, Coherency c,
+                             size_t depth) {
+  if (node == kSourceOverlayIndex) return 0;  // source holds all at c=0
+  // Guard against pathological recursion (a correct overlay's parent
+  // chains are shorter than the member count).
+  assert(depth <= overlay_.member_count());
+  (void)depth;
+  if (overlay_.Holds(node, item)) {
+    const ItemServing& s = overlay_.Serving(node, item);
+    if (s.c_serve <= c) return 0;  // already stringent enough
+    const OverlayIndex parent = s.parent;
+    size_t fresh = AugmentServe(parent, item, c, depth + 1);
+    overlay_.SetServing(node, item, c, parent);
+    overlay_.TightenItemEdge(parent, node, item, c);
+    return fresh;
+  }
+  // The node does not hold the item: recruit a supplier among its
+  // existing connection parents — prefer one already holding the item,
+  // otherwise pick one at random (paper §4).
+  const auto& parents = overlay_.ConnectionParents(node);
+  assert(!parents.empty() && "placed repositories always have a parent");
+  OverlayIndex supplier = kInvalidOverlayIndex;
+  for (OverlayIndex p : parents) {
+    if (overlay_.Holds(p, item)) {
+      supplier = p;
+      break;
+    }
+  }
+  if (supplier == kInvalidOverlayIndex) {
+    supplier = parents[rng_.NextBounded(parents.size())];
+  }
+  size_t fresh = AugmentServe(supplier, item, c, depth + 1);
+  overlay_.AddItemEdge(supplier, node, item, c);
+  return fresh + 1;
+}
+
+Status Builder::InsertRepository(OverlayIndex q, const InterestSet& needed) {
+  if (needed.empty()) {
+    // A repository with no data needs joins as a leaf of level 1 with no
+    // connections; it can still be recruited as a parent later... but a
+    // parent must be reachable from the source for every item it serves,
+    // which LeLA guarantees via augmentation, so simply place it.
+    overlay_.set_level(q, 1);
+    if (levels_.size() < 2) levels_.emplace_back();
+    levels_[1].push_back(q);
+    info_.levels = levels_.size();
+    return Status::Ok();
+  }
+  for (size_t level = 0; level < levels_.size(); ++level) {
+    // Candidates: members of this level with spare connection capacity.
+    std::vector<OverlayIndex> candidates;
+    for (OverlayIndex m : levels_[level]) {
+      if (overlay_.ConnectionChildren(m).size() >= DegreeOf(m)) {
+        continue;
+      }
+      // A repository placed with no data needs has no path to the
+      // source, so it cannot act as a parent.
+      if (m != kSourceOverlayIndex &&
+          overlay_.ConnectionParents(m).empty()) {
+        continue;
+      }
+      candidates.push_back(m);
+    }
+    if (candidates.empty()) continue;  // pass to the next load controller
+
+    // Preference factors; keep those within the P% window of the best.
+    std::vector<std::pair<double, OverlayIndex>> scored;
+    scored.reserve(candidates.size());
+    for (OverlayIndex m : candidates) {
+      scored.emplace_back(Preference(m, q, needed), m);
+    }
+    std::sort(scored.begin(), scored.end());
+    const double best = scored.front().first;
+    const double cutoff = best * (1.0 + options_.p_window);
+    std::vector<OverlayIndex> window;
+    for (const auto& [pref, m] : scored) {
+      if (pref <= cutoff || window.empty()) window.push_back(m);
+    }
+
+    // Assign each needed item to the most preferred parent that can
+    // already serve it; the rest go to the most preferred parent overall
+    // through cascading augmentation.
+    std::vector<std::pair<OverlayIndex, std::pair<ItemId, Coherency>>>
+        assignments;
+    std::vector<std::pair<ItemId, Coherency>> leftovers;
+    for (const auto& [item, c] : needed) {
+      OverlayIndex server = kInvalidOverlayIndex;
+      for (OverlayIndex m : window) {
+        if (CanServe(m, item, c)) {
+          server = m;
+          break;
+        }
+      }
+      if (server == kInvalidOverlayIndex) {
+        leftovers.emplace_back(item, c);
+      } else {
+        assignments.emplace_back(server, std::make_pair(item, c));
+      }
+    }
+
+    for (const auto& [item, c] : needed) overlay_.SetOwnInterest(q, item, c);
+    for (const auto& [server, item_c] : assignments) {
+      overlay_.AddItemEdge(server, q, item_c.first, item_c.second);
+      ++info_.demand_edges;
+    }
+    if (!leftovers.empty()) {
+      const OverlayIndex favorite = window.front();
+      // The favorite may need items it never wanted; its own ancestors
+      // are augmented transitively up to the source.
+      for (const auto& [item, c] : leftovers) {
+        // AugmentServe() requires an existing connection parent; attach
+        // q to the favorite first if no edge exists yet so the favorite
+        // counts q exactly once against its capacity.
+        info_.augmented_edges += AugmentServe(favorite, item, c, 0);
+        overlay_.AddItemEdge(favorite, q, item, c);
+        ++info_.demand_edges;
+      }
+    }
+
+    overlay_.set_level(q, static_cast<uint32_t>(level + 1));
+    if (levels_.size() < level + 2) levels_.emplace_back();
+    levels_[level + 1].push_back(q);
+    if (overlay_.ConnectionParents(q).size() > 1) {
+      ++info_.multi_parent_repositories;
+    }
+    info_.levels = levels_.size();
+    return Status::Ok();
+  }
+  return Status::CapacityExhausted(
+      "no level had spare cooperation capacity");
+}
+
+Status Builder::Initialize() {
+  if (options_.coop_degree == 0 && options_.per_member_degree.empty()) {
+    return Status::InvalidArgument("cooperation degree must be >= 1");
+  }
+  if (!options_.per_member_degree.empty()) {
+    if (options_.per_member_degree.size() != overlay_.member_count()) {
+      return Status::InvalidArgument(
+          "per_member_degree must cover source + all repositories");
+    }
+    if (options_.per_member_degree[kSourceOverlayIndex] == 0) {
+      return Status::InvalidArgument(
+          "the source must offer at least one dependent slot");
+    }
+  }
+  if (options_.p_window < 0.0) {
+    return Status::InvalidArgument("p_window must be >= 0");
+  }
+  if (delays_.member_count() != overlay_.member_count()) {
+    return Status::InvalidArgument(
+        "delay model must cover source + all repositories");
+  }
+  // The source holds every item at tolerance 0.
+  for (ItemId item = 0; item < overlay_.item_count(); ++item) {
+    overlay_.SetServing(kSourceOverlayIndex, item, 0.0,
+                        kInvalidOverlayIndex);
+  }
+  return Status::Ok();
+}
+
+Status Builder::JoinMember(OverlayIndex q, const InterestSet& needs) {
+  if (q == kSourceOverlayIndex || q >= overlay_.member_count()) {
+    return Status::OutOfRange("member index out of range");
+  }
+  for (const auto& [item, c] : needs) {
+    if (item >= overlay_.item_count()) {
+      return Status::OutOfRange("interest references unknown item");
+    }
+    if (c <= 0.0) {
+      return Status::InvalidArgument(
+          "coherency tolerances must be positive");
+    }
+  }
+  return InsertRepository(q, needs);
+}
+
+}  // namespace
+
+Result<LelaResult> BuildOverlay(const net::OverlayDelayModel& delays,
+                                const std::vector<InterestSet>& interests,
+                                size_t item_count,
+                                const LelaOptions& options, Rng& rng) {
+  Builder builder(delays, interests.size() + 1, item_count, options, rng);
+  D3T_RETURN_IF_ERROR(builder.Initialize());
+
+  // Insertion order.
+  std::vector<OverlayIndex> order(interests.size());
+  std::iota(order.begin(), order.end(), 1);
+  switch (options.insertion_order) {
+    case InsertionOrder::kStringentFirst:
+      std::stable_sort(order.begin(), order.end(),
+                       [&interests](OverlayIndex a, OverlayIndex b) {
+                         return MeanCoherency(interests[a - 1]) <
+                                MeanCoherency(interests[b - 1]);
+                       });
+      break;
+    case InsertionOrder::kRandom:
+      rng.Shuffle(order);
+      break;
+    case InsertionOrder::kIndexOrder:
+      break;
+  }
+
+  for (OverlayIndex q : order) {
+    D3T_RETURN_IF_ERROR(builder.JoinMember(q, interests[q - 1]));
+  }
+  LelaBuildInfo info = builder.FinalInfo();
+  return LelaResult{builder.TakeOverlay(), info};
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalLela
+
+struct IncrementalLela::Impl {
+  Impl(const net::OverlayDelayModel& delays, size_t item_count,
+       const LelaOptions& options, Rng& rng)
+      : builder(delays, delays.member_count(), item_count, options, rng),
+        joined(delays.member_count(), false) {
+    init_status = builder.Initialize();
+  }
+
+  Builder builder;
+  Status init_status;
+  std::vector<bool> joined;
+};
+
+IncrementalLela::IncrementalLela(const net::OverlayDelayModel& delays,
+                                 size_t item_count,
+                                 const LelaOptions& options, Rng& rng)
+    : impl_(std::make_unique<Impl>(delays, item_count, options, rng)) {}
+
+IncrementalLela::~IncrementalLela() = default;
+
+Status IncrementalLela::Join(OverlayIndex member, const InterestSet& needs) {
+  if (!impl_->init_status.ok()) return impl_->init_status;
+  if (member >= impl_->joined.size()) {
+    return Status::OutOfRange("member index out of range");
+  }
+  if (member != kSourceOverlayIndex && impl_->joined[member]) {
+    return Status::AlreadyExists("member already joined");
+  }
+  D3T_RETURN_IF_ERROR(impl_->builder.JoinMember(member, needs));
+  impl_->joined[member] = true;
+  return Status::Ok();
+}
+
+bool IncrementalLela::HasJoined(OverlayIndex member) const {
+  return member < impl_->joined.size() && impl_->joined[member];
+}
+
+const Overlay& IncrementalLela::overlay() const {
+  return impl_->builder.overlay();
+}
+
+const LelaBuildInfo& IncrementalLela::info() const {
+  return impl_->builder.info();
+}
+
+}  // namespace d3t::core

@@ -1,0 +1,150 @@
+#ifndef D3T_CORE_OVERLAY_H_
+#define D3T_CORE_OVERLAY_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/types.h"
+
+namespace d3t::core {
+
+/// A per-item dissemination edge: this member pushes item updates to
+/// `child`, which requires coherency `c` on the edge.
+struct ItemEdge {
+  OverlayIndex child = kInvalidOverlayIndex;
+  Coherency c = 0.0;
+};
+
+/// What one overlay member knows about one item.
+struct ItemServing {
+  /// Effective tolerance at which this member receives the item from its
+  /// per-item parent: min(own requirement, all dependents' requirements).
+  /// 0 at the source.
+  Coherency c_serve = 0.0;
+  /// The member's own (client-derived) requirement; only meaningful when
+  /// `own_interest` is true.
+  Coherency c_own = 0.0;
+  bool own_interest = false;
+  /// Per-item parent (kInvalidOverlayIndex at the source).
+  OverlayIndex parent = kInvalidOverlayIndex;
+  /// Dependents this member pushes the item to.
+  std::vector<ItemEdge> children;
+};
+
+/// Summary shape metrics of the d3g (paper §6.3.1 reports diameter and
+/// average depth of the repository layout).
+struct OverlayShape {
+  /// Max over items of (1 + max tree depth), counting the source; equals
+  /// 101 for a 100-repo chain and 2 for direct source dissemination.
+  uint32_t diameter = 0;
+  /// Mean over (item, member) pairs of the member's depth in that item's
+  /// tree (source = 0).
+  double avg_depth = 0.0;
+  /// Mean number of connection dependents per member that has any.
+  double avg_dependents = 0.0;
+  /// Max connection fan-out over all members.
+  size_t max_dependents = 0;
+};
+
+/// The dynamic data dissemination graph (d3g): the union over items of
+/// the per-item dissemination trees (d3t), plus the connection (push
+/// channel) structure. A connection parent->child carries every item the
+/// parent serves the child; it consumes exactly one of the parent's
+/// cooperation slots regardless of how many items ride on it (paper §6.3.3).
+class Overlay {
+ public:
+  /// `member_count` includes the source (member 0). `item_count` is the
+  /// size of the item universe.
+  Overlay(size_t member_count, size_t item_count);
+
+  size_t member_count() const { return member_count_; }
+  size_t item_count() const { return item_count_; }
+
+  /// Marks a member's own interest in an item (used for fidelity
+  /// accounting and by LeLA). Also tightens c_serve to c if the member
+  /// already holds the item.
+  void SetOwnInterest(OverlayIndex m, ItemId item, Coherency c);
+
+  /// Declares that `m` holds `item`, served at tolerance `c_serve` by
+  /// `parent` (kInvalidOverlayIndex for the source itself).
+  void SetServing(OverlayIndex m, ItemId item, Coherency c_serve,
+                  OverlayIndex parent);
+
+  /// Adds (or retargets) the per-item edge parent->child at tolerance c.
+  /// Creates the connection parent->child if absent.
+  void AddItemEdge(OverlayIndex parent, OverlayIndex child, ItemId item,
+                   Coherency c);
+
+  /// Updates the tolerance of the existing per-item edge parent->child.
+  /// No-op if the edge does not exist.
+  void TightenItemEdge(OverlayIndex parent, OverlayIndex child, ItemId item,
+                       Coherency c);
+
+  /// True when `m` holds `item` (either own interest or serving others).
+  bool Holds(OverlayIndex m, ItemId item) const;
+
+  /// Serving record; Holds() must be true.
+  const ItemServing& Serving(OverlayIndex m, ItemId item) const;
+
+  /// Items held by `m`, ascending.
+  std::vector<ItemId> ItemsHeldBy(OverlayIndex m) const;
+
+  /// Connection children of `m` (insertion order, deduplicated).
+  const std::vector<OverlayIndex>& ConnectionChildren(OverlayIndex m) const {
+    return connection_children_[m];
+  }
+  /// Connection parents of `m`.
+  const std::vector<OverlayIndex>& ConnectionParents(OverlayIndex m) const {
+    return connection_parents_[m];
+  }
+
+  /// Level assigned by LeLA (source = 0); kInvalidLevel before placement.
+  static constexpr uint32_t kInvalidLevel = UINT32_MAX;
+  uint32_t level(OverlayIndex m) const { return level_[m]; }
+  void set_level(OverlayIndex m, uint32_t level) { level_[m] = level; }
+
+  /// Gracefully removes a repository from the overlay (a departing or
+  /// failed node). For every item the member relayed, its dependents are
+  /// re-parented to the member's own per-item parent — always legal
+  /// because c_serve(parent) <= c_serve(member) <= each dependent's
+  /// tolerance (Eq. 1 transitivity) — and the member's connections and
+  /// holdings are erased. The parent's connection fan-out can exceed the
+  /// original cooperation degree afterwards; callers that care should
+  /// re-run LeLA for the affected subtree. Removing the source or an
+  /// unknown member fails.
+  Status RemoveMember(OverlayIndex m);
+
+  /// Structural validation:
+  ///  * every per-item parent/children record is mutually consistent;
+  ///  * every item tree is rooted at the source and acyclic;
+  ///  * Eq. (1) holds along every per-item edge (parent c_serve <= edge c);
+  ///  * edge tolerance equals the child's c_serve for the item;
+  ///  * c_serve <= c_own wherever the member has own interest;
+  ///  * connection fan-out respects `max_degree` if nonzero.
+  Status Validate(size_t max_degree = 0) const;
+
+  OverlayShape ComputeShape() const;
+
+ private:
+  size_t SlotIndex(OverlayIndex m, ItemId item) const {
+    return static_cast<size_t>(m) * item_count_ + item;
+  }
+  ItemServing* FindSlot(OverlayIndex m, ItemId item);
+  const ItemServing* FindSlot(OverlayIndex m, ItemId item) const;
+  void EnsureConnection(OverlayIndex parent, OverlayIndex child);
+
+  size_t member_count_ = 0;
+  size_t item_count_ = 0;
+  /// Dense (member x item) matrix; `held` gates validity.
+  std::vector<ItemServing> servings_;
+  std::vector<uint8_t> held_;
+  std::vector<std::vector<OverlayIndex>> connection_children_;
+  std::vector<std::vector<OverlayIndex>> connection_parents_;
+  std::vector<uint32_t> level_;
+};
+
+}  // namespace d3t::core
+
+#endif  // D3T_CORE_OVERLAY_H_

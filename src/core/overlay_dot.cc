@@ -1,0 +1,65 @@
+#include "core/overlay_dot.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace d3t::core {
+
+namespace {
+
+std::string NodeName(OverlayIndex m) {
+  if (m == kSourceOverlayIndex) return "source";
+  return "r" + std::to_string(m);
+}
+
+}  // namespace
+
+std::string ConnectionsToDot(const Overlay& overlay) {
+  std::ostringstream os;
+  os << "digraph d3g {\n  rankdir=TB;\n";
+  os << "  source [shape=doublecircle];\n";
+  for (OverlayIndex m = 0; m < overlay.member_count(); ++m) {
+    for (OverlayIndex child : overlay.ConnectionChildren(m)) {
+      // Count the items this connection carries.
+      size_t items = 0;
+      for (ItemId item = 0; item < overlay.item_count(); ++item) {
+        if (!overlay.Holds(m, item)) continue;
+        for (const ItemEdge& e : overlay.Serving(m, item).children) {
+          if (e.child == child) {
+            ++items;
+            break;
+          }
+        }
+      }
+      os << "  " << NodeName(m) << " -> " << NodeName(child)
+         << " [label=\"" << items << "\"];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string ItemTreeToDot(const Overlay& overlay, ItemId item) {
+  std::ostringstream os;
+  os << "digraph d3t_item" << item << " {\n  rankdir=TB;\n";
+  os << "  source [shape=doublecircle];\n";
+  char label[64];
+  for (OverlayIndex m = 0; m < overlay.member_count(); ++m) {
+    if (m != kSourceOverlayIndex && overlay.Holds(m, item) &&
+        !overlay.Serving(m, item).own_interest) {
+      os << "  " << NodeName(m) << " [style=dashed];\n";
+    }
+  }
+  for (OverlayIndex m = 0; m < overlay.member_count(); ++m) {
+    if (!overlay.Holds(m, item)) continue;
+    for (const ItemEdge& e : overlay.Serving(m, item).children) {
+      std::snprintf(label, sizeof(label), "%.3f", e.c);
+      os << "  " << NodeName(m) << " -> " << NodeName(e.child)
+         << " [label=\"" << label << "\"];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace d3t::core

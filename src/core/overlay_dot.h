@@ -1,0 +1,23 @@
+#ifndef D3T_CORE_OVERLAY_DOT_H_
+#define D3T_CORE_OVERLAY_DOT_H_
+
+#include <string>
+
+#include "core/overlay.h"
+
+namespace d3t::core {
+
+/// Renders the d3g's connection structure as a Graphviz digraph: one
+/// node per overlay member (the source double-circled), one edge per
+/// connection, labeled with the number of items riding on it. Paste the
+/// output into `dot -Tsvg` to visualize what LeLA built.
+std::string ConnectionsToDot(const Overlay& overlay);
+
+/// Renders a single item's dissemination tree (the d3t): only members
+/// holding the item appear; edges are labeled with the served tolerance
+/// and altruistic holders (no own interest) are drawn dashed.
+std::string ItemTreeToDot(const Overlay& overlay, ItemId item);
+
+}  // namespace d3t::core
+
+#endif  // D3T_CORE_OVERLAY_DOT_H_

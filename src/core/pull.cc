@@ -1,0 +1,179 @@
+#include "core/pull.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/coherency.h"
+
+namespace d3t::core {
+
+PullEngine::PullEngine(const net::OverlayDelayModel& delays,
+                       const std::vector<InterestSet>& interests,
+                       const std::vector<trace::Trace>& traces,
+                       const PullOptions& options)
+    : delays_(delays),
+      interests_(interests),
+      traces_(traces),
+      options_(options) {}
+
+Result<PullMetrics> PullEngine::Run() {
+  if (interests_.size() + 1 != delays_.member_count()) {
+    return Status::InvalidArgument(
+        "delay model must cover source + all repositories");
+  }
+  if (options_.ttr_min <= 0 || options_.ttr_max < options_.ttr_min) {
+    return Status::InvalidArgument("need 0 < ttr_min <= ttr_max");
+  }
+  if (options_.initial_ttr < options_.ttr_min ||
+      options_.initial_ttr > options_.ttr_max) {
+    return Status::InvalidArgument("initial_ttr outside [ttr_min, ttr_max]");
+  }
+  if (options_.grow_factor < 1.0 || options_.safety <= 0.0) {
+    return Status::InvalidArgument("need grow_factor >= 1 and safety > 0");
+  }
+  sim::SimTime horizon = 0;
+  for (const trace::Trace& trace : traces_) {
+    if (trace.empty()) return Status::InvalidArgument("empty trace");
+    horizon = std::max(horizon, trace.ticks().back().time);
+  }
+  metrics_ = PullMetrics{};
+  metrics_.horizon = horizon;
+
+  // One poll loop and one fidelity tracker per (repository, item).
+  states_.clear();
+  trackers_.clear();
+  item_trackers_.assign(traces_.size(), {});
+  for (size_t i = 0; i < interests_.size(); ++i) {
+    for (const auto& [item, c] : interests_[i]) {
+      if (item >= traces_.size()) {
+        return Status::OutOfRange("interest references unknown item");
+      }
+      PollState state;
+      state.member = static_cast<OverlayIndex>(i + 1);
+      state.item = item;
+      state.c = c;
+      state.ttr = options_.initial_ttr;
+      state.last_value = traces_[item].ticks().front().value;
+      state.tracker = trackers_.size();
+      item_trackers_[item].push_back(trackers_.size());
+      trackers_.emplace_back(c, state.last_value);
+      states_.push_back(state);
+    }
+  }
+
+  // Source value ticks feed the trackers (identical to the push engine).
+  for (ItemId item = 0; item < traces_.size(); ++item) {
+    const auto& ticks = traces_[item].ticks();
+    for (size_t k = 1; k < ticks.size(); ++k) {
+      if (ticks[k].value == ticks[k - 1].value) continue;
+      const double value = ticks[k].value;
+      const std::vector<size_t>& watchers = item_trackers_[item];
+      simulator_.ScheduleAt(ticks[k].time,
+                            [this, &watchers, value](sim::SimTime t) {
+                              for (size_t w : watchers) {
+                                trackers_[w].OnSourceValue(t, value);
+                              }
+                            });
+    }
+  }
+
+  // Kick off the poll loops, staggered inside the first TTR so the
+  // source is not hit by a synchronized thundering herd at t=0.
+  Rng stagger(states_.size() * 0x9E3779B97F4A7C15ULL + 1);
+  for (size_t i = 0; i < states_.size(); ++i) {
+    SchedulePoll(states_[i],
+                 static_cast<sim::SimTime>(stagger.NextBounded(
+                     static_cast<uint64_t>(options_.initial_ttr) + 1)));
+  }
+
+  simulator_.RunUntil(horizon);
+  for (FidelityTracker& tracker : trackers_) tracker.Finalize(horizon);
+
+  metrics_.per_member_loss.assign(interests_.size() + 1, -1.0);
+  metrics_.per_member_loss[kSourceOverlayIndex] = 0.0;
+  std::vector<double> sums(interests_.size() + 1, 0.0);
+  std::vector<size_t> counts(interests_.size() + 1, 0);
+  for (const PollState& state : states_) {
+    sums[state.member] += trackers_[state.tracker].LossPercent();
+    ++counts[state.member];
+  }
+  double total = 0.0;
+  size_t repos = 0;
+  for (size_t m = 1; m < sums.size(); ++m) {
+    if (counts[m] == 0) continue;
+    const double loss = sums[m] / static_cast<double>(counts[m]);
+    metrics_.per_member_loss[m] = loss;
+    total += loss;
+    ++repos;
+  }
+  metrics_.loss_percent =
+      repos > 0 ? total / static_cast<double>(repos) : 0.0;
+  metrics_.wire_messages = metrics_.polls * 2;
+  metrics_.source_utilization =
+      horizon > 0 ? static_cast<double>(source_busy_total_) /
+                        static_cast<double>(horizon)
+                  : 0.0;
+  return metrics_;
+}
+
+void PullEngine::SchedulePoll(PollState& state, sim::SimTime when) {
+  const size_t index = static_cast<size_t>(&state - states_.data());
+  // Request travels repository -> source.
+  const sim::SimTime arrival =
+      when + delays_.Delay(state.member, kSourceOverlayIndex);
+  simulator_.ScheduleAt(arrival, [this, index](sim::SimTime t) {
+    HandleRequestAtSource(t, index);
+  });
+}
+
+void PullEngine::HandleRequestAtSource(sim::SimTime t, size_t state_index) {
+  // Busy-server model at the source: responses are serialized and each
+  // costs comp_delay.
+  const sim::SimTime start = std::max(t, source_busy_until_);
+  const sim::SimTime done = start + options_.comp_delay;
+  source_busy_until_ = done;
+  source_busy_total_ += options_.comp_delay;
+  ++metrics_.polls;
+  // The response carries the source value at service time.
+  simulator_.ScheduleAt(done, [this, state_index](sim::SimTime now) {
+    const PollState& s = states_[state_index];
+    const double value = traces_[s.item].ValueAt(now);
+    const sim::SimTime back =
+        now + delays_.Delay(kSourceOverlayIndex, s.member);
+    simulator_.ScheduleAt(back, [this, state_index, value](sim::SimTime r) {
+      HandleResponse(r, state_index, value);
+    });
+  });
+}
+
+void PullEngine::HandleResponse(sim::SimTime t, size_t state_index,
+                                double value) {
+  PollState& state = states_[state_index];
+  trackers_[state.tracker].OnRepositoryValue(t, value);
+  AdaptTtr(state, t, value);
+  SchedulePoll(state, t + state.ttr);
+}
+
+void PullEngine::AdaptTtr(PollState& state, sim::SimTime now,
+                          double value) {
+  const double change = std::abs(value - state.last_value);
+  const sim::SimTime elapsed = now - state.last_response_time;
+  if (change > 0.0) ++metrics_.changed_polls;
+  if (options_.adaptive && elapsed > 0) {
+    if (change > 0.0) {
+      // Rate-based target: time for the item to drift past c at the
+      // observed rate, derated by the safety factor.
+      const double rate = change / static_cast<double>(elapsed);
+      const double target = options_.safety * state.c / rate;
+      state.ttr = static_cast<sim::SimTime>(std::llround(target));
+    } else {
+      state.ttr = static_cast<sim::SimTime>(std::llround(
+          static_cast<double>(state.ttr) * options_.grow_factor));
+    }
+    state.ttr = std::clamp(state.ttr, options_.ttr_min, options_.ttr_max);
+  }
+  state.last_value = value;
+  state.last_response_time = now;
+}
+
+}  // namespace d3t::core

@@ -1,0 +1,28 @@
+#ifndef D3T_CORE_TYPES_H_
+#define D3T_CORE_TYPES_H_
+
+#include <cstdint>
+
+#include "net/delay_model.h"
+
+namespace d3t::core {
+
+/// Identifier of a dynamic data item (a stock ticker, a sensor, ...).
+/// Items are dense indices into the trace library.
+using ItemId = uint32_t;
+
+inline constexpr ItemId kInvalidItem = UINT32_MAX;
+
+/// Overlay member index; 0 is the source (see net/delay_model.h).
+using net::kInvalidOverlayIndex;
+using net::kSourceOverlayIndex;
+using net::OverlayIndex;
+
+/// A coherency requirement `c`: the maximum tolerated absolute deviation
+/// (in value units, e.g. dollars) between a repository's copy and the
+/// source. Smaller is more stringent. The source itself has c = 0.
+using Coherency = double;
+
+}  // namespace d3t::core
+
+#endif  // D3T_CORE_TYPES_H_

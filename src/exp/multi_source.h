@@ -1,0 +1,51 @@
+#ifndef D3T_EXP_MULTI_SOURCE_H_
+#define D3T_EXP_MULTI_SOURCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "exp/experiment.h"
+
+namespace d3t::exp {
+
+/// Multi-source deployment (paper §4: "the extension to deal with
+/// multiple sources is fairly straightforward"). Data items are
+/// partitioned round-robin across `source_count` sources; each source
+/// roots an independent dissemination graph built by LeLA over the same
+/// repositories, and the per-item trees of different sources coexist on
+/// the shared physical network (the peer-to-peer reading of §8: a
+/// repository can serve item x while being served item y).
+struct MultiSourceConfig {
+  ExperimentConfig base;
+  size_t source_count = 2;
+};
+
+/// Per-source slice of the aggregate result.
+struct SourceSlice {
+  size_t items = 0;
+  uint64_t messages = 0;
+  uint64_t source_checks = 0;
+  double pair_loss_percent = 0.0;
+  uint64_t tracked_pairs = 0;
+};
+
+struct MultiSourceResult {
+  /// Pair-weighted loss of fidelity across all sources' items.
+  double loss_percent = 0.0;
+  uint64_t messages = 0;
+  uint64_t checks = 0;
+  /// Largest per-source check count — the hottest source.
+  uint64_t max_source_checks = 0;
+  std::vector<SourceSlice> per_source;
+};
+
+/// Runs the multi-source experiment: one topology with
+/// `config.source_count` sources, one trace library, round-robin item
+/// ownership, an independent LeLA overlay per source and one engine run
+/// per source; metrics are aggregated pair-weighted.
+Result<MultiSourceResult> RunMultiSource(const MultiSourceConfig& config);
+
+}  // namespace d3t::exp
+
+#endif  // D3T_EXP_MULTI_SOURCE_H_

@@ -1,0 +1,106 @@
+#include "net/delay_model.h"
+
+#include <cmath>
+
+namespace d3t::net {
+
+OverlayDelayModel::OverlayDelayModel(size_t count)
+    : count_(count),
+      delay_(count * count, 0),
+      hops_(count * count, 0),
+      physical_(count, kInvalidNode) {}
+
+Result<OverlayDelayModel> OverlayDelayModel::FromRouting(
+    const Topology& topo, const RoutingTables& routing) {
+  const NodeId source = topo.SourceNode();
+  if (source == kInvalidNode) {
+    return Status::FailedPrecondition("topology must have exactly one source");
+  }
+  return FromRoutingWithSource(topo, routing, source);
+}
+
+Result<OverlayDelayModel> OverlayDelayModel::FromRoutingWithSource(
+    const Topology& topo, const RoutingTables& routing, NodeId source) {
+  if (source >= topo.node_count() ||
+      topo.kind(source) != NodeKind::kSource) {
+    return Status::InvalidArgument("node is not a source");
+  }
+  std::vector<NodeId> members;
+  members.push_back(source);
+  for (NodeId repo : topo.RepositoryNodes()) members.push_back(repo);
+
+  OverlayDelayModel model(members.size());
+  model.physical_ = members;
+  for (OverlayIndex i = 0; i < members.size(); ++i) {
+    if (!routing.HasRow(members[i])) {
+      return Status::FailedPrecondition(
+          "routing row missing for overlay member");
+    }
+    for (OverlayIndex j = 0; j < members.size(); ++j) {
+      model.delay_[model.Idx(i, j)] = routing.Delay(members[i], members[j]);
+      model.hops_[model.Idx(i, j)] = routing.Hops(members[i], members[j]);
+    }
+  }
+  return model;
+}
+
+OverlayDelayModel OverlayDelayModel::Uniform(size_t member_count,
+                                             sim::SimTime delay,
+                                             uint32_t hops) {
+  OverlayDelayModel model(member_count);
+  for (OverlayIndex i = 0; i < member_count; ++i) {
+    for (OverlayIndex j = 0; j < member_count; ++j) {
+      if (i == j) continue;
+      model.delay_[model.Idx(i, j)] = delay;
+      model.hops_[model.Idx(i, j)] = hops;
+    }
+  }
+  return model;
+}
+
+StreamingStats OverlayDelayModel::PairDelayStats() const {
+  StreamingStats stats;
+  for (OverlayIndex i = 0; i < count_; ++i) {
+    for (OverlayIndex j = 0; j < count_; ++j) {
+      if (i == j) continue;
+      stats.Add(static_cast<double>(delay_[Idx(i, j)]));
+    }
+  }
+  return stats;
+}
+
+double OverlayDelayModel::MeanPairHops() const {
+  StreamingStats stats;
+  for (OverlayIndex i = 0; i < count_; ++i) {
+    for (OverlayIndex j = 0; j < count_; ++j) {
+      if (i == j) continue;
+      stats.Add(static_cast<double>(hops_[Idx(i, j)]));
+    }
+  }
+  return stats.mean();
+}
+
+OverlayDelayModel OverlayDelayModel::ScaledToMeanDelay(
+    sim::SimTime target_mean) const {
+  OverlayDelayModel out = *this;
+  const double current = PairDelayStats().mean();
+  if (current <= 0.0 || target_mean <= 0) {
+    for (auto& d : out.delay_) d = 0;
+    if (target_mean <= 0) return out;
+    // Degenerate input model: fall back to a uniform target delay.
+    for (OverlayIndex i = 0; i < count_; ++i) {
+      for (OverlayIndex j = 0; j < count_; ++j) {
+        if (i != j) out.delay_[Idx(i, j)] = target_mean;
+      }
+    }
+    return out;
+  }
+  const double factor = static_cast<double>(target_mean) / current;
+  for (auto& d : out.delay_) {
+    d = static_cast<sim::SimTime>(std::llround(static_cast<double>(d) *
+                                               factor));
+  }
+  return out;
+}
+
+}  // namespace d3t::net

@@ -1,0 +1,88 @@
+#ifndef D3T_NET_DELAY_MODEL_H_
+#define D3T_NET_DELAY_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "net/routing.h"
+#include "net/topology.h"
+#include "sim/time.h"
+
+namespace d3t::net {
+
+/// Compact index of an overlay member (the source plus every repository)
+/// used by the dissemination layer. Index 0 is always the source.
+using OverlayIndex = uint32_t;
+
+inline constexpr OverlayIndex kSourceOverlayIndex = 0;
+inline constexpr OverlayIndex kInvalidOverlayIndex = UINT32_MAX;
+
+/// Pairwise communication delays (and hop counts) between overlay
+/// members, extracted from the physical routing tables. This is the only
+/// view of the network the coherency layer needs: delay(parent, child) is
+/// the full path delay across routers, as in the paper's model.
+class OverlayDelayModel {
+ public:
+  /// Builds the model from a routed topology. `routing` must have valid
+  /// rows for the source and all repositories. The topology must have
+  /// exactly one source; multi-source topologies use the overload below.
+  static Result<OverlayDelayModel> FromRouting(const Topology& topo,
+                                               const RoutingTables& routing);
+
+  /// Multi-source variant: builds the model rooted at `source` (which
+  /// must be one of the topology's source nodes). Repositories are the
+  /// same regardless of the chosen source, so one model per source
+  /// supports per-source dissemination overlays (paper §4's extension).
+  static Result<OverlayDelayModel> FromRoutingWithSource(
+      const Topology& topo, const RoutingTables& routing, NodeId source);
+
+  /// Builds a synthetic model with `member_count` members (including the
+  /// source) and a constant delay/hops everywhere — handy for unit tests
+  /// and controlled experiments.
+  static OverlayDelayModel Uniform(size_t member_count, sim::SimTime delay,
+                                   uint32_t hops = 1);
+
+  size_t member_count() const { return count_; }
+  /// Number of repositories (member_count minus the source).
+  size_t repository_count() const { return count_ - 1; }
+
+  sim::SimTime Delay(OverlayIndex from, OverlayIndex to) const {
+    return delay_[Idx(from, to)];
+  }
+  uint32_t Hops(OverlayIndex from, OverlayIndex to) const {
+    return hops_[Idx(from, to)];
+  }
+
+  /// Physical node backing an overlay member (kInvalidNode for synthetic
+  /// models).
+  NodeId PhysicalNode(OverlayIndex m) const { return physical_[m]; }
+
+  /// Mean/min/max of off-diagonal pair delays (microseconds).
+  StreamingStats PairDelayStats() const;
+
+  /// Mean off-diagonal pair hop count.
+  double MeanPairHops() const;
+
+  /// Returns a copy whose mean pair delay equals `target_mean` (all pair
+  /// delays scaled by a common factor). Used by the communication-delay
+  /// sweeps (Figs. 5 and 7b). A zero target zeroes all delays.
+  OverlayDelayModel ScaledToMeanDelay(sim::SimTime target_mean) const;
+
+ private:
+  explicit OverlayDelayModel(size_t count);
+
+  size_t Idx(OverlayIndex a, OverlayIndex b) const {
+    return static_cast<size_t>(a) * count_ + b;
+  }
+
+  size_t count_ = 0;
+  std::vector<sim::SimTime> delay_;
+  std::vector<uint32_t> hops_;
+  std::vector<NodeId> physical_;
+};
+
+}  // namespace d3t::net
+
+#endif  // D3T_NET_DELAY_MODEL_H_

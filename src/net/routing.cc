@@ -1,0 +1,103 @@
+#include "net/routing.h"
+
+#include <queue>
+
+namespace d3t::net {
+
+namespace {
+constexpr sim::SimTime kInf = sim::kSimTimeMax / 4;
+}  // namespace
+
+RoutingTables::RoutingTables(size_t node_count)
+    : delay_(node_count * node_count, kInf),
+      hops_(node_count * node_count, UINT32_MAX),
+      row_valid_(node_count, false) {}
+
+Result<RoutingTables> RoutingTables::FloydWarshall(const Topology& topo) {
+  const size_t n = topo.node_count();
+  RoutingTables t(n);
+  for (NodeId i = 0; i < n; ++i) {
+    t.delay_[t.Index(i, i)] = 0;
+    t.hops_[t.Index(i, i)] = 0;
+  }
+  for (const Link& link : topo.links()) {
+    // Parallel links: keep the cheapest.
+    if (link.delay < t.delay_[t.Index(link.a, link.b)]) {
+      t.delay_[t.Index(link.a, link.b)] = link.delay;
+      t.delay_[t.Index(link.b, link.a)] = link.delay;
+      t.hops_[t.Index(link.a, link.b)] = 1;
+      t.hops_[t.Index(link.b, link.a)] = 1;
+    }
+  }
+  // Classic triple loop (Floyd & Warshall, as cited by the paper [7]).
+  for (NodeId k = 0; k < n; ++k) {
+    const sim::SimTime* dk = &t.delay_[t.Index(k, 0)];
+    for (NodeId i = 0; i < n; ++i) {
+      const sim::SimTime dik = t.delay_[t.Index(i, k)];
+      if (dik >= kInf) continue;
+      sim::SimTime* di = &t.delay_[t.Index(i, 0)];
+      uint32_t* hi = &t.hops_[t.Index(i, 0)];
+      const uint32_t hik = t.hops_[t.Index(i, k)];
+      const uint32_t* hk = &t.hops_[t.Index(k, 0)];
+      for (NodeId j = 0; j < n; ++j) {
+        const sim::SimTime candidate = dik + dk[j];
+        if (candidate < di[j]) {
+          di[j] = candidate;
+          hi[j] = hik + hk[j];
+        }
+      }
+    }
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    t.row_valid_[i] = true;
+    for (NodeId j = 0; j < n; ++j) {
+      if (t.delay_[t.Index(i, j)] >= kInf) {
+        return Status::FailedPrecondition("topology is disconnected");
+      }
+    }
+  }
+  return t;
+}
+
+void RoutingTables::RunDijkstraFrom(const Topology& topo, NodeId src) {
+  using Item = std::pair<sim::SimTime, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  sim::SimTime* dist = &delay_[Index(src, 0)];
+  uint32_t* hops = &hops_[Index(src, 0)];
+  dist[src] = 0;
+  hops[src] = 0;
+  pq.emplace(0, src);
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    for (const auto& [v, w] : topo.neighbors(u)) {
+      const sim::SimTime nd = d + w;
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        hops[v] = hops[u] + 1;
+        pq.emplace(nd, v);
+      }
+    }
+  }
+  row_valid_[src] = true;
+}
+
+Result<RoutingTables> RoutingTables::DijkstraRows(
+    const Topology& topo, const std::vector<NodeId>& rows) {
+  RoutingTables t(topo.node_count());
+  for (NodeId src : rows) {
+    if (src >= topo.node_count()) {
+      return Status::OutOfRange("dijkstra row out of range");
+    }
+    t.RunDijkstraFrom(topo, src);
+    for (NodeId j = 0; j < topo.node_count(); ++j) {
+      if (t.delay_[t.Index(src, j)] >= kInf) {
+        return Status::FailedPrecondition("topology is disconnected");
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace d3t::net

@@ -1,0 +1,57 @@
+#ifndef D3T_NET_ROUTING_H_
+#define D3T_NET_ROUTING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "net/topology.h"
+#include "sim/time.h"
+
+namespace d3t::net {
+
+/// Dense all-pairs shortest-path tables (delay and hop count). The paper
+/// computes routing tables with Floyd-Warshall; for the 2100-node
+/// scalability runs we provide an equivalent Dijkstra-based computation
+/// restricted to the rows that matter (source + repositories).
+class RoutingTables {
+ public:
+  RoutingTables(size_t node_count);
+
+  sim::SimTime Delay(NodeId from, NodeId to) const {
+    return delay_[Index(from, to)];
+  }
+  uint32_t Hops(NodeId from, NodeId to) const {
+    return hops_[Index(from, to)];
+  }
+
+  /// True when a row was computed (always true for Floyd-Warshall; only
+  /// for requested sources with Dijkstra).
+  bool HasRow(NodeId from) const { return row_valid_[from]; }
+
+  size_t node_count() const { return row_valid_.size(); }
+
+  /// Full Floyd-Warshall APSP exactly as in the paper (O(V^3)).
+  /// Fails if the topology is disconnected.
+  static Result<RoutingTables> FloydWarshall(const Topology& topo);
+
+  /// Runs Dijkstra from each node in `rows` only; other rows stay
+  /// invalid. O(|rows| * E log V) — used for large networks.
+  static Result<RoutingTables> DijkstraRows(const Topology& topo,
+                                            const std::vector<NodeId>& rows);
+
+ private:
+  size_t Index(NodeId from, NodeId to) const {
+    return static_cast<size_t>(from) * row_valid_.size() + to;
+  }
+
+  void RunDijkstraFrom(const Topology& topo, NodeId src);
+
+  std::vector<sim::SimTime> delay_;
+  std::vector<uint32_t> hops_;
+  std::vector<bool> row_valid_;
+};
+
+}  // namespace d3t::net
+
+#endif  // D3T_NET_ROUTING_H_

@@ -1,0 +1,71 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+
+namespace d3t::sim {
+
+uint64_t EventQueue::Schedule(SimTime when, EventFn fn) {
+  assert(when >= 0);
+  const uint64_t seq = next_seq_++;
+  size_t index;
+  if (!free_list_.empty()) {
+    index = free_list_.back();
+    free_list_.pop_back();
+    entries_[index] = Entry{when, seq, std::move(fn), false};
+  } else {
+    index = entries_.size();
+    entries_.push_back(Entry{when, seq, std::move(fn), false});
+  }
+  id_to_index_.emplace(seq, index);
+  heap_.push(HeapItem{when, seq, index});
+  ++live_;
+  return seq;
+}
+
+bool EventQueue::Cancel(uint64_t id) {
+  auto it = id_to_index_.find(id);
+  if (it == id_to_index_.end()) return false;
+  Entry& e = entries_[it->second];
+  if (e.seq != id || e.cancelled) return false;
+  e.cancelled = true;
+  id_to_index_.erase(it);
+  --live_;
+  return true;
+}
+
+void EventQueue::DropDeadTop() const {
+  while (!heap_.empty()) {
+    const HeapItem& top = heap_.top();
+    const Entry& e = entries_[top.index];
+    // Stale if the slot was reused (seq mismatch) or explicitly cancelled.
+    if (e.seq != top.seq || e.cancelled) {
+      heap_.pop();
+    } else {
+      return;
+    }
+  }
+}
+
+SimTime EventQueue::PeekTime() const {
+  DropDeadTop();
+  if (heap_.empty()) return kSimTimeMax;
+  return heap_.top().when;
+}
+
+SimTime EventQueue::RunNext() {
+  DropDeadTop();
+  assert(!heap_.empty());
+  const HeapItem top = heap_.top();
+  heap_.pop();
+  Entry& e = entries_[top.index];
+  EventFn fn = std::move(e.fn);
+  const SimTime when = e.when;
+  e.cancelled = true;  // mark consumed before running (fn may reschedule)
+  id_to_index_.erase(top.seq);
+  free_list_.push_back(top.index);
+  --live_;
+  fn(when);
+  return when;
+}
+
+}  // namespace d3t::sim

@@ -1,0 +1,74 @@
+#ifndef D3T_SIM_EVENT_QUEUE_H_
+#define D3T_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace d3t::sim {
+
+/// Callback executed when an event fires. Receives the firing time.
+using EventFn = std::function<void(SimTime)>;
+
+/// A deterministic min-heap of timed events. Ties in firing time are
+/// broken by insertion sequence so runs are reproducible regardless of
+/// heap internals. Entry slots are recycled through a free list so memory
+/// stays proportional to the number of *pending* events, not the total
+/// ever scheduled.
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `when` (must be >= 0). Returns a
+  /// unique, monotonically increasing event id.
+  uint64_t Schedule(SimTime when, EventFn fn);
+
+  /// Cancels a scheduled event. Returns false if the id already fired,
+  /// was cancelled, or never existed. O(1) amortized (lazy deletion).
+  bool Cancel(uint64_t id);
+
+  bool empty() const { return live_ == 0; }
+  size_t size() const { return live_; }
+
+  /// Time of the earliest live event; kSimTimeMax when empty.
+  SimTime PeekTime() const;
+
+  /// Pops and runs the earliest event; returns its time. Must not be
+  /// called when empty. The callback may schedule further events.
+  SimTime RunNext();
+
+ private:
+  struct Entry {
+    SimTime when;
+    uint64_t seq;
+    EventFn fn;
+    bool cancelled = false;
+  };
+  struct HeapItem {
+    SimTime when;
+    uint64_t seq;
+    size_t index;  // into entries_
+    bool operator>(const HeapItem& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  /// Pops heap items whose entry slot was cancelled or recycled.
+  void DropDeadTop() const;
+
+  std::vector<Entry> entries_;
+  std::vector<size_t> free_list_;
+  std::unordered_map<uint64_t, size_t> id_to_index_;
+  mutable std::priority_queue<HeapItem, std::vector<HeapItem>,
+                              std::greater<HeapItem>>
+      heap_;
+  uint64_t next_seq_ = 0;
+  size_t live_ = 0;
+};
+
+}  // namespace d3t::sim
+
+#endif  // D3T_SIM_EVENT_QUEUE_H_

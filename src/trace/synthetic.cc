@@ -1,0 +1,111 @@
+#include "trace/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace d3t::trace {
+
+double RoundToCents(double value) {
+  return std::round(value * 100.0) / 100.0;
+}
+
+Result<Trace> GenerateSyntheticTrace(const SyntheticTraceOptions& options,
+                                     Rng& rng) {
+  if (options.tick_count == 0) {
+    return Status::InvalidArgument("tick_count must be positive");
+  }
+  if (options.max_price <= options.min_price || options.min_price <= 0.0) {
+    return Status::InvalidArgument("need max_price > min_price > 0");
+  }
+  if (options.mean_interval <= 0) {
+    return Status::InvalidArgument("mean_interval must be positive");
+  }
+
+  const double center = 0.5 * (options.min_price + options.max_price);
+  const double half_width = 0.5 * (options.max_price - options.min_price);
+  double price = options.initial_price > 0.0
+                     ? std::clamp(options.initial_price, options.min_price,
+                                  options.max_price)
+                     : center;
+  price = RoundToCents(price);
+
+  std::vector<Tick> ticks;
+  ticks.reserve(options.tick_count);
+  sim::SimTime now = 0;
+  for (size_t i = 0; i < options.tick_count; ++i) {
+    ticks.push_back(Tick{now, price});
+
+    // Next timestamp: mean interval with uniform jitter, at least 1 us.
+    const double jitter = rng.NextDoubleInRange(-options.interval_jitter,
+                                                options.interval_jitter);
+    sim::SimTime step = std::max<sim::SimTime>(
+        1, static_cast<sim::SimTime>(
+               static_cast<double>(options.mean_interval) * (1.0 + jitter)));
+    if (i == 0 && options.randomize_phase) {
+      // Spread the polling phase of this trace relative to the others.
+      step += static_cast<sim::SimTime>(
+          rng.NextDouble() * static_cast<double>(options.mean_interval));
+    }
+    now += step;
+
+    if (!rng.NextBernoulli(options.move_probability)) continue;
+
+    // Move size: one cent plus exponential extra cents.
+    const double extra =
+        options.mean_extra_cents > 0.0
+            ? std::floor(rng.NextExponential(options.mean_extra_cents))
+            : 0.0;
+    const double move = (1.0 + extra) * 0.01;
+
+    // Direction biased toward the band center (mean reversion).
+    const double displacement =
+        half_width > 0.0 ? (price - center) / half_width : 0.0;
+    const double p_up = 0.5 - 0.5 * options.mean_reversion * displacement;
+    const double direction = rng.NextBernoulli(p_up) ? 1.0 : -1.0;
+
+    price = RoundToCents(price + direction * move);
+    price = std::clamp(price, options.min_price, options.max_price);
+  }
+  return Trace(options.name, std::move(ticks));
+}
+
+const std::vector<TickerPreset>& Table1Presets() {
+  static const std::vector<TickerPreset>* presets =
+      new std::vector<TickerPreset>{
+          {"MSFT", 60.09, 60.85}, {"SUNW", 10.60, 10.99},
+          {"DELL", 27.16, 28.26}, {"QCOM", 40.38, 41.23},
+          {"INTC", 33.66, 34.239}, {"ORCL", 16.51, 17.10},
+      };
+  return *presets;
+}
+
+std::vector<Trace> BuildTraceLibrary(size_t count, size_t ticks_per_trace,
+                                     Rng& rng) {
+  std::vector<Trace> traces;
+  traces.reserve(count);
+  const auto& presets = Table1Presets();
+  for (size_t i = 0; i < count; ++i) {
+    SyntheticTraceOptions options;
+    options.tick_count = ticks_per_trace;
+    if (i < presets.size()) {
+      options.name = presets[i].name;
+      options.min_price = presets[i].min_price;
+      options.max_price = presets[i].max_price;
+    } else {
+      options.name = "SYN" + std::to_string(i);
+      const double level = rng.NextDoubleInRange(5.0, 100.0);
+      const double band = level * rng.NextDoubleInRange(0.01, 0.04);
+      options.min_price = RoundToCents(level - band / 2.0);
+      options.max_price = RoundToCents(level + band / 2.0);
+    }
+    options.move_probability = rng.NextDoubleInRange(0.2, 0.5);
+    options.mean_extra_cents = rng.NextDoubleInRange(0.5, 2.5);
+    Result<Trace> trace = GenerateSyntheticTrace(options, rng);
+    // Library construction uses validated parameter ranges, so generation
+    // cannot fail; assert in debug and skip defensively in release.
+    if (trace.ok()) traces.push_back(std::move(trace).value());
+  }
+  return traces;
+}
+
+}  // namespace d3t::trace

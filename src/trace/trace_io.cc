@@ -1,0 +1,77 @@
+#include "trace/trace_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace d3t::trace {
+
+Status SaveTraceCsv(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << "# " << trace.name() << "\n";
+  char buf[64];
+  for (const Tick& tick : trace.ticks()) {
+    std::snprintf(buf, sizeof(buf), "%lld,%.4f\n",
+                  static_cast<long long>(tick.time), tick.value);
+    out << buf;
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<Trace> ParseTraceCsv(const std::string& content,
+                            const std::string& default_name) {
+  std::istringstream in(content);
+  std::string line;
+  std::string name = default_name;
+  std::vector<Tick> ticks;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Comment line; the first one names the trace.
+      size_t start = line.find_first_not_of("# \t");
+      if (start != std::string::npos && line_no == 1) {
+        name = line.substr(start);
+      }
+      continue;
+    }
+    const size_t comma = line.find(',');
+    if (comma == std::string::npos) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": expected time,value");
+    }
+    char* end = nullptr;
+    const std::string time_str = line.substr(0, comma);
+    const long long t = std::strtoll(time_str.c_str(), &end, 10);
+    if (end == time_str.c_str()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": bad time");
+    }
+    const std::string value_str = line.substr(comma + 1);
+    end = nullptr;
+    const double v = std::strtod(value_str.c_str(), &end);
+    if (end == value_str.c_str()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": bad value");
+    }
+    if (!ticks.empty() && t <= ticks.back().time) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": times must be strictly increasing");
+    }
+    ticks.push_back(Tick{t, v});
+  }
+  return Trace(name, std::move(ticks));
+}
+
+Result<Trace> LoadTraceCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseTraceCsv(buffer.str(), path);
+}
+
+}  // namespace d3t::trace

@@ -1,0 +1,28 @@
+#ifndef D3T_TRACE_TRACE_IO_H_
+#define D3T_TRACE_TRACE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "trace/trace.h"
+
+namespace d3t::trace {
+
+/// Writes a trace as CSV: a `# name` header line followed by
+/// `time_us,value` rows. Overwrites any existing file.
+Status SaveTraceCsv(const Trace& trace, const std::string& path);
+
+/// Reads a trace written by SaveTraceCsv (or hand-made CSV in the same
+/// shape: optional `# name` comment, then `time_us,value` rows with
+/// strictly increasing times).
+Result<Trace> LoadTraceCsv(const std::string& path);
+
+/// Parses CSV content from a string (shared by LoadTraceCsv and tests).
+Result<Trace> ParseTraceCsv(const std::string& content,
+                            const std::string& default_name);
+
+}  // namespace d3t::trace
+
+#endif  // D3T_TRACE_TRACE_IO_H_

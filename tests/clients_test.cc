@@ -1,0 +1,105 @@
+#include "core/clients.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace d3t::core {
+namespace {
+
+TEST(ClientsTest, GeneratesWithinBounds) {
+  ClientWorkloadOptions options;
+  options.repository_count = 50;
+  options.item_count = 10;
+  options.min_clients_per_repository = 2;
+  options.max_clients_per_repository = 6;
+  Rng rng(1);
+  std::vector<Client> clients = GenerateClients(options, rng);
+  ASSERT_GE(clients.size(), 100u);
+  ASSERT_LE(clients.size(), 300u);
+  std::vector<size_t> per_repo(51, 0);
+  for (const Client& client : clients) {
+    ASSERT_GE(client.repository, 1u);
+    ASSERT_LE(client.repository, 50u);
+    EXPECT_LT(client.item, 10u);
+    EXPECT_GE(client.c, 0.01);
+    EXPECT_LE(client.c, 0.999);
+    ++per_repo[client.repository];
+  }
+  for (size_t r = 1; r <= 50; ++r) {
+    EXPECT_GE(per_repo[r], 2u);
+    EXPECT_LE(per_repo[r], 6u);
+  }
+}
+
+TEST(ClientsTest, StringentFractionHonored) {
+  ClientWorkloadOptions options;
+  options.repository_count = 100;
+  options.item_count = 20;
+  options.min_clients_per_repository = 10;
+  options.max_clients_per_repository = 10;
+  options.stringent_fraction = 0.8;
+  Rng rng(2);
+  std::vector<Client> clients = GenerateClients(options, rng);
+  size_t stringent = 0;
+  for (const Client& client : clients) {
+    if (client.c < 0.1) ++stringent;
+  }
+  EXPECT_NEAR(static_cast<double>(stringent) /
+                  static_cast<double>(clients.size()),
+              0.8, 0.05);
+}
+
+TEST(ClientsTest, DeriveTakesMostStringentPerItem) {
+  // Paper §1.2: the repository's requirement is the most stringent
+  // across the clients it serves.
+  std::vector<Client> clients = {
+      {1, 0, 0.5}, {1, 0, 0.05}, {1, 0, 0.3},  // repo 1, item 0
+      {1, 2, 0.2},                             // repo 1, item 2
+      {2, 0, 0.9},                             // repo 2, item 0
+  };
+  std::vector<InterestSet> interests = DeriveInterests(clients, 3);
+  ASSERT_EQ(interests.size(), 3u);
+  EXPECT_DOUBLE_EQ(interests[0].at(0), 0.05);
+  EXPECT_DOUBLE_EQ(interests[0].at(2), 0.2);
+  EXPECT_DOUBLE_EQ(interests[1].at(0), 0.9);
+  EXPECT_TRUE(interests[2].empty());
+}
+
+TEST(ClientsTest, DeriveIgnoresBogusRepositories) {
+  std::vector<Client> clients = {
+      {0, 0, 0.1},                   // the source is not a repository
+      {kInvalidOverlayIndex, 0, 0.1},
+      {7, 0, 0.1},                   // out of range for 3 repositories
+      {2, 1, 0.4},
+  };
+  std::vector<InterestSet> interests = DeriveInterests(clients, 3);
+  EXPECT_TRUE(interests[0].empty());
+  EXPECT_DOUBLE_EQ(interests[1].at(1), 0.4);
+  EXPECT_TRUE(interests[2].empty());
+}
+
+TEST(ClientsTest, DerivedTolerancesQuantized) {
+  ClientWorkloadOptions options;
+  options.repository_count = 20;
+  options.item_count = 5;
+  Rng rng(3);
+  std::vector<Client> clients = GenerateClients(options, rng);
+  std::vector<InterestSet> interests = DeriveInterests(clients, 20);
+  for (const auto& interest : interests) {
+    for (const auto& [item, c] : interest) {
+      (void)item;
+      EXPECT_NEAR(c * 1000.0, std::round(c * 1000.0), 1e-6);
+    }
+  }
+}
+
+TEST(ClientsTest, EmptyItemUniverseYieldsNoClients) {
+  ClientWorkloadOptions options;
+  options.item_count = 0;
+  Rng rng(4);
+  EXPECT_TRUE(GenerateClients(options, rng).empty());
+}
+
+}  // namespace
+}  // namespace d3t::core

@@ -1,0 +1,171 @@
+#include "exp/experiment.h"
+
+#include "gtest/gtest.h"
+
+namespace d3t::exp {
+namespace {
+
+/// CI-scale base config: small but exercises every moving part.
+ExperimentConfig SmallConfig() {
+  ExperimentConfig config;
+  config.repositories = 20;
+  config.routers = 60;
+  config.items = 5;
+  config.ticks = 300;
+  config.coop_degree = 3;
+  config.seed = 1234;
+  return config;
+}
+
+TEST(WorkbenchTest, CreateBuildsSubstrate) {
+  Result<Workbench> bench = Workbench::Create(SmallConfig());
+  ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+  EXPECT_EQ(bench->delays().member_count(), 21u);
+  EXPECT_EQ(bench->traces().size(), 5u);
+  EXPECT_EQ(bench->interests().size(), 20u);
+}
+
+TEST(WorkbenchTest, RejectsDegenerateConfigs) {
+  ExperimentConfig config = SmallConfig();
+  config.repositories = 0;
+  EXPECT_FALSE(Workbench::Create(config).ok());
+  config = SmallConfig();
+  config.ticks = 1;
+  EXPECT_FALSE(Workbench::Create(config).ok());
+}
+
+TEST(WorkbenchTest, RunRejectsMismatchedWorkload) {
+  Result<Workbench> bench = Workbench::Create(SmallConfig());
+  ASSERT_TRUE(bench.ok());
+  ExperimentConfig other = SmallConfig();
+  other.items = 7;
+  EXPECT_TRUE(bench->Run(other).status().IsInvalidArgument());
+}
+
+TEST(WorkbenchTest, RunRejectsUnknownPolicy) {
+  Result<Workbench> bench = Workbench::Create(SmallConfig());
+  ASSERT_TRUE(bench.ok());
+  ExperimentConfig config = SmallConfig();
+  config.policy = "smoke-signals";
+  EXPECT_TRUE(bench->Run(config).status().IsInvalidArgument());
+}
+
+TEST(ExperimentTest, EndToEndRunProducesMetrics) {
+  ExperimentConfig config = SmallConfig();
+  Result<ExperimentResult> result = RunExperiment(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->metrics.messages, 0u);
+  EXPECT_GT(result->metrics.source_updates, 0u);
+  EXPECT_GE(result->metrics.loss_percent, 0.0);
+  EXPECT_LE(result->metrics.loss_percent, 100.0);
+  EXPECT_GT(result->shape.diameter, 1u);
+  EXPECT_EQ(result->effective_degree, 3u);
+  EXPECT_GT(result->mean_pair_delay_ms, 0.0);
+  EXPECT_GT(result->mean_pair_hops, 1.0);
+}
+
+TEST(ExperimentTest, DeterministicForSameSeed) {
+  ExperimentConfig config = SmallConfig();
+  Result<ExperimentResult> a = RunExperiment(config);
+  Result<ExperimentResult> b = RunExperiment(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->metrics.messages, b->metrics.messages);
+  EXPECT_DOUBLE_EQ(a->metrics.loss_percent, b->metrics.loss_percent);
+  EXPECT_EQ(a->shape.diameter, b->shape.diameter);
+}
+
+TEST(ExperimentTest, SeedChangesWorkload) {
+  ExperimentConfig config = SmallConfig();
+  Result<ExperimentResult> a = RunExperiment(config);
+  config.seed = 999;
+  Result<ExperimentResult> b = RunExperiment(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->metrics.messages, b->metrics.messages);
+}
+
+TEST(ExperimentTest, CommDelayScalingHonored) {
+  Result<Workbench> bench = Workbench::Create(SmallConfig());
+  ASSERT_TRUE(bench.ok());
+  ExperimentConfig config = SmallConfig();
+  config.comm_delay_mean_ms = 75.0;
+  Result<ExperimentResult> result = bench->Run(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->mean_pair_delay_ms, 75.0, 1.0);
+  config.comm_delay_mean_ms = -1.0;  // force zero delays
+  Result<ExperimentResult> zero = bench->Run(config);
+  ASSERT_TRUE(zero.ok());
+  EXPECT_DOUBLE_EQ(zero->mean_pair_delay_ms, 0.0);
+}
+
+TEST(ExperimentTest, ControlledCooperationCapsDegree) {
+  Result<Workbench> bench = Workbench::Create(SmallConfig());
+  ASSERT_TRUE(bench.ok());
+  ExperimentConfig config = SmallConfig();
+  config.coop_degree = 100;
+  config.controlled_cooperation = true;
+  config.comm_delay_mean_ms = 25.0;
+  config.comp_delay_ms = 12.5;
+  Result<ExperimentResult> result = bench->Run(config);
+  ASSERT_TRUE(result.ok());
+  // Eq. (2) at the paper's operating point: degree 5, well under the
+  // offered 100.
+  EXPECT_EQ(result->effective_degree, 5u);
+}
+
+TEST(ExperimentTest, DijkstraPathMatchesFloydWarshallMetrics) {
+  ExperimentConfig config = SmallConfig();
+  Result<ExperimentResult> fw = RunExperiment(config);
+  config.use_floyd_warshall = false;
+  Result<ExperimentResult> dj = RunExperiment(config);
+  ASSERT_TRUE(fw.ok());
+  ASSERT_TRUE(dj.ok());
+  // Identical topology and routing result => identical simulation.
+  EXPECT_EQ(fw->metrics.messages, dj->metrics.messages);
+  EXPECT_DOUBLE_EQ(fw->metrics.loss_percent, dj->metrics.loss_percent);
+  EXPECT_DOUBLE_EQ(fw->mean_pair_delay_ms, dj->mean_pair_delay_ms);
+}
+
+TEST(ExperimentTest, AllPoliciesRunOnSharedWorkbench) {
+  Result<Workbench> bench = Workbench::Create(SmallConfig());
+  ASSERT_TRUE(bench.ok());
+  for (const char* policy : {"distributed", "centralized", "eq3-only",
+                             "all-updates", "temporal"}) {
+    ExperimentConfig config = SmallConfig();
+    config.policy = policy;
+    Result<ExperimentResult> result = bench->Run(config);
+    EXPECT_TRUE(result.ok()) << policy;
+  }
+}
+
+TEST(ExperimentTest, StringencyMonotonicallyRaisesTraffic) {
+  // Sweeping T upward on a fixed network must not reduce dissemination
+  // traffic: stringent tolerances filter fewer updates.
+  uint64_t previous = 0;
+  for (double t : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    ExperimentConfig config = SmallConfig();
+    config.stringent_fraction = t;
+    Result<ExperimentResult> result = RunExperiment(config);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result->metrics.messages + result->metrics.messages / 5,
+              previous)
+        << "T=" << t;  // 20% slack: interests are resampled per T
+    previous = result->metrics.messages;
+  }
+}
+
+TEST(ExperimentTest, ShapeMetricsConsistent) {
+  ExperimentConfig config = SmallConfig();
+  Result<ExperimentResult> result = RunExperiment(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->shape.diameter, 2u);
+  EXPECT_GE(result->shape.avg_depth, 1.0);
+  EXPECT_LE(result->shape.avg_depth,
+            static_cast<double>(result->shape.diameter));
+  EXPECT_LE(result->shape.max_dependents, config.coop_degree);
+  EXPECT_GT(result->build_info.demand_edges, 0u);
+}
+
+}  // namespace
+}  // namespace d3t::exp

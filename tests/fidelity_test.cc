@@ -1,0 +1,96 @@
+#include "core/fidelity.h"
+
+#include "gtest/gtest.h"
+
+namespace d3t::core {
+namespace {
+
+TEST(FidelityTest, PerfectSyncIsZeroLoss) {
+  FidelityTracker tracker(0.1, 10.0);
+  tracker.OnSourceValue(100, 10.05);  // within tolerance
+  tracker.Finalize(1000);
+  EXPECT_EQ(tracker.out_of_sync_time(), 0);
+  EXPECT_DOUBLE_EQ(tracker.LossPercent(), 0.0);
+}
+
+TEST(FidelityTest, ViolationWindowMeasured) {
+  FidelityTracker tracker(0.1, 10.0);
+  tracker.OnSourceValue(100, 10.5);       // violated from t=100
+  tracker.OnRepositoryValue(300, 10.5);   // repaired at t=300
+  tracker.Finalize(1000);
+  EXPECT_EQ(tracker.out_of_sync_time(), 200);
+  EXPECT_DOUBLE_EQ(tracker.LossPercent(), 20.0);
+}
+
+TEST(FidelityTest, ViolationUntilEndCounts) {
+  FidelityTracker tracker(0.1, 10.0);
+  tracker.OnSourceValue(900, 11.0);
+  tracker.Finalize(1000);
+  EXPECT_EQ(tracker.out_of_sync_time(), 100);
+  EXPECT_DOUBLE_EQ(tracker.LossPercent(), 10.0);
+}
+
+TEST(FidelityTest, RepeatedViolationsAccumulate) {
+  FidelityTracker tracker(0.1, 10.0);
+  tracker.OnSourceValue(100, 11.0);      // out
+  tracker.OnRepositoryValue(150, 11.0);  // in
+  tracker.OnSourceValue(200, 12.0);      // out
+  tracker.OnRepositoryValue(280, 12.0);  // in
+  tracker.Finalize(1000);
+  EXPECT_EQ(tracker.out_of_sync_time(), 50 + 80);
+}
+
+TEST(FidelityTest, BoundaryIsNotViolation) {
+  FidelityTracker tracker(0.5, 10.0);
+  tracker.OnSourceValue(100, 10.5);  // |diff| == c exactly
+  tracker.Finalize(200);
+  EXPECT_EQ(tracker.out_of_sync_time(), 0);
+}
+
+TEST(FidelityTest, RepoOvershootAlsoViolates) {
+  FidelityTracker tracker(0.1, 10.0);
+  tracker.OnRepositoryValue(100, 10.9);  // repo ahead of source
+  tracker.OnRepositoryValue(200, 10.0);
+  tracker.Finalize(1000);
+  EXPECT_EQ(tracker.out_of_sync_time(), 100);
+}
+
+TEST(FidelityTest, EventsAfterFinalizeIgnored) {
+  FidelityTracker tracker(0.1, 10.0);
+  tracker.Finalize(100);
+  tracker.OnSourceValue(150, 99.0);
+  EXPECT_EQ(tracker.out_of_sync_time(), 0);
+  EXPECT_DOUBLE_EQ(tracker.LossPercent(), 0.0);
+}
+
+TEST(FidelityTest, FinalizeIdempotent) {
+  FidelityTracker tracker(0.1, 10.0);
+  tracker.OnSourceValue(0, 11.0);
+  tracker.Finalize(100);
+  tracker.Finalize(500);
+  EXPECT_EQ(tracker.out_of_sync_time(), 100);
+  EXPECT_DOUBLE_EQ(tracker.LossPercent(), 100.0);
+}
+
+TEST(FidelityTest, ZeroWindowLossIsZero) {
+  FidelityTracker tracker(0.1, 10.0);
+  tracker.Finalize(0);
+  EXPECT_DOUBLE_EQ(tracker.LossPercent(), 0.0);
+}
+
+TEST(FidelityTest, AlternatingProcessesExactIntegral) {
+  // Hand-computed scenario mixing both processes.
+  FidelityTracker tracker(1.0, 0.0);
+  tracker.OnSourceValue(10, 2.0);       // out (diff 2)        [10, ...]
+  tracker.OnSourceValue(20, 0.5);       // in  (diff 0.5)      out 10
+  tracker.OnSourceValue(30, 3.0);       // out (diff 3)
+  tracker.OnRepositoryValue(45, 2.5);   // in  (diff 0.5)      out 15
+  tracker.OnSourceValue(50, 4.0);       // out (diff 1.5)
+  tracker.OnRepositoryValue(70, 4.0);   // in                  out 20
+  tracker.Finalize(100);
+  EXPECT_EQ(tracker.out_of_sync_time(), 10 + 15 + 20);
+  EXPECT_DOUBLE_EQ(tracker.LossPercent(), 45.0);
+}
+
+}  // namespace
+}  // namespace d3t::core

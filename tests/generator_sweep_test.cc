@@ -1,0 +1,102 @@
+// Parameterized sweeps over the random substrate generators: every
+// generated artifact must satisfy its structural contract at every
+// size/seed combination.
+
+#include <tuple>
+
+#include "common/random.h"
+#include "core/lela.h"
+#include "gtest/gtest.h"
+#include "net/delay_model.h"
+#include "net/routing.h"
+#include "net/topology_generator.h"
+
+namespace d3t {
+namespace {
+
+class TopologySweepTest
+    : public testing::TestWithParam<std::tuple<size_t, size_t, uint64_t>> {};
+
+TEST_P(TopologySweepTest, GeneratedNetworksAreWellFormed) {
+  const auto& [routers, repos, seed] = GetParam();
+  Rng rng(seed);
+  net::TopologyGeneratorOptions options;
+  options.router_count = routers;
+  options.repository_count = repos;
+  Result<net::Topology> topo = net::GenerateTopology(options, rng);
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo->node_count(), routers + repos + 1);
+  EXPECT_TRUE(topo->IsConnected());
+  EXPECT_EQ(topo->RepositoryNodes().size(), repos);
+  EXPECT_NE(topo->SourceNode(), net::kInvalidNode);
+  // Spanning tree plus shortcuts.
+  EXPECT_GE(topo->link_count(), topo->node_count() - 1);
+  for (const net::Link& link : topo->links()) {
+    EXPECT_GE(link.delay, sim::Millis(1.5) - 1);  // >= generator minimum
+    EXPECT_NE(link.a, link.b);
+  }
+}
+
+std::string TopologySweepName(
+    const testing::TestParamInfo<TopologySweepTest::ParamType>& info) {
+  return "routers" + std::to_string(std::get<0>(info.param)) + "_repos" +
+         std::to_string(std::get<1>(info.param)) + "_seed" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, TopologySweepTest,
+    testing::Combine(testing::Values(10, 60, 240), testing::Values(4, 20),
+                     testing::Values(1, 99)),
+    TopologySweepName);
+
+class LelaSweepTest
+    : public testing::TestWithParam<
+          std::tuple<size_t, core::InsertionOrder, uint64_t>> {};
+
+TEST_P(LelaSweepTest, EveryConstructionValidates) {
+  const auto& [degree, order, seed] = GetParam();
+  Rng rng(seed);
+  core::InterestOptions workload;
+  workload.repository_count = 35;
+  workload.item_count = 12;
+  auto interests = core::GenerateInterests(workload, rng);
+  auto delays =
+      net::OverlayDelayModel::Uniform(36, sim::Millis(15));
+  core::LelaOptions options;
+  options.coop_degree = degree;
+  options.insertion_order = order;
+  Result<core::LelaResult> built =
+      core::BuildOverlay(delays, interests, 12, options, rng);
+  ASSERT_TRUE(built.ok());
+  EXPECT_TRUE(built->overlay.Validate(degree).ok());
+  // Every stated need is satisfied at the required tolerance or better.
+  for (size_t i = 0; i < interests.size(); ++i) {
+    for (const auto& [item, c] : interests[i]) {
+      const auto m = static_cast<core::OverlayIndex>(i + 1);
+      ASSERT_TRUE(built->overlay.Holds(m, item));
+      EXPECT_LE(built->overlay.Serving(m, item).c_serve, c);
+    }
+  }
+}
+
+std::string LelaSweepName(
+    const testing::TestParamInfo<LelaSweepTest::ParamType>& info) {
+  static const char* const kOrderNames[] = {"stringent", "random", "index"};
+  return "deg" + std::to_string(std::get<0>(info.param)) + "_" +
+         kOrderNames[static_cast<int>(std::get<1>(info.param))] + "_seed" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DegreesOrders, LelaSweepTest,
+    testing::Combine(
+        testing::Values(1, 2, 5, 12, 35),
+        testing::Values(core::InsertionOrder::kStringentFirst,
+                        core::InsertionOrder::kRandom,
+                        core::InsertionOrder::kIndexOrder),
+        testing::Values(5, 6)),
+    LelaSweepName);
+
+}  // namespace
+}  // namespace d3t

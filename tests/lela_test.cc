@@ -1,0 +1,417 @@
+#include "core/lela.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "net/delay_model.h"
+
+namespace d3t::core {
+namespace {
+
+net::OverlayDelayModel UniformDelays(size_t members) {
+  return net::OverlayDelayModel::Uniform(members, sim::Millis(20));
+}
+
+LelaOptions DefaultOptions(size_t degree = 5) {
+  LelaOptions options;
+  options.coop_degree = degree;
+  return options;
+}
+
+TEST(LelaTest, SingleRepositoryServedBySource) {
+  Rng rng(1);
+  std::vector<InterestSet> interests = {{{0, 0.5}, {1, 0.2}}};
+  Result<LelaResult> built = BuildOverlay(UniformDelays(2), interests, 2,
+                                          DefaultOptions(), rng);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const Overlay& overlay = built->overlay;
+  EXPECT_TRUE(overlay.Validate(5).ok());
+  EXPECT_EQ(overlay.Serving(1, 0).parent, kSourceOverlayIndex);
+  EXPECT_EQ(overlay.Serving(1, 1).parent, kSourceOverlayIndex);
+  EXPECT_EQ(overlay.level(1), 1u);
+}
+
+TEST(LelaTest, DegreeOneFormsChain) {
+  Rng rng(2);
+  const size_t repos = 8;
+  std::vector<InterestSet> interests(repos, InterestSet{{0, 0.5}});
+  Result<LelaResult> built = BuildOverlay(UniformDelays(repos + 1),
+                                          interests, 1,
+                                          DefaultOptions(1), rng);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const Overlay& overlay = built->overlay;
+  ASSERT_TRUE(overlay.Validate(1).ok());
+  OverlayShape shape = overlay.ComputeShape();
+  EXPECT_EQ(shape.diameter, repos + 1);  // a chain
+  EXPECT_EQ(shape.max_dependents, 1u);
+  EXPECT_EQ(built->info.levels, repos + 1);
+}
+
+TEST(LelaTest, LargeDegreeFormsStar) {
+  Rng rng(3);
+  const size_t repos = 10;
+  std::vector<InterestSet> interests(repos, InterestSet{{0, 0.5}});
+  Result<LelaResult> built = BuildOverlay(UniformDelays(repos + 1),
+                                          interests, 1,
+                                          DefaultOptions(100), rng);
+  ASSERT_TRUE(built.ok());
+  OverlayShape shape = built->overlay.ComputeShape();
+  EXPECT_EQ(shape.diameter, 2u);  // source serves everyone directly
+  EXPECT_EQ(shape.max_dependents, repos);
+}
+
+TEST(LelaTest, FanoutNeverExceedsDegree) {
+  for (size_t degree : {1u, 2u, 3u, 7u, 20u}) {
+    Rng rng(100 + degree);
+    InterestOptions workload;
+    workload.repository_count = 40;
+    workload.item_count = 10;
+    auto interests = GenerateInterests(workload, rng);
+    Result<LelaResult> built = BuildOverlay(UniformDelays(41), interests, 10,
+                                            DefaultOptions(degree), rng);
+    ASSERT_TRUE(built.ok()) << "degree " << degree;
+    EXPECT_TRUE(built->overlay.Validate(degree).ok()) << "degree " << degree;
+  }
+}
+
+TEST(LelaTest, Eq1HoldsAlongEveryPath) {
+  Rng rng(4);
+  InterestOptions workload;
+  workload.repository_count = 60;
+  workload.item_count = 20;
+  auto interests = GenerateInterests(workload, rng);
+  Result<LelaResult> built = BuildOverlay(UniformDelays(61), interests, 20,
+                                          DefaultOptions(4), rng);
+  ASSERT_TRUE(built.ok());
+  // Validate() checks Eq. (1) edge-by-edge, which implies it holds along
+  // paths by transitivity.
+  EXPECT_TRUE(built->overlay.Validate(4).ok());
+}
+
+TEST(LelaTest, EveryOwnInterestIsHeldAtOwnToleranceOrTighter) {
+  Rng rng(5);
+  InterestOptions workload;
+  workload.repository_count = 50;
+  workload.item_count = 15;
+  auto interests = GenerateInterests(workload, rng);
+  Result<LelaResult> built = BuildOverlay(UniformDelays(51), interests, 15,
+                                          DefaultOptions(3), rng);
+  ASSERT_TRUE(built.ok());
+  const Overlay& overlay = built->overlay;
+  for (size_t i = 0; i < interests.size(); ++i) {
+    const OverlayIndex m = static_cast<OverlayIndex>(i + 1);
+    for (const auto& [item, c] : interests[i]) {
+      ASSERT_TRUE(overlay.Holds(m, item));
+      const ItemServing& s = overlay.Serving(m, item);
+      EXPECT_TRUE(s.own_interest);
+      EXPECT_DOUBLE_EQ(s.c_own, c);
+      EXPECT_LE(s.c_serve, c);
+    }
+  }
+}
+
+TEST(LelaTest, AugmentationRecruitsUninterestedParents) {
+  // Repo A wants item 0 only; repo B wants items 0 and 1. With degree 1
+  // B must hang off A, so A is augmented to carry item 1 it never wanted.
+  Rng rng(6);
+  std::vector<InterestSet> interests = {
+      {{0, 0.05}},           // A: stringent, inserted first
+      {{0, 0.5}, {1, 0.5}},  // B
+  };
+  Result<LelaResult> built = BuildOverlay(UniformDelays(3), interests, 2,
+                                          DefaultOptions(1), rng);
+  ASSERT_TRUE(built.ok());
+  const Overlay& overlay = built->overlay;
+  ASSERT_TRUE(overlay.Validate(1).ok());
+  // A (member 1) holds item 1 purely for B.
+  EXPECT_TRUE(overlay.Holds(1, 1));
+  EXPECT_FALSE(overlay.Serving(1, 1).own_interest);
+  EXPECT_EQ(overlay.Serving(2, 1).parent, 1u);
+  EXPECT_GT(built->info.augmented_edges, 0u);
+}
+
+TEST(LelaTest, AugmentationTightensAncestors) {
+  // A wants item 0 loosely; B wants it stringently. With degree 1 the
+  // chain forces A to tighten its service to satisfy B (the paper: a
+  // repository may receive more updates than it itself needs).
+  Rng rng(7);
+  std::vector<InterestSet> interests = {
+      {{0, 0.9}},   // A, loose — inserted first (stringent-first sorts by
+                    // mean c, so force index order)
+      {{0, 0.05}},  // B, stringent
+  };
+  LelaOptions options = DefaultOptions(1);
+  options.insertion_order = InsertionOrder::kIndexOrder;
+  Result<LelaResult> built =
+      BuildOverlay(UniformDelays(3), interests, 1, options, rng);
+  ASSERT_TRUE(built.ok());
+  const Overlay& overlay = built->overlay;
+  ASSERT_TRUE(overlay.Validate(1).ok());
+  EXPECT_EQ(overlay.Serving(2, 0).parent, 1u);
+  EXPECT_DOUBLE_EQ(overlay.Serving(1, 0).c_serve, 0.05);
+  EXPECT_DOUBLE_EQ(overlay.Serving(1, 0).c_own, 0.9);
+}
+
+TEST(LelaTest, StringentFirstPlacesStringentCloser) {
+  Rng rng(8);
+  // Ten repos with distinct stringencies on one item.
+  std::vector<InterestSet> interests;
+  for (int i = 0; i < 10; ++i) {
+    interests.push_back({{0, 0.05 + 0.09 * i}});
+  }
+  LelaOptions options = DefaultOptions(2);
+  options.insertion_order = InsertionOrder::kStringentFirst;
+  Result<LelaResult> built =
+      BuildOverlay(UniformDelays(11), interests, 1, options, rng);
+  ASSERT_TRUE(built.ok());
+  const Overlay& overlay = built->overlay;
+  // Mean level of the 3 most stringent must not exceed the mean level of
+  // the 3 least stringent.
+  double stringent_level = 0, loose_level = 0;
+  for (int i = 0; i < 3; ++i) {
+    stringent_level += overlay.level(static_cast<OverlayIndex>(i + 1));
+    loose_level += overlay.level(static_cast<OverlayIndex>(10 - i));
+  }
+  EXPECT_LE(stringent_level, loose_level);
+}
+
+TEST(LelaTest, RejectsBadArguments) {
+  Rng rng(9);
+  std::vector<InterestSet> interests = {{{0, 0.5}}};
+  LelaOptions options = DefaultOptions(0);
+  EXPECT_FALSE(
+      BuildOverlay(UniformDelays(2), interests, 1, options, rng).ok());
+  options = DefaultOptions();
+  options.p_window = -0.1;
+  EXPECT_FALSE(
+      BuildOverlay(UniformDelays(2), interests, 1, options, rng).ok());
+  // Unknown item id.
+  std::vector<InterestSet> bad_item = {{{7, 0.5}}};
+  EXPECT_FALSE(
+      BuildOverlay(UniformDelays(2), bad_item, 1, DefaultOptions(), rng)
+          .ok());
+  // Non-positive tolerance.
+  std::vector<InterestSet> bad_c = {{{0, 0.0}}};
+  EXPECT_FALSE(
+      BuildOverlay(UniformDelays(2), bad_c, 1, DefaultOptions(), rng).ok());
+  // Delay model too small.
+  EXPECT_FALSE(
+      BuildOverlay(UniformDelays(1), interests, 1, DefaultOptions(), rng)
+          .ok());
+}
+
+TEST(LelaTest, PreferenceP2IgnoresAvailability) {
+  // Two candidate parents at level 1: one rich in data but slightly more
+  // loaded. P1 (availability-aware) and P2 can pick different parents;
+  // here we only assert both produce valid overlays.
+  Rng rng(10);
+  InterestOptions workload;
+  workload.repository_count = 30;
+  workload.item_count = 10;
+  auto interests = GenerateInterests(workload, rng);
+  for (PreferenceFunction pref :
+       {PreferenceFunction::kP1, PreferenceFunction::kP2}) {
+    LelaOptions options = DefaultOptions(3);
+    options.preference = pref;
+    Rng build_rng(11);
+    Result<LelaResult> built =
+        BuildOverlay(UniformDelays(31), interests, 10, options, build_rng);
+    ASSERT_TRUE(built.ok());
+    EXPECT_TRUE(built->overlay.Validate(3).ok());
+  }
+}
+
+TEST(LelaTest, WideWindowAllowsMultipleParents) {
+  Rng rng(12);
+  InterestOptions workload;
+  workload.repository_count = 50;
+  workload.item_count = 20;
+  auto interests = GenerateInterests(workload, rng);
+  LelaOptions narrow = DefaultOptions(4);
+  narrow.p_window = 0.0;
+  LelaOptions wide = DefaultOptions(4);
+  wide.p_window = 5.0;  // effectively everyone in the window
+  Rng rng_a(13), rng_b(13);
+  Result<LelaResult> built_narrow =
+      BuildOverlay(UniformDelays(51), interests, 20, narrow, rng_a);
+  Result<LelaResult> built_wide =
+      BuildOverlay(UniformDelays(51), interests, 20, wide, rng_b);
+  ASSERT_TRUE(built_narrow.ok());
+  ASSERT_TRUE(built_wide.ok());
+  EXPECT_TRUE(built_narrow->overlay.Validate(4).ok());
+  EXPECT_TRUE(built_wide->overlay.Validate(4).ok());
+  EXPECT_GE(built_wide->info.multi_parent_repositories,
+            built_narrow->info.multi_parent_repositories);
+}
+
+TEST(LelaTest, DeterministicGivenSeed) {
+  InterestOptions workload;
+  workload.repository_count = 40;
+  workload.item_count = 10;
+  Rng w1(14), w2(14);
+  auto interests1 = GenerateInterests(workload, w1);
+  auto interests2 = GenerateInterests(workload, w2);
+  Rng b1(15), b2(15);
+  Result<LelaResult> r1 = BuildOverlay(UniformDelays(41), interests1, 10,
+                                       DefaultOptions(3), b1);
+  Result<LelaResult> r2 = BuildOverlay(UniformDelays(41), interests2, 10,
+                                       DefaultOptions(3), b2);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  for (OverlayIndex m = 0; m < r1->overlay.member_count(); ++m) {
+    EXPECT_EQ(r1->overlay.level(m), r2->overlay.level(m));
+    EXPECT_EQ(r1->overlay.ConnectionChildren(m),
+              r2->overlay.ConnectionChildren(m));
+  }
+}
+
+TEST(LelaTest, PerMemberDegreesRespected) {
+  // Paper §4: each repository specifies *its own* degree of cooperation.
+  Rng rng(30);
+  InterestOptions workload;
+  workload.repository_count = 25;
+  workload.item_count = 6;
+  auto interests = GenerateInterests(workload, rng);
+  LelaOptions options = DefaultOptions(0);
+  options.insertion_order = InsertionOrder::kIndexOrder;
+  options.per_member_degree.assign(26, 0);
+  options.per_member_degree[0] = 4;  // the source
+  for (OverlayIndex m = 1; m <= 25; ++m) {
+    // The first twelve joiners are altruistic, the rest selfish; index
+    // insertion order keeps the capacity frontier reachable.
+    options.per_member_degree[m] = (m <= 12) ? 3 : 0;
+  }
+  Result<LelaResult> built =
+      BuildOverlay(UniformDelays(26), interests, 6, options, rng);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const Overlay& overlay = built->overlay;
+  for (OverlayIndex m = 0; m < overlay.member_count(); ++m) {
+    EXPECT_LE(overlay.ConnectionChildren(m).size(),
+              options.per_member_degree[m])
+        << "member " << m;
+  }
+  // Selfish members (degree 0) never serve anyone but are still served.
+  for (size_t i = 0; i < interests.size(); ++i) {
+    const OverlayIndex m = static_cast<OverlayIndex>(i + 1);
+    for (const auto& [item, c] : interests[i]) {
+      EXPECT_TRUE(overlay.Holds(m, item));
+    }
+  }
+}
+
+TEST(LelaTest, PerMemberDegreeValidation) {
+  Rng rng(31);
+  std::vector<InterestSet> interests = {{{0, 0.5}}};
+  LelaOptions options = DefaultOptions(5);
+  options.per_member_degree = {1};  // wrong size (needs 2)
+  EXPECT_FALSE(
+      BuildOverlay(UniformDelays(2), interests, 1, options, rng).ok());
+  options.per_member_degree = {0, 5};  // source offers nothing
+  EXPECT_FALSE(
+      BuildOverlay(UniformDelays(2), interests, 1, options, rng).ok());
+}
+
+TEST(LelaTest, AllSelfishRepositoriesFallBackToSource) {
+  // When no repository cooperates, everyone must hang off the source —
+  // until its capacity runs out.
+  Rng rng(32);
+  std::vector<InterestSet> interests(5, InterestSet{{0, 0.5}});
+  LelaOptions options = DefaultOptions(0);
+  options.per_member_degree.assign(6, 0);
+  options.per_member_degree[0] = 5;
+  Result<LelaResult> built =
+      BuildOverlay(UniformDelays(6), interests, 1, options, rng);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built->overlay.ConnectionChildren(0).size(), 5u);
+  // With less capacity than repositories, construction fails loudly.
+  options.per_member_degree[0] = 4;
+  Rng rng2(32);
+  EXPECT_TRUE(BuildOverlay(UniformDelays(6), interests, 1, options, rng2)
+                  .status()
+                  .IsCapacityExhausted());
+}
+
+TEST(IncrementalLelaTest, JoinOneAtATimeMatchesBatchBuild) {
+  Rng rng(40);
+  InterestOptions workload;
+  workload.repository_count = 20;
+  workload.item_count = 6;
+  auto interests = GenerateInterests(workload, rng);
+  auto delays = UniformDelays(21);
+  LelaOptions options = DefaultOptions(3);
+  options.insertion_order = InsertionOrder::kIndexOrder;
+
+  Rng batch_rng(41);
+  Result<LelaResult> batch =
+      BuildOverlay(delays, interests, 6, options, batch_rng);
+  ASSERT_TRUE(batch.ok());
+
+  Rng inc_rng(41);
+  IncrementalLela incremental(delays, 6, options, inc_rng);
+  for (OverlayIndex m = 1; m <= 20; ++m) {
+    ASSERT_TRUE(incremental.Join(m, interests[m - 1]).ok()) << m;
+    EXPECT_TRUE(incremental.HasJoined(m));
+  }
+  // Same joins in the same order with the same seed => identical d3g.
+  for (OverlayIndex m = 0; m <= 20; ++m) {
+    EXPECT_EQ(incremental.overlay().level(m), batch->overlay.level(m));
+    EXPECT_EQ(incremental.overlay().ConnectionChildren(m),
+              batch->overlay.ConnectionChildren(m));
+  }
+  EXPECT_EQ(incremental.info().levels, batch->info.levels);
+}
+
+TEST(IncrementalLelaTest, LateJoinerServedByLiveNetwork) {
+  Rng rng(42);
+  auto delays = UniformDelays(6);
+  LelaOptions options = DefaultOptions(2);
+  IncrementalLela lela(delays, 2, options, rng);
+  ASSERT_TRUE(lela.Join(1, {{0, 0.05}}).ok());
+  ASSERT_TRUE(lela.Join(2, {{0, 0.3}, {1, 0.2}}).ok());
+  ASSERT_TRUE(lela.overlay().Validate(2).ok());
+  // A repository joining later still finds a parent and its items.
+  ASSERT_TRUE(lela.Join(5, {{0, 0.9}, {1, 0.8}}).ok());
+  EXPECT_TRUE(lela.overlay().Holds(5, 0));
+  EXPECT_TRUE(lela.overlay().Holds(5, 1));
+  EXPECT_TRUE(lela.overlay().Validate(2).ok());
+  // Members 3 and 4 never joined; they hold nothing.
+  EXPECT_FALSE(lela.HasJoined(3));
+  EXPECT_FALSE(lela.overlay().Holds(3, 0));
+}
+
+TEST(IncrementalLelaTest, RejectsDuplicatesAndBadMembers) {
+  Rng rng(43);
+  auto delays = UniformDelays(3);
+  IncrementalLela lela(delays, 1, DefaultOptions(2), rng);
+  ASSERT_TRUE(lela.Join(1, {{0, 0.5}}).ok());
+  EXPECT_TRUE(lela.Join(1, {{0, 0.5}}).IsAlreadyExists());
+  EXPECT_TRUE(lela.Join(0, {{0, 0.5}}).IsOutOfRange());  // the source
+  EXPECT_TRUE(lela.Join(9, {{0, 0.5}}).IsOutOfRange());
+  EXPECT_TRUE(lela.Join(2, {{7, 0.5}}).IsOutOfRange());  // unknown item
+  EXPECT_FALSE(lela.HasJoined(2));
+}
+
+TEST(IncrementalLelaTest, BadOptionsSurfaceOnJoin) {
+  Rng rng(44);
+  auto delays = UniformDelays(3);
+  LelaOptions options = DefaultOptions(0);  // invalid degree
+  IncrementalLela lela(delays, 1, options, rng);
+  EXPECT_TRUE(lela.Join(1, {{0, 0.5}}).IsInvalidArgument());
+}
+
+TEST(LelaTest, EmptyInterestPlacedAsLeaf) {
+  Rng rng(16);
+  std::vector<InterestSet> interests = {{}, {{0, 0.5}}};
+  LelaOptions options = DefaultOptions(2);
+  options.insertion_order = InsertionOrder::kIndexOrder;
+  Result<LelaResult> built =
+      BuildOverlay(UniformDelays(3), interests, 1, options, rng);
+  ASSERT_TRUE(built.ok());
+  EXPECT_TRUE(built->overlay.ConnectionParents(1).empty());
+  EXPECT_TRUE(built->overlay.Validate(2).ok());
+  // The data-needing repo is still served.
+  EXPECT_TRUE(built->overlay.Holds(2, 0));
+}
+
+}  // namespace
+}  // namespace d3t::core

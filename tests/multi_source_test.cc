@@ -1,0 +1,118 @@
+#include "exp/multi_source.h"
+
+#include "gtest/gtest.h"
+#include "net/topology_generator.h"
+
+namespace d3t::exp {
+namespace {
+
+ExperimentConfig SmallBase() {
+  ExperimentConfig base;
+  base.repositories = 20;
+  base.routers = 60;
+  base.items = 8;
+  base.ticks = 300;
+  base.coop_degree = 3;
+  base.seed = 77;
+  return base;
+}
+
+TEST(MultiSourceTest, GeneratorPlacesAllSources) {
+  net::TopologyGeneratorOptions options;
+  options.router_count = 40;
+  options.repository_count = 10;
+  options.source_count = 3;
+  Rng rng(1);
+  Result<net::Topology> topo = net::GenerateTopology(options, rng);
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo->SourceNodes().size(), 3u);
+  // SourceNode() (singular) refuses ambiguity.
+  EXPECT_EQ(topo->SourceNode(), net::kInvalidNode);
+  EXPECT_TRUE(topo->IsConnected());
+}
+
+TEST(MultiSourceTest, SingleSourceMatchesStandardPipeline) {
+  MultiSourceConfig config;
+  config.base = SmallBase();
+  config.source_count = 1;
+  Result<MultiSourceResult> result = RunMultiSource(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->messages, 0u);
+  EXPECT_EQ(result->per_source.size(), 1u);
+  EXPECT_EQ(result->per_source[0].items, 8u);
+  EXPECT_GE(result->loss_percent, 0.0);
+}
+
+TEST(MultiSourceTest, ItemsPartitionedAcrossSources) {
+  MultiSourceConfig config;
+  config.base = SmallBase();
+  config.source_count = 3;
+  Result<MultiSourceResult> result = RunMultiSource(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->per_source.size(), 3u);
+  size_t items = 0;
+  uint64_t pairs = 0;
+  for (const SourceSlice& slice : result->per_source) {
+    items += slice.items;
+    pairs += slice.tracked_pairs;
+  }
+  EXPECT_EQ(items, 8u);
+  EXPECT_GT(pairs, 0u);
+}
+
+TEST(MultiSourceTest, SpreadingSourcesSpreadsSourceLoad) {
+  MultiSourceConfig single;
+  single.base = SmallBase();
+  single.base.items = 12;
+  single.source_count = 1;
+  MultiSourceConfig quad = single;
+  quad.source_count = 4;
+  Result<MultiSourceResult> single_result = RunMultiSource(single);
+  Result<MultiSourceResult> quad_result = RunMultiSource(quad);
+  ASSERT_TRUE(single_result.ok());
+  ASSERT_TRUE(quad_result.ok());
+  // The hottest source in the 4-source system does well under the
+  // single source's check volume.
+  EXPECT_LT(quad_result->max_source_checks,
+            single_result->max_source_checks);
+}
+
+TEST(MultiSourceTest, RejectsBadConfigs) {
+  MultiSourceConfig config;
+  config.base = SmallBase();
+  config.source_count = 0;
+  EXPECT_FALSE(RunMultiSource(config).ok());
+  config.source_count = 1;
+  config.base.ticks = 1;
+  EXPECT_FALSE(RunMultiSource(config).ok());
+  config = MultiSourceConfig{};
+  config.base = SmallBase();
+  config.base.policy = "nonsense";
+  EXPECT_FALSE(RunMultiSource(config).ok());
+}
+
+TEST(MultiSourceTest, DeterministicForSeed) {
+  MultiSourceConfig config;
+  config.base = SmallBase();
+  config.source_count = 2;
+  Result<MultiSourceResult> a = RunMultiSource(config);
+  Result<MultiSourceResult> b = RunMultiSource(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->messages, b->messages);
+  EXPECT_DOUBLE_EQ(a->loss_percent, b->loss_percent);
+}
+
+TEST(MultiSourceTest, AllPoliciesSupported) {
+  for (const char* policy :
+       {"distributed", "centralized", "eq3-only", "all-updates"}) {
+    MultiSourceConfig config;
+    config.base = SmallBase();
+    config.base.policy = policy;
+    config.source_count = 2;
+    EXPECT_TRUE(RunMultiSource(config).ok()) << policy;
+  }
+}
+
+}  // namespace
+}  // namespace d3t::exp

@@ -1,0 +1,181 @@
+// Tests for overlay dynamics: graceful repository departure
+// (Overlay::RemoveMember) and re-running LeLA when needs change — the
+// paper's §4 note that changed requirements reapply the algorithm.
+
+#include "core/engine.h"
+#include "core/lela.h"
+#include "gtest/gtest.h"
+#include "trace/synthetic.h"
+
+namespace d3t::core {
+namespace {
+
+/// source -> 1 -> 2 -> 3 chain on one item, loosening tolerances.
+Overlay MakeChain() {
+  Overlay overlay(4, 1);
+  overlay.SetServing(0, 0, 0.0, kInvalidOverlayIndex);
+  overlay.SetOwnInterest(1, 0, 0.1);
+  overlay.AddItemEdge(0, 1, 0, 0.1);
+  overlay.SetOwnInterest(2, 0, 0.2);
+  overlay.AddItemEdge(1, 2, 0, 0.2);
+  overlay.SetOwnInterest(3, 0, 0.3);
+  overlay.AddItemEdge(2, 3, 0, 0.3);
+  return overlay;
+}
+
+TEST(RemoveMemberTest, ReparentsDependentsToGrandparent) {
+  Overlay overlay = MakeChain();
+  ASSERT_TRUE(overlay.RemoveMember(2).ok());
+  // 3 is now served by 1 at its old tolerance.
+  EXPECT_TRUE(overlay.Holds(3, 0));
+  EXPECT_EQ(overlay.Serving(3, 0).parent, 1u);
+  EXPECT_DOUBLE_EQ(overlay.Serving(3, 0).c_serve, 0.3);
+  // 2 holds nothing and has no connections.
+  EXPECT_FALSE(overlay.Holds(2, 0));
+  EXPECT_TRUE(overlay.ConnectionChildren(2).empty());
+  EXPECT_TRUE(overlay.ConnectionParents(2).empty());
+  EXPECT_EQ(overlay.level(2), Overlay::kInvalidLevel);
+  EXPECT_TRUE(overlay.Validate().ok());
+}
+
+TEST(RemoveMemberTest, RemovingLeafIsClean) {
+  Overlay overlay = MakeChain();
+  ASSERT_TRUE(overlay.RemoveMember(3).ok());
+  EXPECT_TRUE(overlay.Validate().ok());
+  // 2 no longer lists 3 anywhere.
+  for (const ItemEdge& e : overlay.Serving(2, 0).children) {
+    EXPECT_NE(e.child, 3u);
+  }
+  EXPECT_TRUE(overlay.ConnectionChildren(2).empty());
+}
+
+TEST(RemoveMemberTest, RejectsSourceAndUnknown) {
+  Overlay overlay = MakeChain();
+  EXPECT_TRUE(overlay.RemoveMember(0).IsInvalidArgument());
+  EXPECT_TRUE(overlay.RemoveMember(99).IsOutOfRange());
+}
+
+TEST(RemoveMemberTest, RemovalIsIdempotentOnEmptyMember) {
+  Overlay overlay = MakeChain();
+  ASSERT_TRUE(overlay.RemoveMember(3).ok());
+  EXPECT_TRUE(overlay.RemoveMember(3).ok());  // nothing left to do
+  EXPECT_TRUE(overlay.Validate().ok());
+}
+
+TEST(RemoveMemberTest, MultiItemRelayRemoval) {
+  // Member 1 relays two items to different children; removal must fix
+  // both item trees.
+  Overlay overlay(4, 2);
+  overlay.SetServing(0, 0, 0.0, kInvalidOverlayIndex);
+  overlay.SetServing(0, 1, 0.0, kInvalidOverlayIndex);
+  overlay.SetOwnInterest(1, 0, 0.1);
+  overlay.AddItemEdge(0, 1, 0, 0.1);
+  overlay.SetOwnInterest(1, 1, 0.1);
+  overlay.AddItemEdge(0, 1, 1, 0.1);
+  overlay.SetOwnInterest(2, 0, 0.5);
+  overlay.AddItemEdge(1, 2, 0, 0.5);
+  overlay.SetOwnInterest(3, 1, 0.4);
+  overlay.AddItemEdge(1, 3, 1, 0.4);
+  ASSERT_TRUE(overlay.Validate().ok());
+
+  ASSERT_TRUE(overlay.RemoveMember(1).ok());
+  EXPECT_TRUE(overlay.Validate().ok());
+  EXPECT_EQ(overlay.Serving(2, 0).parent, 0u);
+  EXPECT_EQ(overlay.Serving(3, 1).parent, 0u);
+  EXPECT_FALSE(overlay.Holds(1, 0));
+  EXPECT_FALSE(overlay.Holds(1, 1));
+}
+
+TEST(RemoveMemberTest, RandomOverlaySurvivesCascadeOfRemovals) {
+  Rng rng(21);
+  InterestOptions workload;
+  workload.repository_count = 30;
+  workload.item_count = 8;
+  auto interests = GenerateInterests(workload, rng);
+  auto delays = net::OverlayDelayModel::Uniform(31, sim::Millis(10));
+  LelaOptions options;
+  options.coop_degree = 3;
+  Result<LelaResult> built =
+      BuildOverlay(delays, interests, 8, options, rng);
+  ASSERT_TRUE(built.ok());
+  Overlay overlay = std::move(built->overlay);
+
+  // Remove a third of the repositories, validating after each step.
+  for (OverlayIndex m = 2; m <= 30; m += 3) {
+    ASSERT_TRUE(overlay.RemoveMember(m).ok()) << "member " << m;
+    ASSERT_TRUE(overlay.Validate().ok()) << "after removing " << m;
+  }
+  // Remaining members still hold every own-interest item.
+  for (size_t i = 0; i < interests.size(); ++i) {
+    const OverlayIndex m = static_cast<OverlayIndex>(i + 1);
+    if ((m - 2) % 3 == 0 && m >= 2) continue;  // removed
+    for (const auto& [item, c] : interests[i]) {
+      EXPECT_TRUE(overlay.Holds(m, item)) << "member " << m;
+    }
+  }
+}
+
+TEST(RemoveMemberTest, DisseminationStillPerfectAfterDeparture) {
+  // Zero-delay fidelity must remain 100% after a relay departs.
+  Rng rng(22);
+  InterestOptions workload;
+  workload.repository_count = 12;
+  workload.item_count = 3;
+  auto interests = GenerateInterests(workload, rng);
+  auto delays = net::OverlayDelayModel::Uniform(13, 0);
+  LelaOptions options;
+  options.coop_degree = 2;
+  Result<LelaResult> built =
+      BuildOverlay(delays, interests, 3, options, rng);
+  ASSERT_TRUE(built.ok());
+  Overlay overlay = std::move(built->overlay);
+  ASSERT_TRUE(overlay.RemoveMember(1).ok());
+  ASSERT_TRUE(overlay.RemoveMember(5).ok());
+  ASSERT_TRUE(overlay.Validate().ok());
+
+  std::vector<trace::Trace> traces;
+  for (int i = 0; i < 3; ++i) {
+    trace::SyntheticTraceOptions trace_options;
+    trace_options.tick_count = 300;
+    traces.push_back(
+        std::move(trace::GenerateSyntheticTrace(trace_options, rng))
+            .value());
+  }
+  DistributedDisseminator policy;
+  EngineOptions engine_options;
+  engine_options.comp_delay = 0;
+  Engine engine(overlay, delays, traces, policy, engine_options);
+  Result<EngineMetrics> metrics = engine.Run();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_DOUBLE_EQ(metrics->loss_percent, 0.0);
+}
+
+TEST(ReapplyLelaTest, ChangedNeedsRebuildCleanly) {
+  // The paper's handling of changed requirements: reapply the algorithm.
+  Rng rng(23);
+  InterestOptions workload;
+  workload.repository_count = 15;
+  workload.item_count = 5;
+  auto interests = GenerateInterests(workload, rng);
+  auto delays = net::OverlayDelayModel::Uniform(16, sim::Millis(10));
+  LelaOptions options;
+  options.coop_degree = 3;
+  Rng build1(1);
+  Result<LelaResult> before =
+      BuildOverlay(delays, interests, 5, options, build1);
+  ASSERT_TRUE(before.ok());
+
+  // Tighten one repository's tolerances and rebuild.
+  for (auto& [item, c] : interests[4]) c = 0.01;
+  Rng build2(1);
+  Result<LelaResult> after =
+      BuildOverlay(delays, interests, 5, options, build2);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->overlay.Validate(3).ok());
+  for (const auto& [item, c] : interests[4]) {
+    EXPECT_LE(after->overlay.Serving(5, item).c_serve, 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace d3t::core

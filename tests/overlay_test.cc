@@ -1,0 +1,191 @@
+#include "core/overlay.h"
+
+#include "core/overlay_dot.h"
+#include "gtest/gtest.h"
+
+namespace d3t::core {
+namespace {
+
+/// Small helper: source (0) serving everything at c=0.
+Overlay MakeOverlay(size_t members, size_t items) {
+  Overlay overlay(members, items);
+  for (ItemId item = 0; item < items; ++item) {
+    overlay.SetServing(kSourceOverlayIndex, item, 0.0, kInvalidOverlayIndex);
+  }
+  return overlay;
+}
+
+TEST(OverlayTest, EmptyOverlayValidates) {
+  Overlay overlay = MakeOverlay(3, 2);
+  EXPECT_TRUE(overlay.Validate().ok());
+  EXPECT_FALSE(overlay.Holds(1, 0));
+  EXPECT_TRUE(overlay.Holds(0, 0));
+}
+
+TEST(OverlayTest, AddEdgeCreatesHoldingAndConnection) {
+  Overlay overlay = MakeOverlay(3, 2);
+  overlay.SetOwnInterest(1, 0, 0.5);
+  overlay.AddItemEdge(0, 1, 0, 0.5);
+  EXPECT_TRUE(overlay.Holds(1, 0));
+  const ItemServing& s = overlay.Serving(1, 0);
+  EXPECT_EQ(s.parent, 0u);
+  EXPECT_DOUBLE_EQ(s.c_serve, 0.5);
+  EXPECT_TRUE(s.own_interest);
+  EXPECT_DOUBLE_EQ(s.c_own, 0.5);
+  ASSERT_EQ(overlay.ConnectionChildren(0).size(), 1u);
+  EXPECT_EQ(overlay.ConnectionChildren(0)[0], 1u);
+  ASSERT_EQ(overlay.ConnectionParents(1).size(), 1u);
+  EXPECT_TRUE(overlay.Validate().ok());
+}
+
+TEST(OverlayTest, ConnectionSharedAcrossItems) {
+  Overlay overlay = MakeOverlay(3, 3);
+  for (ItemId item = 0; item < 3; ++item) {
+    overlay.SetOwnInterest(1, item, 0.2);
+    overlay.AddItemEdge(0, 1, item, 0.2);
+  }
+  // One connection, three item edges (a connection is one push channel
+  // regardless of item count — paper §6.3.3).
+  EXPECT_EQ(overlay.ConnectionChildren(0).size(), 1u);
+  EXPECT_EQ(overlay.ItemsHeldBy(1).size(), 3u);
+  EXPECT_TRUE(overlay.Validate(1).ok());
+}
+
+TEST(OverlayTest, ChainValidatesAndShape) {
+  Overlay overlay = MakeOverlay(4, 1);
+  // 0 -> 1 -> 2 -> 3 with loosening tolerances.
+  overlay.SetOwnInterest(1, 0, 0.1);
+  overlay.AddItemEdge(0, 1, 0, 0.1);
+  overlay.SetOwnInterest(2, 0, 0.2);
+  overlay.AddItemEdge(1, 2, 0, 0.2);
+  overlay.SetOwnInterest(3, 0, 0.3);
+  overlay.AddItemEdge(2, 3, 0, 0.3);
+  ASSERT_TRUE(overlay.Validate(1).ok());
+  OverlayShape shape = overlay.ComputeShape();
+  EXPECT_EQ(shape.diameter, 4u);  // source + 3 repositories
+  EXPECT_DOUBLE_EQ(shape.avg_depth, 2.0);  // (1+2+3)/3
+  EXPECT_DOUBLE_EQ(shape.avg_dependents, 1.0);
+  EXPECT_EQ(shape.max_dependents, 1u);
+}
+
+TEST(OverlayTest, StarShape) {
+  Overlay overlay = MakeOverlay(5, 1);
+  for (OverlayIndex m = 1; m < 5; ++m) {
+    overlay.SetOwnInterest(m, 0, 0.5);
+    overlay.AddItemEdge(0, m, 0, 0.5);
+  }
+  ASSERT_TRUE(overlay.Validate(4).ok());
+  OverlayShape shape = overlay.ComputeShape();
+  EXPECT_EQ(shape.diameter, 2u);
+  EXPECT_DOUBLE_EQ(shape.avg_depth, 1.0);
+  EXPECT_EQ(shape.max_dependents, 4u);
+}
+
+TEST(OverlayTest, ValidateCatchesEq1Violation) {
+  Overlay overlay = MakeOverlay(3, 1);
+  overlay.SetOwnInterest(1, 0, 0.5);
+  overlay.AddItemEdge(0, 1, 0, 0.5);
+  overlay.SetOwnInterest(2, 0, 0.2);
+  // Child more stringent (0.2) than parent serve tolerance (0.5):
+  // violates Eq. (1).
+  overlay.AddItemEdge(1, 2, 0, 0.2);
+  EXPECT_FALSE(overlay.Validate().ok());
+}
+
+TEST(OverlayTest, ValidateCatchesFanoutExcess) {
+  Overlay overlay = MakeOverlay(4, 1);
+  for (OverlayIndex m = 1; m < 4; ++m) {
+    overlay.SetOwnInterest(m, 0, 0.5);
+    overlay.AddItemEdge(0, m, 0, 0.5);
+  }
+  EXPECT_TRUE(overlay.Validate(3).ok());
+  EXPECT_FALSE(overlay.Validate(2).ok());
+}
+
+TEST(OverlayTest, ValidateCatchesServeLooserThanOwn) {
+  Overlay overlay = MakeOverlay(2, 1);
+  overlay.SetOwnInterest(1, 0, 0.1);
+  overlay.AddItemEdge(0, 1, 0, 0.5);  // served looser than own need
+  EXPECT_FALSE(overlay.Validate().ok());
+}
+
+TEST(OverlayTest, RetargetingMovesEdge) {
+  Overlay overlay = MakeOverlay(3, 1);
+  overlay.SetOwnInterest(2, 0, 0.4);
+  overlay.AddItemEdge(0, 2, 0, 0.4);
+  overlay.SetOwnInterest(1, 0, 0.2);
+  overlay.AddItemEdge(0, 1, 0, 0.2);
+  // Move 2 under 1.
+  overlay.AddItemEdge(1, 2, 0, 0.4);
+  EXPECT_EQ(overlay.Serving(2, 0).parent, 1u);
+  // Old parent's edge list no longer mentions 2 for this item.
+  for (const ItemEdge& e : overlay.Serving(0, 0).children) {
+    EXPECT_NE(e.child, 2u);
+  }
+  EXPECT_TRUE(overlay.Validate().ok());
+}
+
+TEST(OverlayTest, TightenItemEdgeUpdatesTolerance) {
+  Overlay overlay = MakeOverlay(2, 1);
+  overlay.SetOwnInterest(1, 0, 0.5);
+  overlay.AddItemEdge(0, 1, 0, 0.5);
+  overlay.SetServing(1, 0, 0.3, 0);
+  overlay.TightenItemEdge(0, 1, 0, 0.3);
+  EXPECT_DOUBLE_EQ(overlay.Serving(0, 0).children[0].c, 0.3);
+  EXPECT_TRUE(overlay.Validate().ok());
+}
+
+TEST(OverlayTest, ItemsHeldBySorted) {
+  Overlay overlay = MakeOverlay(2, 5);
+  overlay.SetOwnInterest(1, 3, 0.5);
+  overlay.AddItemEdge(0, 1, 3, 0.5);
+  overlay.SetOwnInterest(1, 1, 0.5);
+  overlay.AddItemEdge(0, 1, 1, 0.5);
+  EXPECT_EQ(overlay.ItemsHeldBy(1), (std::vector<ItemId>{1, 3}));
+}
+
+TEST(OverlayDotTest, ConnectionGraphListsEdgesWithItemCounts) {
+  Overlay overlay = MakeOverlay(3, 2);
+  overlay.SetOwnInterest(1, 0, 0.2);
+  overlay.AddItemEdge(0, 1, 0, 0.2);
+  overlay.SetOwnInterest(1, 1, 0.3);
+  overlay.AddItemEdge(0, 1, 1, 0.3);
+  overlay.SetOwnInterest(2, 0, 0.5);
+  overlay.AddItemEdge(1, 2, 0, 0.5);
+  const std::string dot = ConnectionsToDot(overlay);
+  EXPECT_NE(dot.find("digraph d3g"), std::string::npos);
+  EXPECT_NE(dot.find("source -> r1 [label=\"2\"]"), std::string::npos);
+  EXPECT_NE(dot.find("r1 -> r2 [label=\"1\"]"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+}
+
+TEST(OverlayDotTest, ItemTreeMarksAltruisticHolders) {
+  Overlay overlay = MakeOverlay(3, 1);
+  // r1 holds item 0 purely for r2's benefit.
+  overlay.AddItemEdge(0, 1, 0, 0.4);
+  overlay.SetOwnInterest(2, 0, 0.4);
+  overlay.AddItemEdge(1, 2, 0, 0.4);
+  const std::string dot = ItemTreeToDot(overlay, 0);
+  EXPECT_NE(dot.find("r1 [style=dashed]"), std::string::npos);
+  EXPECT_NE(dot.find("r1 -> r2 [label=\"0.400\"]"), std::string::npos);
+  // r2 has own interest: not dashed.
+  EXPECT_EQ(dot.find("r2 [style=dashed]"), std::string::npos);
+}
+
+TEST(OverlayDotTest, EmptyOverlayStillValidDot) {
+  Overlay overlay = MakeOverlay(2, 1);
+  const std::string dot = ConnectionsToDot(overlay);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+TEST(OverlayTest, LevelsTracked) {
+  Overlay overlay = MakeOverlay(3, 1);
+  EXPECT_EQ(overlay.level(0), 0u);
+  EXPECT_EQ(overlay.level(1), Overlay::kInvalidLevel);
+  overlay.set_level(1, 1);
+  EXPECT_EQ(overlay.level(1), 1u);
+}
+
+}  // namespace
+}  // namespace d3t::core

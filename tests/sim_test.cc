@@ -1,0 +1,162 @@
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace d3t::sim {
+namespace {
+
+TEST(TimeTest, Conversions) {
+  EXPECT_EQ(Millis(12.5), 12500);
+  EXPECT_EQ(Seconds(1.0), 1000000);
+  EXPECT_DOUBLE_EQ(ToMillis(12500), 12.5);
+  EXPECT_DOUBLE_EQ(ToSeconds(2500000), 2.5);
+}
+
+TEST(EventQueueTest, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.PeekTime(), kSimTimeMax);
+}
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.Schedule(30, [&](SimTime) { fired.push_back(3); });
+  q.Schedule(10, [&](SimTime) { fired.push_back(1); });
+  q.Schedule(20, [&](SimTime) { fired.push_back(2); });
+  while (!q.empty()) q.RunNext();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.Schedule(5, [&fired, i](SimTime) { fired.push_back(i); });
+  }
+  while (!q.empty()) q.RunNext();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  uint64_t id = q.Schedule(10, [&](SimTime) { ran = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.Cancel(id));  // double cancel
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelUnknownIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(12345));
+}
+
+TEST(EventQueueTest, CancelledEventSkippedInPeek) {
+  EventQueue q;
+  uint64_t early = q.Schedule(5, [](SimTime) {});
+  q.Schedule(9, [](SimTime) {});
+  EXPECT_EQ(q.PeekTime(), 5);
+  q.Cancel(early);
+  EXPECT_EQ(q.PeekTime(), 9);
+}
+
+TEST(EventQueueTest, SlotRecyclingKeepsCorrectness) {
+  EventQueue q;
+  std::vector<SimTime> fired;
+  // Interleave schedule/run so slots are reused while stale heap items
+  // remain.
+  for (int round = 0; round < 100; ++round) {
+    q.Schedule(round * 10, [&](SimTime t) { fired.push_back(t); });
+    uint64_t dead = q.Schedule(round * 10 + 5, [](SimTime) {});
+    q.Cancel(dead);
+    q.RunNext();
+  }
+  EXPECT_TRUE(q.empty());
+  ASSERT_EQ(fired.size(), 100u);
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_EQ(fired[round], round * 10);
+  }
+}
+
+TEST(EventQueueTest, CallbackMaySchedule) {
+  EventQueue q;
+  int count = 0;
+  std::function<void(SimTime)> chain = [&](SimTime t) {
+    if (++count < 5) q.Schedule(t + 1, chain);
+  };
+  q.Schedule(0, chain);
+  while (!q.empty()) q.RunNext();
+  EXPECT_EQ(count, 5);
+}
+
+TEST(SimulatorTest, NowAdvancesWithEvents) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.ScheduleAfter(100, [&](SimTime t) { seen = t; });
+  sim.Run();
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(sim.now(), 100);
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilHorizonLeavesLaterEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(10, [&](SimTime) { ++fired; });
+  sim.ScheduleAt(20, [&](SimTime) { ++fired; });
+  sim.ScheduleAt(30, [&](SimTime) { ++fired; });
+  EXPECT_EQ(sim.RunUntil(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20);
+  EXPECT_EQ(sim.queue().size(), 1u);
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.ScheduleAfter(10, [&](SimTime t) {
+    times.push_back(t);
+    sim.ScheduleAfter(5, [&](SimTime t2) { times.push_back(t2); });
+  });
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(SimulatorTest, ZeroDelaySelfChainTerminates) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void(SimTime)> f = [&](SimTime) {
+    if (++depth < 1000) sim.ScheduleAfter(0, f);
+  };
+  sim.ScheduleAfter(0, f);
+  sim.Run();
+  EXPECT_EQ(depth, 1000);
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(SimulatorTest, ManyEventsStressOrder) {
+  Simulator sim;
+  SimTime last = -1;
+  bool monotone = true;
+  for (int i = 0; i < 20000; ++i) {
+    // Pseudo-random but deterministic times.
+    SimTime t = (i * 7919) % 10007;
+    sim.ScheduleAt(t, [&, t](SimTime now) {
+      if (now < last) monotone = false;
+      last = now;
+      EXPECT_EQ(now, t);
+    });
+  }
+  sim.Run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(sim.events_executed(), 20000u);
+}
+
+}  // namespace
+}  // namespace d3t::sim
