@@ -57,6 +57,10 @@ int Main(int argc, char** argv) {
       core::MakeDisseminator("eq3-only");
   std::unique_ptr<core::Disseminator> dist =
       core::MakeDisseminator("distributed");
+  if (eq3 == nullptr || dist == nullptr) {
+    std::fprintf(stderr, "policy factory returned nullptr\n");
+    return 1;
+  }
   eq3->Initialize(overlay, {1.0});
   dist->Initialize(overlay, {1.0});
   double eq3_p = 1.0, eq3_q = 1.0, dist_p = 1.0, dist_q = 1.0;
@@ -86,6 +90,10 @@ int Main(int argc, char** argv) {
   for (const char* name : {"eq3-only", "distributed", "centralized"}) {
     std::unique_ptr<core::Disseminator> policy =
         core::MakeDisseminator(name);
+    if (policy == nullptr) {
+      std::fprintf(stderr, "unknown dissemination policy: %s\n", name);
+      return 1;
+    }
     core::EngineOptions options;
     options.comp_delay = 0;
     core::Engine engine(overlay, delays, traces, *policy, options);

@@ -114,6 +114,11 @@ int main() {
 
   for (const char* policy_name : {"distributed", "centralized"}) {
     auto policy = d3t::core::MakeDisseminator(policy_name);
+    if (policy == nullptr) {
+      std::fprintf(stderr, "unknown dissemination policy: %s\n",
+                   policy_name);
+      return 1;
+    }
     d3t::core::EngineOptions engine_options;
     engine_options.comp_delay = d3t::sim::Millis(2.0);  // embedded CPUs
     d3t::core::Engine engine(built->overlay, *delays, traces, *policy,

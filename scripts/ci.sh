@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the exact configure/build/test sequence CI runs.
+# Benchmarks are auto-detected (D3T_BUILD_BENCH=AUTO); a missing
+# google-benchmark never fails this script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j

@@ -10,11 +10,28 @@ namespace d3t::core {
 
 namespace {
 
-/// Packs (node, item, child) into a single hash key. Node and child are
-/// < 2^20 members and items < 2^24 in any realistic configuration.
-uint64_t PackEdgeKey(OverlayIndex node, ItemId item, OverlayIndex child) {
-  return (static_cast<uint64_t>(node) << 44) |
-         (static_cast<uint64_t>(item) << 20) | static_cast<uint64_t>(child);
+/// Grows EdgeId-indexed `state` to cover edges created since the last
+/// sync (or Initialize), seeding each new slot from its item's initial
+/// value; existing entries keep their values. Edge ids are monotonic
+/// and never reused, so `state.size()` marks the admitted prefix and
+/// the sync is O(new edges) via Overlay::edge_item.
+void SyncEdgeState(const Overlay& overlay,
+                   const std::vector<double>& initial_values,
+                   std::vector<double>& state) {
+  const size_t known = state.size();
+  state.resize(overlay.edge_id_limit(), 0.0);
+  for (EdgeId id = static_cast<EdgeId>(known); id < state.size(); ++id) {
+    state[id] = initial_values[overlay.edge_item(id)];
+  }
+}
+
+/// True when the edge was never registered with an Overlay (hand-built
+/// aggregate): dense state cannot be indexed for it. Asserted in debug;
+/// in release such an edge never pushes.
+bool InvalidEdge(const ItemEdge& edge) {
+  assert(edge.id != kInvalidEdgeId &&
+         "ShouldPush requires edges created by an Overlay");
+  return edge.id == kInvalidEdgeId;
 }
 
 }  // namespace
@@ -27,6 +44,11 @@ void DistributedDisseminator::Initialize(
   overlay_ = &overlay;
   initial_values_ = initial_values;
   last_sent_.clear();
+  SyncToOverlay();
+}
+
+void DistributedDisseminator::SyncToOverlay() {
+  SyncEdgeState(*overlay_, initial_values_, last_sent_);
 }
 
 BeginDecision DistributedDisseminator::BeginUpdate(sim::SimTime,
@@ -38,15 +60,23 @@ BeginDecision DistributedDisseminator::BeginUpdate(sim::SimTime,
 bool DistributedDisseminator::ShouldPush(sim::SimTime, OverlayIndex node,
                                          ItemId item, const ItemEdge& edge,
                                          double value, double /*tag*/) {
+  if (InvalidEdge(edge)) return false;
+  if (edge.id >= last_sent_.size()) {
+    SyncToOverlay();
+    if (edge.id >= last_sent_.size()) {
+      // The edge belongs to a different overlay than Initialize saw.
+      assert(false && "edge not part of the initialized overlay");
+      return false;
+    }
+  }
+  // c_serve is read live (a dense-matrix access, not a hash lookup): a
+  // caller may retighten a node's serving tolerance between pushes.
   const Coherency parent_c =
       node == kSourceOverlayIndex ? 0.0
                                   : overlay_->Serving(node, item).c_serve;
-  auto it = last_sent_
-                .try_emplace(PackEdgeKey(node, item, edge.child),
-                             initial_values_[item])
-                .first;
-  if (ShouldForwardDistributed(value, it->second, edge.c, parent_c)) {
-    it->second = value;
+  double& last = last_sent_[edge.id];
+  if (ShouldForwardDistributed(value, last, edge.c, parent_c)) {
+    last = value;
     return true;
   }
   return false;
@@ -60,6 +90,11 @@ void Eq3OnlyDisseminator::Initialize(
   overlay_ = &overlay;
   initial_values_ = initial_values;
   last_sent_.clear();
+  SyncToOverlay();
+}
+
+void Eq3OnlyDisseminator::SyncToOverlay() {
+  SyncEdgeState(*overlay_, initial_values_, last_sent_);
 }
 
 BeginDecision Eq3OnlyDisseminator::BeginUpdate(sim::SimTime, OverlayIndex,
@@ -67,15 +102,21 @@ BeginDecision Eq3OnlyDisseminator::BeginUpdate(sim::SimTime, OverlayIndex,
   return BeginDecision{};
 }
 
-bool Eq3OnlyDisseminator::ShouldPush(sim::SimTime, OverlayIndex node,
-                                     ItemId item, const ItemEdge& edge,
+bool Eq3OnlyDisseminator::ShouldPush(sim::SimTime, OverlayIndex /*node*/,
+                                     ItemId /*item*/, const ItemEdge& edge,
                                      double value, double /*tag*/) {
-  auto it = last_sent_
-                .try_emplace(PackEdgeKey(node, item, edge.child),
-                             initial_values_[item])
-                .first;
-  if (ViolatesEq3(value, it->second, edge.c)) {
-    it->second = value;
+  if (InvalidEdge(edge)) return false;
+  if (edge.id >= last_sent_.size()) {
+    SyncToOverlay();
+    if (edge.id >= last_sent_.size()) {
+      // The edge belongs to a different overlay than Initialize saw.
+      assert(false && "edge not part of the initialized overlay");
+      return false;
+    }
+  }
+  double& last = last_sent_[edge.id];
+  if (ViolatesEq3(value, last, edge.c)) {
+    last = value;
     return true;
   }
   return false;
@@ -166,9 +207,9 @@ bool AllUpdatesDisseminator::ShouldPush(sim::SimTime, OverlayIndex, ItemId,
 // ---------------------------------------------------------------------------
 // TemporalDisseminator
 
-void TemporalDisseminator::Initialize(const Overlay&,
+void TemporalDisseminator::Initialize(const Overlay& overlay,
                                       const std::vector<double>&) {
-  last_push_time_.clear();
+  last_push_time_.assign(overlay.edge_id_limit(), -period_);
 }
 
 BeginDecision TemporalDisseminator::BeginUpdate(sim::SimTime, OverlayIndex,
@@ -176,18 +217,21 @@ BeginDecision TemporalDisseminator::BeginUpdate(sim::SimTime, OverlayIndex,
   return BeginDecision{};
 }
 
-bool TemporalDisseminator::ShouldPush(sim::SimTime now, OverlayIndex node,
-                                      ItemId item, const ItemEdge& edge,
+bool TemporalDisseminator::ShouldPush(sim::SimTime now,
+                                      OverlayIndex /*node*/,
+                                      ItemId /*item*/, const ItemEdge& edge,
                                       double /*value*/, double /*tag*/) {
   // Pushing every `period` bounds staleness in time: the "simpler
   // problem" of §1.1. The first change after a quiet stretch is pushed
-  // immediately (last push time starts at 0).
-  auto it = last_push_time_
-                .try_emplace(PackEdgeKey(node, item, edge.child),
-                             -period_)
-                .first;
-  if (now - it->second >= period_) {
-    it->second = now;
+  // immediately (every edge starts one full period in the past). Edges
+  // created after Initialize get the same starting point on first use.
+  if (InvalidEdge(edge)) return false;
+  if (edge.id >= last_push_time_.size()) {
+    last_push_time_.resize(edge.id + 1, -period_);
+  }
+  sim::SimTime& last = last_push_time_[edge.id];
+  if (now - last >= period_) {
+    last = now;
     return true;
   }
   return false;

@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/overlay.h"
@@ -55,7 +54,10 @@ class Disseminator {
 
   /// Called for each child edge of (node, item) in tree order; returns
   /// true when the update must be pushed to `edge.child`. May update
-  /// internal bookkeeping (e.g. last-sent values).
+  /// internal bookkeeping (e.g. last-sent values). `edge` must have been
+  /// created by an Overlay (the stateful policies index dense per-edge
+  /// state by `edge.id`); a hand-built edge with an invalid id is never
+  /// pushed.
   virtual bool ShouldPush(sim::SimTime now, OverlayIndex node, ItemId item,
                           const ItemEdge& edge, double value,
                           double tag) = 0;
@@ -76,9 +78,14 @@ class DistributedDisseminator : public Disseminator {
                   const ItemEdge& edge, double value, double tag) override;
 
  private:
+  void SyncToOverlay();
+
   const Overlay* overlay_ = nullptr;
   std::vector<double> initial_values_;
-  std::unordered_map<uint64_t, double> last_sent_;
+  /// EdgeId-indexed last value pushed on each edge. Rebuilt by
+  /// Initialize; edges created afterwards are admitted by SyncToOverlay
+  /// on first use.
+  std::vector<double> last_sent_;
 };
 
 /// The "Eq. (3) only" policy: pushes exactly when the dependent's own
@@ -96,9 +103,12 @@ class Eq3OnlyDisseminator : public Disseminator {
                   const ItemEdge& edge, double value, double tag) override;
 
  private:
+  void SyncToOverlay();
+
   const Overlay* overlay_ = nullptr;
   std::vector<double> initial_values_;
-  std::unordered_map<uint64_t, double> last_sent_;
+  /// EdgeId-indexed last value pushed on each edge.
+  std::vector<double> last_sent_;
 };
 
 /// The centralized (source-based) policy of §5.2: the source tracks the
@@ -162,8 +172,9 @@ class TemporalDisseminator : public Disseminator {
 
  private:
   sim::SimTime period_ = sim::Seconds(5.0);
-  /// Edge key -> time of the last push on that edge.
-  std::unordered_map<uint64_t, sim::SimTime> last_push_time_;
+  /// EdgeId-indexed time of the last push on each edge; -period_ until
+  /// an edge first pushes, so the first update always goes out.
+  std::vector<sim::SimTime> last_push_time_;
 };
 
 /// Factory by policy name ("distributed", "centralized", "eq3-only",

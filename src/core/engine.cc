@@ -5,14 +5,6 @@
 
 namespace d3t::core {
 
-namespace {
-
-uint64_t TrackerKey(OverlayIndex m, ItemId item) {
-  return (static_cast<uint64_t>(m) << 32) | item;
-}
-
-}  // namespace
-
 Engine::Engine(const Overlay& overlay, const net::OverlayDelayModel& delays,
                const std::vector<trace::Trace>& traces,
                Disseminator& disseminator, const EngineOptions& options)
@@ -47,22 +39,29 @@ Result<EngineMetrics> Engine::Run() {
 
   disseminator_.Initialize(overlay_, initial_values);
   nodes_.assign(overlay_.member_count(), NodeState{});
+  inflight_.clear();
+  inflight_free_.clear();
   source_values_ = initial_values;
   metrics_ = EngineMetrics{};
   metrics_.horizon = horizon;
 
-  // Fidelity trackers for every (repository, own-interest item) pair.
-  trackers_.clear();
-  tracker_index_.clear();
+  // Fidelity trackers for every (repository, own-interest item) pair,
+  // indexed by the overlay-assigned dense TrackerId.
+  trackers_.assign(overlay_.tracker_id_limit(), FidelityTracker{});
+  tracker_active_.assign(overlay_.tracker_id_limit(), 0);
   item_trackers_.assign(overlay_.item_count(), {});
+  uint64_t tracked_pairs = 0;
   for (OverlayIndex m = 1; m < overlay_.member_count(); ++m) {
     for (ItemId item = 0; item < overlay_.item_count(); ++item) {
       if (!overlay_.Holds(m, item)) continue;
       const ItemServing& s = overlay_.Serving(m, item);
       if (!s.own_interest) continue;
-      tracker_index_[TrackerKey(m, item)] = trackers_.size();
-      item_trackers_[item].push_back(trackers_.size());
-      trackers_.emplace_back(s.c_own, initial_values[item]);
+      const TrackerId tid = overlay_.tracker_id(m, item);
+      assert(tid != kInvalidTrackerId);
+      trackers_[tid] = FidelityTracker(s.c_own, initial_values[item]);
+      tracker_active_[tid] = 1;
+      item_trackers_[item].push_back(tid);
+      ++tracked_pairs;
     }
   }
 
@@ -77,7 +76,9 @@ Result<EngineMetrics> Engine::Run() {
 
   simulator_.RunUntil(horizon);
 
-  for (FidelityTracker& tracker : trackers_) tracker.Finalize(horizon);
+  for (TrackerId tid = 0; tid < trackers_.size(); ++tid) {
+    if (tracker_active_[tid]) trackers_[tid].Finalize(horizon);
+  }
 
   // Aggregate per the paper: repository loss = mean over its items,
   // system loss = mean over repositories that track anything.
@@ -90,9 +91,9 @@ Result<EngineMetrics> Engine::Run() {
     double sum = 0.0;
     size_t count = 0;
     for (ItemId item = 0; item < overlay_.item_count(); ++item) {
-      auto it = tracker_index_.find(TrackerKey(m, item));
-      if (it == tracker_index_.end()) continue;
-      sum += trackers_[it->second].LossPercent();
+      const TrackerId tid = overlay_.tracker_id(m, item);
+      if (tid == kInvalidTrackerId || !tracker_active_[tid]) continue;
+      sum += trackers_[tid].LossPercent();
       ++count;
     }
     if (count > 0) {
@@ -106,17 +107,35 @@ Result<EngineMetrics> Engine::Run() {
   metrics_.loss_percent =
       repos_counted > 0 ? loss_sum / static_cast<double>(repos_counted)
                         : 0.0;
-  metrics_.tracked_pairs = trackers_.size();
+  metrics_.tracked_pairs = tracked_pairs;
   metrics_.pair_loss_percent =
-      trackers_.empty()
+      tracked_pairs == 0
           ? 0.0
-          : pair_loss_sum / static_cast<double>(trackers_.size());
+          : pair_loss_sum / static_cast<double>(tracked_pairs);
   metrics_.events = simulator_.events_executed();
   return metrics_;
 }
 
+void Engine::ScheduleDelivery(sim::SimTime when, OverlayIndex node,
+                              Job job) {
+  uint32_t slot;
+  if (!inflight_free_.empty()) {
+    slot = inflight_free_.back();
+    inflight_free_.pop_back();
+    inflight_[slot] = job;
+  } else {
+    slot = static_cast<uint32_t>(inflight_.size());
+    inflight_.push_back(job);
+  }
+  simulator_.ScheduleAt(when, [this, node, slot](sim::SimTime fire) {
+    const Job delivered = inflight_[slot];
+    inflight_free_.push_back(slot);
+    Deliver(fire, node, delivered);
+  });
+}
+
 void Engine::HandleSourceTick(sim::SimTime t, ItemId item,
-                              size_t tick_index) {
+                              uint32_t tick_index) {
   const trace::Tick& tick = traces_[item].ticks()[tick_index];
   assert(tick.time == t);
   // A poll that repeats the previous value is not an update: nothing
@@ -134,6 +153,7 @@ void Engine::HandleSourceTick(sim::SimTime t, ItemId item,
 
   if (tick_index + 1 < traces_[item].size()) {
     const sim::SimTime next = traces_[item].ticks()[tick_index + 1].time;
+    // item + tick_index pack into the callback's 16-byte small buffer.
     simulator_.ScheduleAt(next, [this, item, tick_index](sim::SimTime when) {
       HandleSourceTick(when, item, tick_index + 1);
     });
@@ -160,9 +180,9 @@ void Engine::ProcessNext(sim::SimTime t, OverlayIndex node) {
 
   // Apply the value locally (refreshes this repository's copy).
   if (node != kSourceOverlayIndex) {
-    auto it = tracker_index_.find(TrackerKey(node, job.item));
-    if (it != tracker_index_.end()) {
-      trackers_[it->second].OnRepositoryValue(t, job.value);
+    const TrackerId tid = overlay_.tracker_id(node, job.item);
+    if (tid != kInvalidTrackerId && tracker_active_[tid]) {
+      trackers_[tid].OnRepositoryValue(t, job.value);
     }
   }
 
@@ -193,12 +213,8 @@ void Engine::ProcessNext(sim::SimTime t, OverlayIndex node) {
         ++metrics_.messages;
         if (node == kSourceOverlayIndex) ++metrics_.source_messages;
         const sim::SimTime arrival = busy + delays_.Delay(node, edge.child);
-        const OverlayIndex child = edge.child;
-        const Job forwarded{job.item, job.value, decision.tag};
-        simulator_.ScheduleAt(arrival,
-                              [this, child, forwarded](sim::SimTime when) {
-                                Deliver(when, child, forwarded);
-                              });
+        ScheduleDelivery(arrival, edge.child,
+                         Job{job.item, job.value, decision.tag});
       }
     }
   }

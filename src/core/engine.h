@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -86,9 +85,14 @@ class Engine {
     bool processing_scheduled = false;
   };
 
-  void HandleSourceTick(sim::SimTime t, ItemId item, size_t tick_index);
+  void HandleSourceTick(sim::SimTime t, ItemId item, uint32_t tick_index);
   void Deliver(sim::SimTime t, OverlayIndex node, Job job);
   void ProcessNext(sim::SimTime t, OverlayIndex node);
+  /// Schedules delivery of `job` to `node` at `when`. The job payload is
+  /// parked in a recycled pool slot so the event callback captures only
+  /// {this, node, slot} — 16 bytes, inside std::function's small-buffer
+  /// optimization, keeping the per-message path allocation-free.
+  void ScheduleDelivery(sim::SimTime when, OverlayIndex node, Job job);
 
   const Overlay& overlay_;
   const net::OverlayDelayModel& delays_;
@@ -98,14 +102,20 @@ class Engine {
 
   sim::Simulator simulator_;
   std::vector<NodeState> nodes_;
+  /// In-flight message payloads, indexed by pool slot (see
+  /// ScheduleDelivery); grows to the maximum concurrent message count.
+  std::vector<Job> inflight_;
+  std::vector<uint32_t> inflight_free_;
   /// Last value seen per item at the source; polls that repeat the
   /// previous value are not updates and are not disseminated.
   std::vector<double> source_values_;
+  /// TrackerId-indexed (ids assigned by the overlay); only slots with
+  /// tracker_active_ set belong to a tracked (repository, own-interest
+  /// item) pair of this run.
   std::vector<FidelityTracker> trackers_;
-  /// (member, item) -> tracker index.
-  std::unordered_map<uint64_t, size_t> tracker_index_;
-  /// item -> tracker indices to notify on every source tick.
-  std::vector<std::vector<size_t>> item_trackers_;
+  std::vector<uint8_t> tracker_active_;
+  /// item -> tracker ids to notify on every source tick.
+  std::vector<std::vector<TrackerId>> item_trackers_;
   EngineMetrics metrics_;
 };
 

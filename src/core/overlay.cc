@@ -13,6 +13,7 @@ Overlay::Overlay(size_t member_count, size_t item_count)
       item_count_(item_count),
       servings_(member_count * item_count),
       held_(member_count * item_count, 0),
+      tracker_ids_(member_count * item_count, kInvalidTrackerId),
       connection_children_(member_count),
       connection_parents_(member_count),
       level_(member_count, kInvalidLevel) {
@@ -34,6 +35,9 @@ void Overlay::SetOwnInterest(OverlayIndex m, ItemId item, Coherency c) {
   ItemServing& s = servings_[idx];
   s.own_interest = true;
   s.c_own = c;
+  if (tracker_ids_[idx] == kInvalidTrackerId) {
+    tracker_ids_[idx] = next_tracker_id_++;
+  }
   if (held_[idx]) {
     s.c_serve = std::min(s.c_serve, c);
   }
@@ -67,7 +71,8 @@ void Overlay::AddItemEdge(OverlayIndex parent, OverlayIndex child,
                            return e.child == child;
                          });
   if (it == ps->children.end()) {
-    ps->children.push_back(ItemEdge{child, c});
+    ps->children.push_back(ItemEdge{child, c, next_edge_id_++});
+    edge_items_.push_back(item);
   } else {
     it->c = c;
   }
@@ -222,6 +227,24 @@ Status Overlay::Validate(size_t max_degree) const {
           return Status::FailedPrecondition(
               "item edge without a connection");
         }
+      }
+    }
+  }
+  // Edge-id integrity: every edge carries a valid, globally unique id
+  // below edge_id_limit() (dense policy state is indexed by these).
+  std::vector<uint8_t> id_seen(next_edge_id_, 0);
+  for (OverlayIndex m = 0; m < member_count_; ++m) {
+    for (ItemId item = 0; item < item_count_; ++item) {
+      const ItemServing* s = FindSlot(m, item);
+      if (s == nullptr) continue;
+      for (const ItemEdge& e : s->children) {
+        if (e.id == kInvalidEdgeId || e.id >= next_edge_id_) {
+          return Status::FailedPrecondition("edge id out of range");
+        }
+        if (id_seen[e.id]) {
+          return Status::FailedPrecondition("duplicate edge id");
+        }
+        id_seen[e.id] = 1;
       }
     }
   }

@@ -15,6 +15,10 @@ namespace d3t::core {
 struct ItemEdge {
   OverlayIndex child = kInvalidOverlayIndex;
   Coherency c = 0.0;
+  /// Dense edge identifier assigned by the owning Overlay; dissemination
+  /// policies index their flat per-edge state (last-sent value, last
+  /// push time) by it.
+  EdgeId id = kInvalidEdgeId;
 };
 
 /// What one overlay member knows about one item.
@@ -100,6 +104,25 @@ class Overlay {
     return connection_parents_[m];
   }
 
+  /// One past the largest EdgeId handed out so far. Dense per-edge state
+  /// vectors are sized by this; ids of removed or retargeted edges are
+  /// retired, never reused, so stale slots are simply never indexed.
+  EdgeId edge_id_limit() const { return next_edge_id_; }
+  /// Item the edge with this id carries (valid for every id ever handed
+  /// out, including retired ones). Lets policies seed per-edge state for
+  /// ids in [known, edge_id_limit()) without rescanning the overlay.
+  ItemId edge_item(EdgeId id) const { return edge_items_[id]; }
+
+  /// Dense tracker id of the (m, item) own-interest pair, assigned by
+  /// SetOwnInterest; kInvalidTrackerId when the member never declared
+  /// interest in the item. Survives RemoveMember so a re-joining member
+  /// keeps its identity.
+  TrackerId tracker_id(OverlayIndex m, ItemId item) const {
+    return tracker_ids_[SlotIndex(m, item)];
+  }
+  /// One past the largest TrackerId handed out so far.
+  TrackerId tracker_id_limit() const { return next_tracker_id_; }
+
   /// Level assigned by LeLA (source = 0); kInvalidLevel before placement.
   static constexpr uint32_t kInvalidLevel = UINT32_MAX;
   uint32_t level(OverlayIndex m) const { return level_[m]; }
@@ -122,7 +145,9 @@ class Overlay {
   ///  * Eq. (1) holds along every per-item edge (parent c_serve <= edge c);
   ///  * edge tolerance equals the child's c_serve for the item;
   ///  * c_serve <= c_own wherever the member has own interest;
-  ///  * connection fan-out respects `max_degree` if nonzero.
+  ///  * connection fan-out respects `max_degree` if nonzero;
+  ///  * every edge carries a valid EdgeId below edge_id_limit(), unique
+  ///    across the whole d3g.
   Status Validate(size_t max_degree = 0) const;
 
   OverlayShape ComputeShape() const;
@@ -140,9 +165,15 @@ class Overlay {
   /// Dense (member x item) matrix; `held` gates validity.
   std::vector<ItemServing> servings_;
   std::vector<uint8_t> held_;
+  /// Dense (member x item) matrix of own-interest tracker ids.
+  std::vector<TrackerId> tracker_ids_;
+  /// EdgeId -> item, appended as ids are minted.
+  std::vector<ItemId> edge_items_;
   std::vector<std::vector<OverlayIndex>> connection_children_;
   std::vector<std::vector<OverlayIndex>> connection_parents_;
   std::vector<uint32_t> level_;
+  EdgeId next_edge_id_ = 0;
+  TrackerId next_tracker_id_ = 0;
 };
 
 }  // namespace d3t::core

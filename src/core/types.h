@@ -23,6 +23,22 @@ using net::OverlayIndex;
 /// source. Smaller is more stringent. The source itself has c = 0.
 using Coherency = double;
 
+/// Dense identifier of one (node, item, child) dissemination edge,
+/// assigned by the Overlay when the edge is created. Dissemination
+/// policies index flat per-edge state by it instead of hashing packed
+/// 64-bit keys. Ids are never reused; retired ids (removed or
+/// retargeted edges) leave unused slots behind.
+using EdgeId = uint32_t;
+
+inline constexpr EdgeId kInvalidEdgeId = UINT32_MAX;
+
+/// Dense identifier of one (repository, item) pair with own interest,
+/// assigned by the Overlay on SetOwnInterest. The engine indexes its
+/// fidelity trackers by it. Stable across member removal and re-join.
+using TrackerId = uint32_t;
+
+inline constexpr TrackerId kInvalidTrackerId = UINT32_MAX;
+
 }  // namespace d3t::core
 
 #endif  // D3T_CORE_TYPES_H_

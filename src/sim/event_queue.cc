@@ -16,33 +16,37 @@ uint64_t EventQueue::Schedule(SimTime when, EventFn fn) {
     index = entries_.size();
     entries_.push_back(Entry{when, seq, std::move(fn), false});
   }
-  id_to_index_.emplace(seq, index);
   heap_.push(HeapItem{when, seq, index});
   ++live_;
   return seq;
 }
 
 bool EventQueue::Cancel(uint64_t id) {
-  auto it = id_to_index_.find(id);
-  if (it == id_to_index_.end()) return false;
-  Entry& e = entries_[it->second];
-  if (e.seq != id || e.cancelled) return false;
-  e.cancelled = true;
-  id_to_index_.erase(it);
-  --live_;
-  return true;
+  if (id >= next_seq_) return false;  // never issued
+  // Linear scan over the entry slots: a slot still carrying this seq is
+  // the live (or already consumed/cancelled) incarnation of the event.
+  for (Entry& e : entries_) {
+    if (e.seq != id) continue;
+    if (e.cancelled) return false;
+    e.cancelled = true;
+    e.fn = nullptr;  // release the closure now; the slot is recycled
+                     // when its heap item surfaces (DropDeadTop)
+    --live_;
+    return true;
+  }
+  return false;  // slot recycled: the event fired long ago
 }
 
 void EventQueue::DropDeadTop() const {
   while (!heap_.empty()) {
-    const HeapItem& top = heap_.top();
+    const HeapItem top = heap_.top();
     const Entry& e = entries_[top.index];
     // Stale if the slot was reused (seq mismatch) or explicitly cancelled.
-    if (e.seq != top.seq || e.cancelled) {
-      heap_.pop();
-    } else {
-      return;
-    }
+    if (e.seq == top.seq && !e.cancelled) return;
+    heap_.pop();
+    // A cancelled entry whose (only) heap item just left the heap can be
+    // recycled; a seq mismatch means the slot was already recycled.
+    if (e.seq == top.seq) free_list_.push_back(top.index);
   }
 }
 
@@ -61,7 +65,6 @@ SimTime EventQueue::RunNext() {
   EventFn fn = std::move(e.fn);
   const SimTime when = e.when;
   e.cancelled = true;  // mark consumed before running (fn may reschedule)
-  id_to_index_.erase(top.seq);
   free_list_.push_back(top.index);
   --live_;
   fn(when);

@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/time.h"
@@ -26,7 +25,11 @@ class EventQueue {
   uint64_t Schedule(SimTime when, EventFn fn);
 
   /// Cancels a scheduled event. Returns false if the id already fired,
-  /// was cancelled, or never existed. O(1) amortized (lazy deletion).
+  /// was cancelled, or never existed. O(high-water mark of concurrently
+  /// scheduled events) — it scans the slot table, which never shrinks.
+  /// Cancellation is a rare control operation; keeping an id lookup
+  /// table would put a hash insert + erase on every Schedule/RunNext —
+  /// the simulation hot path.
   bool Cancel(uint64_t id);
 
   bool empty() const { return live_ == 0; }
@@ -60,8 +63,7 @@ class EventQueue {
   void DropDeadTop() const;
 
   std::vector<Entry> entries_;
-  std::vector<size_t> free_list_;
-  std::unordered_map<uint64_t, size_t> id_to_index_;
+  mutable std::vector<size_t> free_list_;
   mutable std::priority_queue<HeapItem, std::vector<HeapItem>,
                               std::greater<HeapItem>>
       heap_;

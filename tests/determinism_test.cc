@@ -1,0 +1,103 @@
+// Determinism guarantees of the simulation stack: identical seed and
+// configuration must produce byte-identical metrics, run after run and
+// release after release. The golden values below were captured on the
+// hash-map-based engine before the dense edge/tracker refactor; the
+// refactor must reproduce them exactly.
+
+#include <cstdint>
+
+#include "exp/experiment.h"
+#include "gtest/gtest.h"
+
+namespace d3t::exp {
+namespace {
+
+// Golden metrics captured from the seed (hash-map) engine; see
+// GoldenMetricsOnFixedScenario.
+constexpr uint64_t kGoldenMessages = 2349;
+constexpr uint64_t kGoldenSourceMessages = 1017;
+constexpr uint64_t kGoldenChecks = 9285;
+constexpr uint64_t kGoldenSourceChecks = 6600;
+constexpr uint64_t kGoldenSourceUpdates = 1746;
+constexpr uint64_t kGoldenEvents = 11236;
+constexpr uint64_t kGoldenTrackedPairs = 95;
+constexpr double kGoldenLossPercent = 0.20547304454526444;
+constexpr double kGoldenPairLossPercent = 0.20577034288346088;
+
+ExperimentConfig GoldenConfig() {
+  ExperimentConfig config;
+  config.repositories = 25;
+  config.routers = 100;
+  config.items = 8;
+  config.ticks = 600;
+  config.coop_degree = 4;
+  config.seed = 1234;
+  config.policy = "distributed";
+  return config;
+}
+
+void ExpectIdenticalMetrics(const core::EngineMetrics& a,
+                            const core::EngineMetrics& b) {
+  // Exact equality on purpose: the engine is a deterministic discrete-
+  // event simulation, so even the floating-point aggregates must match
+  // bit for bit.
+  EXPECT_EQ(a.loss_percent, b.loss_percent);
+  EXPECT_EQ(a.pair_loss_percent, b.pair_loss_percent);
+  EXPECT_EQ(a.tracked_pairs, b.tracked_pairs);
+  EXPECT_EQ(a.per_member_loss, b.per_member_loss);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.source_messages, b.source_messages);
+  EXPECT_EQ(a.checks, b.checks);
+  EXPECT_EQ(a.source_checks, b.source_checks);
+  EXPECT_EQ(a.source_updates, b.source_updates);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.horizon, b.horizon);
+}
+
+TEST(DeterminismTest, RepeatedRunsAreByteIdentical) {
+  const ExperimentConfig config = GoldenConfig();
+  Result<Workbench> bench = Workbench::Create(config);
+  ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+  Result<ExperimentResult> first = bench->Run(config);
+  Result<ExperimentResult> second = bench->Run(config);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ExpectIdenticalMetrics(first->metrics, second->metrics);
+}
+
+TEST(DeterminismTest, AllPoliciesAreRunToRunDeterministic) {
+  for (const char* policy :
+       {"distributed", "centralized", "eq3-only", "all-updates"}) {
+    ExperimentConfig config = GoldenConfig();
+    config.policy = policy;
+    Result<Workbench> bench = Workbench::Create(config);
+    ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+    Result<ExperimentResult> first = bench->Run(config);
+    Result<ExperimentResult> second = bench->Run(config);
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    ASSERT_TRUE(second.ok()) << second.status().ToString();
+    SCOPED_TRACE(policy);
+    ExpectIdenticalMetrics(first->metrics, second->metrics);
+  }
+}
+
+TEST(DeterminismTest, GoldenMetricsOnFixedScenario) {
+  // Captured from the pre-refactor (unordered_map) engine at seed 1234;
+  // pins the dense-state refactor to the exact historical behavior.
+  const ExperimentConfig config = GoldenConfig();
+  Result<ExperimentResult> result = RunExperiment(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const core::EngineMetrics& m = result->metrics;
+  EXPECT_EQ(m.messages, kGoldenMessages);
+  EXPECT_EQ(m.source_messages, kGoldenSourceMessages);
+  EXPECT_EQ(m.checks, kGoldenChecks);
+  EXPECT_EQ(m.source_checks, kGoldenSourceChecks);
+  EXPECT_EQ(m.source_updates, kGoldenSourceUpdates);
+  EXPECT_EQ(m.events, kGoldenEvents);
+  EXPECT_EQ(m.tracked_pairs, kGoldenTrackedPairs);
+  EXPECT_NEAR(m.loss_percent, kGoldenLossPercent, 1e-12);
+  EXPECT_NEAR(m.pair_loss_percent, kGoldenPairLossPercent, 1e-12);
+}
+
+}  // namespace
+}  // namespace d3t::exp

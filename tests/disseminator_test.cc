@@ -173,6 +173,34 @@ TEST(DistributedTest, LastSentPerEdgeIsIndependent) {
   EXPECT_TRUE(policy.ShouldPush(0, 0, 0, edges[1], 1.45, 0.0));
 }
 
+TEST(DistributedTest, EdgesAddedAfterInitializeAreAdmitted) {
+  // Policy state is dense, EdgeId-indexed and sized at Initialize; an
+  // edge created afterwards (a repository joining a live overlay) must
+  // still start from the item's initial value.
+  Overlay overlay(3, 1);
+  overlay.SetServing(0, 0, 0.0, kInvalidOverlayIndex);
+  overlay.SetOwnInterest(1, 0, 0.1);
+  overlay.AddItemEdge(0, 1, 0, 0.1);
+  DistributedDisseminator policy;
+  policy.Initialize(overlay, {1.0});
+  // Advance the pre-existing edge's last-sent state to 1.5 before the
+  // late edge appears, so preservation across the resync is observable.
+  EXPECT_TRUE(
+      policy.ShouldPush(0, 0, 0, overlay.Serving(0, 0).children[0], 1.5,
+                        0.0));
+  overlay.SetOwnInterest(2, 0, 0.4);
+  overlay.AddItemEdge(0, 2, 0, 0.4);
+  const auto& edges = overlay.Serving(0, 0).children;
+  ASSERT_EQ(edges.size(), 2u);
+  // Late edge: |1.2 - 1.0| <= 0.4, no push; |1.5 - 1.0| > 0.4, push.
+  EXPECT_FALSE(policy.ShouldPush(0, 0, 0, edges[1], 1.2, 0.0));
+  EXPECT_TRUE(policy.ShouldPush(0, 0, 0, edges[1], 1.5, 0.0));
+  // The pre-existing edge kept last-sent = 1.5 (not re-seeded to 1.0):
+  // |1.55 - 1.5| <= 0.1 suppresses, |1.7 - 1.5| > 0.1 pushes.
+  EXPECT_FALSE(policy.ShouldPush(0, 0, 0, edges[0], 1.55, 0.0));
+  EXPECT_TRUE(policy.ShouldPush(0, 0, 0, edges[0], 1.7, 0.0));
+}
+
 TEST(FactoryTest, MakesAllPolicies) {
   for (const char* name :
        {"distributed", "centralized", "eq3-only", "all-updates", "temporal"}) {

@@ -187,5 +187,56 @@ TEST(OverlayTest, LevelsTracked) {
   EXPECT_EQ(overlay.level(1), 1u);
 }
 
+TEST(OverlayTest, EdgeIdsAreDenseAndUnique) {
+  Overlay overlay = MakeOverlay(4, 2);
+  EXPECT_EQ(overlay.edge_id_limit(), 0u);
+  overlay.SetOwnInterest(1, 0, 0.2);
+  overlay.AddItemEdge(0, 1, 0, 0.2);
+  overlay.SetOwnInterest(2, 0, 0.5);
+  overlay.AddItemEdge(1, 2, 0, 0.5);
+  overlay.SetOwnInterest(1, 1, 0.3);
+  overlay.AddItemEdge(0, 1, 1, 0.3);
+  EXPECT_EQ(overlay.edge_id_limit(), 3u);
+  EXPECT_EQ(overlay.Serving(0, 0).children[0].id, 0u);
+  EXPECT_EQ(overlay.Serving(1, 0).children[0].id, 1u);
+  EXPECT_EQ(overlay.Serving(0, 1).children[0].id, 2u);
+  // Re-adding an existing edge keeps its id (no new id minted).
+  overlay.AddItemEdge(0, 1, 0, 0.2);
+  EXPECT_EQ(overlay.edge_id_limit(), 3u);
+  EXPECT_EQ(overlay.Serving(0, 0).children[0].id, 0u);
+  EXPECT_TRUE(overlay.Validate().ok());
+}
+
+TEST(OverlayTest, RetargetedEdgeGetsFreshIdAndRetiresOldOne) {
+  Overlay overlay = MakeOverlay(3, 1);
+  overlay.SetOwnInterest(1, 0, 0.2);
+  overlay.AddItemEdge(0, 1, 0, 0.2);
+  overlay.SetOwnInterest(2, 0, 0.5);
+  overlay.AddItemEdge(1, 2, 0, 0.5);  // id 1
+  // Retarget r2 directly under the source: the old P->Q edge (id 1)
+  // disappears; the new edge gets a fresh id, never a recycled one.
+  overlay.AddItemEdge(0, 2, 0, 0.5);
+  EXPECT_EQ(overlay.Serving(1, 0).children.size(), 0u);
+  EXPECT_EQ(overlay.Serving(0, 0).children[1].id, 2u);
+  EXPECT_EQ(overlay.edge_id_limit(), 3u);
+  EXPECT_TRUE(overlay.Validate().ok());
+}
+
+TEST(OverlayTest, TrackerIdsAssignedOnOwnInterest) {
+  Overlay overlay = MakeOverlay(3, 2);
+  EXPECT_EQ(overlay.tracker_id_limit(), 0u);
+  EXPECT_EQ(overlay.tracker_id(1, 0), kInvalidTrackerId);
+  overlay.SetOwnInterest(1, 0, 0.2);
+  overlay.SetOwnInterest(2, 1, 0.4);
+  EXPECT_EQ(overlay.tracker_id(1, 0), 0u);
+  EXPECT_EQ(overlay.tracker_id(2, 1), 1u);
+  EXPECT_EQ(overlay.tracker_id(2, 0), kInvalidTrackerId);
+  EXPECT_EQ(overlay.tracker_id_limit(), 2u);
+  // Restating interest keeps the identity.
+  overlay.SetOwnInterest(1, 0, 0.1);
+  EXPECT_EQ(overlay.tracker_id(1, 0), 0u);
+  EXPECT_EQ(overlay.tracker_id_limit(), 2u);
+}
+
 }  // namespace
 }  // namespace d3t::core
