@@ -31,6 +31,8 @@ int Main(int argc, char** argv) {
   }
   TablePrinter table(headers);
 
+  // One Workbench (= one World) per T; each comm-delay curve is then a
+  // single RunSweep over the shared substrate.
   std::vector<exp::Workbench> benches;
   for (double t : t_values) {
     exp::ExperimentConfig config = base;
@@ -44,16 +46,23 @@ int Main(int argc, char** argv) {
     benches.push_back(std::move(bench).value());
   }
 
-  for (double comm : comm_ms) {
-    std::vector<std::string> row = {TablePrinter::Num(comm, 0)};
+  std::vector<std::vector<Result<exp::ExperimentResult>>> curves;
+  for (const exp::Workbench& bench : benches) {
+    exp::RunSpec spec = exp::Workbench::SpecFromConfig(bench.base_config());
+    // No cooperation: the source serves everyone directly.
+    spec.overlay.coop_degree = bench.base_config().repositories;
+    curves.push_back(bench.session().RunSweep(
+        spec, comm_ms, [](exp::RunSpec& point, double comm) {
+          // 0 means "topology native", so encode an explicit zero as -1.
+          point.policy.comm_delay_mean_ms = comm == 0.0 ? -1.0 : comm;
+        }));
+  }
+
+  for (size_t j = 0; j < comm_ms.size(); ++j) {
+    std::vector<std::string> row = {TablePrinter::Num(comm_ms[j], 0)};
     for (size_t i = 0; i < t_values.size(); ++i) {
-      exp::ExperimentConfig config = benches[i].base_config();
-      // No cooperation: the source serves everyone directly.
-      config.coop_degree = config.repositories;
-      // 0 means "topology native", so encode an explicit zero as -1.
-      config.comm_delay_mean_ms = comm == 0.0 ? -1.0 : comm;
       exp::ExperimentResult result =
-          bench::ValueOrDie(benches[i].Run(config), "fig5 run");
+          bench::ValueOrDie(curves[i][j], "fig5 run");
       row.push_back(TablePrinter::Num(result.metrics.loss_percent, 2));
     }
     table.AddRow(std::move(row));

@@ -27,6 +27,9 @@ int Main(int argc, char** argv) {
     exp::MultiSourceConfig config;
     config.base = base;
     config.source_count = sources;
+    // Per-source engines are independent; shard them across the worker
+    // pool (results are byte-identical to worker_threads = 1).
+    config.worker_threads = 0;
     Result<exp::MultiSourceResult> result = exp::RunMultiSource(config);
     if (!result.ok()) {
       std::fprintf(stderr, "multi-source run: %s\n",

@@ -1,0 +1,144 @@
+// Microbenchmarks for the SimulationSession API:
+//  * BM_SessionSweep vs BM_SweepRebuildBaseline — a 4-point policy sweep
+//    on one shared World vs the legacy per-point RunExperiment rebuild
+//    (both serial, so the gap is pure substrate reuse); BM_SessionSweepPooled
+//    adds the worker pool on top;
+//  * BM_MultiSourceSerial vs BM_MultiSourceParallel — the sharded
+//    multi-source run on 1 worker thread vs the worker pool.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "exp/experiment.h"
+#include "exp/multi_source.h"
+#include "exp/session.h"
+
+namespace d3t {
+namespace {
+
+const std::vector<std::string>& SweepPolicies() {
+  static const std::vector<std::string> policies = {
+      "distributed", "centralized", "eq3-only", "all-updates"};
+  return policies;
+}
+
+exp::ExperimentConfig BenchConfig() {
+  exp::ExperimentConfig config;
+  config.repositories = 40;
+  config.routers = 160;
+  config.items = 16;
+  config.ticks = 800;
+  config.coop_degree = 4;
+  config.seed = 42;
+  return config;
+}
+
+/// 4-point policy sweep, one shared World (built once, outside the
+/// timed region — the point of the session API). `worker_threads = 1`
+/// isolates pure world reuse against the serial rebuild baseline;
+/// the Pooled variant additionally fans the points across the pool.
+void SweepOnSharedWorld(benchmark::State& state, size_t worker_threads) {
+  const exp::ExperimentConfig config = BenchConfig();
+  exp::SessionBuilder builder;
+  builder.SetNetwork(config)
+      .SetWorkload(config)
+      .SetSeed(config.seed)
+      .SetWorkerThreads(worker_threads);
+  Result<exp::SimulationSession> session = builder.Build();
+  if (!session.ok()) {
+    state.SkipWithError(session.status().ToString().c_str());
+    return;
+  }
+  const exp::RunSpec base = exp::Workbench::SpecFromConfig(config);
+  for (auto _ : state) {
+    auto results = session->RunSweep(
+        base, SweepPolicies(),
+        [](exp::RunSpec& spec, const std::string& policy) {
+          spec.policy.policy = policy;
+        });
+    for (const auto& result : results) {
+      if (!result.ok()) {
+        state.SkipWithError(result.status().ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(result->metrics.messages);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(SweepPolicies().size()));
+}
+
+void BM_SessionSweep(benchmark::State& state) {
+  SweepOnSharedWorld(state, /*worker_threads=*/1);
+}
+BENCHMARK(BM_SessionSweep)->Unit(benchmark::kMillisecond);
+
+void BM_SessionSweepPooled(benchmark::State& state) {
+  SweepOnSharedWorld(state, /*worker_threads=*/0);  // one per hw thread
+}
+BENCHMARK(BM_SessionSweepPooled)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// The same 4 points via the legacy path: every RunExperiment call
+/// rebuilds topology, routing, traces and interests from scratch.
+void BM_SweepRebuildBaseline(benchmark::State& state) {
+  for (auto _ : state) {
+    for (const std::string& policy : SweepPolicies()) {
+      exp::ExperimentConfig config = BenchConfig();
+      config.policy = policy;
+      Result<exp::ExperimentResult> result = exp::RunExperiment(config);
+      if (!result.ok()) {
+        state.SkipWithError(result.status().ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(result->metrics.messages);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(SweepPolicies().size()));
+}
+BENCHMARK(BM_SweepRebuildBaseline)->Unit(benchmark::kMillisecond);
+
+void RunMultiSourceOrSkip(benchmark::State& state, size_t worker_threads) {
+  exp::MultiSourceConfig config;
+  config.base = BenchConfig();
+  config.source_count = 4;
+  config.worker_threads = worker_threads;
+  for (auto _ : state) {
+    Result<exp::MultiSourceResult> result = exp::RunMultiSource(config);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->messages);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(config.source_count));
+}
+
+void BM_MultiSourceSerial(benchmark::State& state) {
+  RunMultiSourceOrSkip(state, /*worker_threads=*/1);
+}
+BENCHMARK(BM_MultiSourceSerial)->Unit(benchmark::kMillisecond);
+
+void BM_MultiSourceParallel(benchmark::State& state) {
+  RunMultiSourceOrSkip(state, /*worker_threads=*/0);  // one per hw thread
+}
+BENCHMARK(BM_MultiSourceParallel)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Forces a 4-thread pool even where DefaultThreadCount() == 1, so the
+/// pooled code path (and its scheduling overhead) is always measured.
+void BM_MultiSourcePool4(benchmark::State& state) {
+  RunMultiSourceOrSkip(state, /*worker_threads=*/4);
+}
+BENCHMARK(BM_MultiSourcePool4)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace d3t
+
+BENCHMARK_MAIN();

@@ -4,7 +4,10 @@
 //   * the mirrors' data needs are *derived* from their clients — the
 //     most stringent requirement per ticker wins;
 //   * two exchanges (multi-source) each feed their own listings through
-//     LeLA-built dissemination graphs over the shared mirror network;
+//     LeLA-built dissemination graphs over the shared mirror network —
+//     a two-source SimulationSession with the client-derived interests
+//     plugged in via SetInterests, the per-exchange runs sharded by
+//     RunAll;
 //   * the same client workload is also served by direct adaptive-TTR
 //     polling for comparison.
 //
@@ -15,11 +18,8 @@
 #include "common/table.h"
 #include "core/clients.h"
 #include "core/pull.h"
-#include "exp/experiment.h"
 #include "exp/multi_source.h"
-#include "net/routing.h"
-#include "net/topology_generator.h"
-#include "trace/synthetic.h"
+#include "exp/session.h"
 
 int main() {
   d3t::Rng rng(88);
@@ -45,76 +45,56 @@ int main() {
       "(mirror, ticker) needs\n\n",
       clients.size(), kMirrors, derived_items);
 
-  // 2. Two exchanges feeding the shared mirror network (multi-source).
-  // RunMultiSource derives its own workload, so here we drive the parts
-  // manually to reuse the client-derived interests.
-  d3t::net::TopologyGeneratorOptions topo_options;
-  topo_options.router_count = 100;
-  topo_options.repository_count = kMirrors;
-  topo_options.source_count = 2;
-  auto topo = d3t::net::GenerateTopology(topo_options, rng);
-  if (!topo.ok()) {
-    std::fprintf(stderr, "topology: %s\n",
-                 topo.status().ToString().c_str());
+  // 2. Two exchanges feeding the shared mirror network: a two-source
+  // World whose generated interests are replaced by the client-derived
+  // ones. Each exchange lists the tickers congruent to its index
+  // (round-robin partition, handled by the session).
+  d3t::exp::NetworkConfig network;
+  network.routers = 100;
+  network.repositories = kMirrors;
+  network.source_count = 2;
+  d3t::exp::WorkloadConfig workload;
+  workload.items = kTickers;
+  workload.ticks = 1500;
+  auto session = d3t::exp::SessionBuilder()
+                     .SetNetwork(network)
+                     .SetWorkload(workload)
+                     .SetSeed(88)
+                     .SetInterests(interests)
+                     .Build();
+  if (!session.ok()) {
+    std::fprintf(stderr, "session: %s\n",
+                 session.status().ToString().c_str());
     return 1;
   }
-  std::vector<d3t::net::NodeId> rows = topo->SourceNodes();
-  for (auto repo : topo->RepositoryNodes()) rows.push_back(repo);
-  auto routing = d3t::net::RoutingTables::DijkstraRows(*topo, rows);
-  if (!routing.ok()) {
-    std::fprintf(stderr, "routing: %s\n",
-                 routing.status().ToString().c_str());
-    return 1;
-  }
+  const d3t::exp::World& world = session->world();
 
-  std::vector<d3t::trace::Trace> traces =
-      d3t::trace::BuildTraceLibrary(kTickers, 1500, rng);
+  d3t::exp::ExperimentConfig run_base;
+  run_base.coop_degree = 4;
+  run_base.seed = 88;
+  std::vector<d3t::exp::RunSpec> specs =
+      d3t::exp::MultiSourceSpecs(run_base, /*source_count=*/2);
+  auto runs = session->RunAll(specs);
 
   d3t::TablePrinter table(
       {"Exchange", "Tickers", "Loss%", "Messages", "SourceChecks"});
   double pair_weighted_loss = 0.0;
   uint64_t pairs = 0;
-  for (size_t s = 0; s < 2; ++s) {
-    auto delays = d3t::net::OverlayDelayModel::FromRoutingWithSource(
-        *topo, *routing, topo->SourceNodes()[s]);
-    if (!delays.ok()) {
-      std::fprintf(stderr, "delays: %s\n",
-                   delays.status().ToString().c_str());
+  for (size_t s = 0; s < runs.size(); ++s) {
+    if (!runs[s].ok()) {
+      std::fprintf(stderr, "exchange %zu: %s\n", s,
+                   runs[s].status().ToString().c_str());
       return 1;
     }
-    // Exchange s lists the tickers congruent to s mod 2.
-    std::vector<d3t::core::InterestSet> listed(interests.size());
-    for (size_t i = 0; i < interests.size(); ++i) {
-      for (const auto& [item, c] : interests[i]) {
-        if (item % 2 == s) listed[i].emplace(item, c);
-      }
-    }
-    d3t::core::LelaOptions lela;
-    lela.coop_degree = 4;
-    auto built =
-        d3t::core::BuildOverlay(*delays, listed, kTickers, lela, rng);
-    if (!built.ok()) {
-      std::fprintf(stderr, "lela: %s\n",
-                   built.status().ToString().c_str());
-      return 1;
-    }
-    d3t::core::DistributedDisseminator policy;
-    d3t::core::Engine engine(built->overlay, *delays, traces, policy,
-                             d3t::core::EngineOptions{});
-    auto metrics = engine.Run();
-    if (!metrics.ok()) {
-      std::fprintf(stderr, "engine: %s\n",
-                   metrics.status().ToString().c_str());
-      return 1;
-    }
-    pair_weighted_loss += metrics->pair_loss_percent *
-                          static_cast<double>(metrics->tracked_pairs);
-    pairs += metrics->tracked_pairs;
+    const auto& metrics = runs[s]->metrics;
+    pair_weighted_loss += metrics.pair_loss_percent *
+                          static_cast<double>(metrics.tracked_pairs);
+    pairs += metrics.tracked_pairs;
     table.AddRow({"exchange " + std::to_string(s),
-                  d3t::TablePrinter::Int(kTickers / 2),
-                  d3t::TablePrinter::Num(metrics->loss_percent, 3),
-                  d3t::TablePrinter::Int(metrics->messages),
-                  d3t::TablePrinter::Int(metrics->source_checks)});
+                  d3t::TablePrinter::Int(world.OwnedItemCount(s)),
+                  d3t::TablePrinter::Num(metrics.loss_percent, 3),
+                  d3t::TablePrinter::Int(metrics.messages),
+                  d3t::TablePrinter::Int(metrics.source_checks)});
   }
   table.Print();
   const double push_loss =
@@ -122,10 +102,9 @@ int main() {
 
   // 3. The same clients served by direct adaptive polling of exchange 0
   // (pull baseline; exchange delays approximated by the first source).
-  auto pull_delays = d3t::net::OverlayDelayModel::FromRoutingWithSource(
-      *topo, *routing, topo->SourceNodes()[0]);
   d3t::core::PullOptions pull_options;
-  d3t::core::PullEngine pull(*pull_delays, interests, traces, pull_options);
+  d3t::core::PullEngine pull(world.delays(0), world.interests(),
+                             world.traces(), pull_options);
   auto pull_metrics = pull.Run();
   if (!pull_metrics.ok()) {
     std::fprintf(stderr, "pull: %s\n",

@@ -12,8 +12,7 @@
 #include "common/cli.h"
 #include "core/lela.h"
 #include "core/overlay_dot.h"
-#include "net/routing.h"
-#include "net/topology_generator.h"
+#include "exp/session.h"
 
 namespace {
 
@@ -56,28 +55,33 @@ int main(int argc, char** argv) {
   const size_t items = static_cast<size_t>(cli.GetInt("items"));
   const size_t degree = static_cast<size_t>(cli.GetInt("degree"));
 
-  d3t::Rng rng(static_cast<uint64_t>(cli.GetInt("seed")));
-  d3t::net::TopologyGeneratorOptions topo_options;
-  topo_options.router_count = repos * 4;
-  topo_options.repository_count = repos;
-  auto topo = d3t::net::GenerateTopology(topo_options, rng);
-  auto routing = d3t::net::RoutingTables::FloydWarshall(*topo);
-  auto delays = d3t::net::OverlayDelayModel::FromRouting(*topo, *routing);
-  if (!delays.ok()) {
+  // The World supplies the substrate LeLA builds on (routed delays +
+  // generated interests); this explorer then drives BuildOverlay
+  // directly to inspect the structures a session run would simulate on.
+  const uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed"));
+  d3t::Rng rng(seed);
+  d3t::exp::NetworkConfig network;
+  network.routers = repos * 4;
+  network.repositories = repos;
+  d3t::exp::WorkloadConfig workload;
+  workload.items = items;
+  workload.ticks = 2;  // traces are irrelevant here; keep them minimal
+  auto session = d3t::exp::SessionBuilder()
+                     .SetNetwork(network)
+                     .SetWorkload(workload)
+                     .SetSeed(seed)
+                     .Build();
+  if (!session.ok()) {
     std::fprintf(stderr, "setup: %s\n",
-                 delays.status().ToString().c_str());
+                 session.status().ToString().c_str());
     return 1;
   }
-
-  d3t::core::InterestOptions workload;
-  workload.repository_count = repos;
-  workload.item_count = items;
-  auto interests = d3t::core::GenerateInterests(workload, rng);
+  const d3t::exp::World& world = session->world();
 
   d3t::core::LelaOptions lela;
   lela.coop_degree = degree;
-  auto built =
-      d3t::core::BuildOverlay(*delays, interests, items, lela, rng);
+  auto built = d3t::core::BuildOverlay(world.delays(), world.interests(),
+                                       items, lela, rng);
   if (!built.ok()) {
     std::fprintf(stderr, "lela: %s\n", built.status().ToString().c_str());
     return 1;

@@ -2,8 +2,9 @@
 // weather/sensor data in an industrial process-control setting. Unlike
 // the stock example this one builds its traces by hand (slow-drifting
 // temperatures punctuated by step changes), persists them as CSV, loads
-// them back through the trace I/O layer, and drives the engine directly
-// — demonstrating the lower-level public API.
+// them back through the trace I/O layer, and feeds the replayed logs
+// into a SimulationSession via the SetTraces/SetInterests overrides —
+// the World supplies only the plant network, the workload is ours.
 //
 //   $ ./build/examples/sensor_grid
 
@@ -11,10 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "core/engine.h"
-#include "core/lela.h"
-#include "net/routing.h"
-#include "net/topology_generator.h"
+#include "exp/session.h"
 #include "trace/trace_io.h"
 
 namespace {
@@ -82,58 +80,53 @@ int main() {
     }
   }
 
-  // Physical plant network: a modest LAN/WAN mix.
-  d3t::net::TopologyGeneratorOptions topo_options;
-  topo_options.router_count = 30;
-  topo_options.repository_count = kStations;
-  topo_options.link_delay_min_ms = 0.5;
-  topo_options.link_delay_mean_ms = 2.0;
-  auto topo = d3t::net::GenerateTopology(topo_options, rng);
-  if (!topo.ok()) {
-    std::fprintf(stderr, "topology: %s\n",
-                 topo.status().ToString().c_str());
-    return 1;
-  }
-  auto routing = d3t::net::RoutingTables::FloydWarshall(*topo);
-  auto delays = d3t::net::OverlayDelayModel::FromRouting(*topo, *routing);
-  if (!delays.ok()) {
-    std::fprintf(stderr, "delays: %s\n",
-                 delays.status().ToString().c_str());
-    return 1;
-  }
-
-  // Overlay + simulation under both exact dissemination policies.
-  d3t::core::LelaOptions lela;
-  lela.coop_degree = 4;
-  auto built =
-      d3t::core::BuildOverlay(*delays, interests, kSensors, lela, rng);
-  if (!built.ok()) {
-    std::fprintf(stderr, "lela: %s\n", built.status().ToString().c_str());
+  // Physical plant network: a modest LAN/WAN mix. The generated traces
+  // and interests above override the World's synthetic workload.
+  d3t::exp::NetworkConfig network;
+  network.routers = 30;
+  network.repositories = kStations;
+  network.link_delay_min_ms = 0.5;
+  network.link_delay_mean_ms = 2.0;
+  d3t::exp::WorkloadConfig workload;
+  workload.items = kSensors;
+  workload.ticks = 1800;
+  d3t::exp::SessionBuilder builder;
+  builder.SetNetwork(network)
+      .SetWorkload(workload)
+      .SetSeed(4242)
+      .SetTraces(std::move(traces))
+      .SetInterests(std::move(interests));
+  // rvalue Build() moves the replayed logs into the World (no copy).
+  auto session = std::move(builder).Build();
+  if (!session.ok()) {
+    std::fprintf(stderr, "session: %s\n",
+                 session.status().ToString().c_str());
     return 1;
   }
 
-  for (const char* policy_name : {"distributed", "centralized"}) {
-    auto policy = d3t::core::MakeDisseminator(policy_name);
-    if (policy == nullptr) {
-      std::fprintf(stderr, "unknown dissemination policy: %s\n",
-                   policy_name);
+  // Both exact dissemination policies on the same plant — two RunSpecs,
+  // identical seeds (so both simulate the same overlay).
+  d3t::exp::RunSpec base;
+  base.overlay.coop_degree = 4;
+  base.policy.comp_delay_ms = 2.0;  // embedded CPUs
+  base.seed = 4242;
+  const std::vector<std::string> policies = {"distributed", "centralized"};
+  auto results = session->RunSweep(
+      base, policies, [](d3t::exp::RunSpec& spec, const std::string& name) {
+        spec.policy.policy = name;
+      });
+  for (size_t i = 0; i < policies.size(); ++i) {
+    if (!results[i].ok()) {
+      std::fprintf(stderr, "%s: %s\n", policies[i].c_str(),
+                   results[i].status().ToString().c_str());
       return 1;
     }
-    d3t::core::EngineOptions engine_options;
-    engine_options.comp_delay = d3t::sim::Millis(2.0);  // embedded CPUs
-    d3t::core::Engine engine(built->overlay, *delays, traces, *policy,
-                             engine_options);
-    auto metrics = engine.Run();
-    if (!metrics.ok()) {
-      std::fprintf(stderr, "engine: %s\n",
-                   metrics.status().ToString().c_str());
-      return 1;
-    }
+    const auto& metrics = results[i]->metrics;
     std::printf(
         "%-12s loss %.3f%%  messages %-6llu source checks %llu\n",
-        policy_name, metrics->loss_percent,
-        static_cast<unsigned long long>(metrics->messages),
-        static_cast<unsigned long long>(metrics->source_checks));
+        policies[i].c_str(), metrics.loss_percent,
+        static_cast<unsigned long long>(metrics.messages),
+        static_cast<unsigned long long>(metrics.source_checks));
   }
   std::printf(
       "\ncontrol loops stay within 0.05 degrees of the live sensors while "

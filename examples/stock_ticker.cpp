@@ -1,8 +1,9 @@
 // Scenario from the paper's introduction: a stock-price dissemination
 // service. Online traders demand cent-level coherency on hot tickers;
 // portfolio dashboards tolerate dollar-level staleness. This example
-// uses the experiment harness to contrast three deployment shapes on
-// identical workloads:
+// uses the SimulationSession API to contrast three deployment shapes on
+// identical workloads — the World (topology, routed delays, traces,
+// interests) is built once and every shape is a RunSpec against it:
 //   * "direct"     — no cooperation, the exchange feeds every mirror;
 //   * "chain"      — maximal altruism, degree 1;
 //   * "controlled" — the degree picked by Eq. (2).
@@ -10,10 +11,11 @@
 //   $ ./build/examples/stock_ticker [--full]
 
 #include <cstdio>
+#include <vector>
 
 #include "common/cli.h"
 #include "common/table.h"
-#include "exp/experiment.h"
+#include "exp/session.h"
 
 int main(int argc, char** argv) {
   d3t::CommandLine cli;
@@ -25,69 +27,83 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  d3t::exp::ExperimentConfig base;
+  d3t::exp::NetworkConfig network;
+  d3t::exp::WorkloadConfig workload;
   if (cli.GetBool("full")) {
-    base.repositories = 100;
-    base.routers = 600;
-    base.items = 100;
-    base.ticks = 10000;
+    network.repositories = 100;
+    network.routers = 600;
+    workload.items = 100;
+    workload.ticks = 10000;
   } else {
-    base.repositories = 30;
-    base.routers = 120;
-    base.items = 12;
-    base.ticks = 1500;
+    network.repositories = 30;
+    network.routers = 120;
+    workload.items = 12;
+    workload.ticks = 1500;
   }
-  base.seed = static_cast<uint64_t>(cli.GetInt("seed"));
   // Half of each mirror's tickers carry trader-grade (stringent)
   // tolerances; the rest are dashboard-grade.
-  base.stringent_fraction = 0.5;
+  workload.stringent_fraction = 0.5;
+  const uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed"));
 
-  auto bench = d3t::exp::Workbench::Create(base);
-  if (!bench.ok()) {
+  auto session = d3t::exp::SessionBuilder()
+                     .SetNetwork(network)
+                     .SetWorkload(workload)
+                     .SetSeed(seed)
+                     .Build();
+  if (!session.ok()) {
     std::fprintf(stderr, "setup failed: %s\n",
-                 bench.status().ToString().c_str());
+                 session.status().ToString().c_str());
     return 1;
   }
+  const d3t::exp::World& world = session->world();
   std::printf(
       "stock ticker service: %zu mirrors, %zu tickers, %zu price ticks "
       "each\nmean mirror-to-mirror delay %.1f ms over %.1f router hops\n\n",
-      base.repositories, base.items, base.ticks,
-      bench->delays().PairDelayStats().mean() / 1000.0,
-      bench->delays().MeanPairHops());
+      network.repositories, workload.items, workload.ticks,
+      world.delays().PairDelayStats().mean() / 1000.0,
+      world.delays().MeanPairHops());
 
-  d3t::TablePrinter table({"Deployment", "Degree", "Diameter", "Loss%",
-                           "Messages", "SourceMsgs"});
   struct Shape {
     const char* name;
     size_t degree;
     bool controlled;
   };
-  const Shape shapes[] = {
-      {"direct (no coop)", base.repositories, false},
+  const std::vector<Shape> shapes = {
+      {"direct (no coop)", network.repositories, false},
       {"chain (degree 1)", 1, false},
-      {"controlled (Eq.2)", base.repositories, true},
+      {"controlled (Eq.2)", network.repositories, true},
   };
+
+  // One sweep call: three deployment shapes against the one World.
+  d3t::exp::RunSpec base;
+  base.seed = seed;
+  auto results = session->RunSweep(
+      base, shapes, [](d3t::exp::RunSpec& spec, const Shape& shape) {
+        spec.overlay.coop_degree = shape.degree;
+        spec.overlay.controlled_cooperation = shape.controlled;
+        spec.label = shape.name;
+      });
+
+  d3t::TablePrinter table({"Deployment", "Degree", "Diameter", "Loss%",
+                           "Messages", "SourceMsgs"});
   double controlled_loss = 0, direct_loss = 0;
-  for (const Shape& shape : shapes) {
-    d3t::exp::ExperimentConfig config = base;
-    config.coop_degree = shape.degree;
-    config.controlled_cooperation = shape.controlled;
-    auto result = bench->Run(config);
-    if (!result.ok()) {
-      std::fprintf(stderr, "%s failed: %s\n", shape.name,
-                   result.status().ToString().c_str());
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    if (!results[i].ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", shapes[i].name,
+                   results[i].status().ToString().c_str());
       return 1;
     }
-    if (shape.controlled) controlled_loss = result->metrics.loss_percent;
-    if (shape.degree == base.repositories && !shape.controlled) {
-      direct_loss = result->metrics.loss_percent;
+    const d3t::exp::ExperimentResult& result = *results[i];
+    if (shapes[i].controlled) controlled_loss = result.metrics.loss_percent;
+    if (shapes[i].degree == network.repositories && !shapes[i].controlled) {
+      direct_loss = result.metrics.loss_percent;
     }
     table.AddRow(
-        {shape.name, d3t::TablePrinter::Int(result->effective_degree),
-         d3t::TablePrinter::Int(result->shape.diameter),
-         d3t::TablePrinter::Num(result->metrics.loss_percent, 2),
-         d3t::TablePrinter::Int(result->metrics.messages),
-         d3t::TablePrinter::Int(result->metrics.source_messages)});
+        {shapes[i].name, d3t::TablePrinter::Int(result.effective_degree),
+         d3t::TablePrinter::Int(result.shape.diameter),
+         d3t::TablePrinter::Num(result.metrics.loss_percent, 2),
+         d3t::TablePrinter::Int(result.metrics.messages),
+         d3t::TablePrinter::Int(result.metrics.source_messages)});
   }
   table.Print();
   if (direct_loss > 0) {

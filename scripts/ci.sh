@@ -2,10 +2,29 @@
 # Tier-1 verification: the exact configure/build/test sequence CI runs.
 # Benchmarks are auto-detected (D3T_BUILD_BENCH=AUTO); a missing
 # google-benchmark never fails this script.
+#
+# Sanitizer runs: set D3T_SANITIZE=thread (or address/undefined) to
+# build into build-<sanitizer>/ with -fsanitize instrumentation — the
+# thread variant race-checks the RunAll/RunMultiSource worker-pool path.
+# D3T_TEST_FILTER optionally narrows ctest (regex) for slow sanitizer
+# builds.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-cmake -B build -S .
-cmake --build build -j
-ctest --test-dir build --output-on-failure -j
+BUILD_DIR=build
+CMAKE_ARGS=()
+if [[ -n "${D3T_SANITIZE:-}" ]]; then
+  BUILD_DIR="build-${D3T_SANITIZE}"
+  # Sanitized bench binaries are pointless; keep the build lean.
+  CMAKE_ARGS+=("-DD3T_SANITIZE=${D3T_SANITIZE}" "-DD3T_BUILD_BENCH=OFF")
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}"
+cmake --build "$BUILD_DIR" -j
+if [[ -n "${D3T_TEST_FILTER:-}" ]]; then
+  # -R must precede the bare -j, which would otherwise consume it.
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -R "$D3T_TEST_FILTER" -j
+else
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j
+fi

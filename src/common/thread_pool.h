@@ -1,0 +1,58 @@
+#ifndef D3T_COMMON_THREAD_POOL_H_
+#define D3T_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace d3t {
+
+/// Fixed-size worker pool for independent simulation runs (sharded
+/// multi-source engines, sweep points). Tasks are plain closures; the
+/// pool makes no ordering promises, so callers that need deterministic
+/// output must write results into pre-assigned slots and aggregate after
+/// Wait() — see exp::SimulationSession::RunAll.
+class ThreadPool {
+ public:
+  /// Spawns `thread_count` workers; 0 picks DefaultThreadCount().
+  explicit ThreadPool(size_t thread_count = 0);
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker. Safe to call from
+  /// multiple threads; must not be called concurrently with destruction.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished. The pool is
+  /// reusable afterwards.
+  void Wait();
+
+  size_t thread_count() const { return workers_.size(); }
+
+  /// Hardware concurrency with a floor of 1 (hardware_concurrency() may
+  /// report 0 on exotic platforms).
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  /// Queued plus currently-running tasks; Wait() returns at 0.
+  size_t outstanding_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace d3t
+
+#endif  // D3T_COMMON_THREAD_POOL_H_

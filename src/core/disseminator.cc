@@ -256,4 +256,10 @@ std::unique_ptr<Disseminator> MakeDisseminator(const std::string& name) {
   return nullptr;
 }
 
+const std::vector<std::string>& KnownPolicyNames() {
+  static const std::vector<std::string> names = {
+      "distributed", "centralized", "eq3-only", "all-updates", "temporal"};
+  return names;
+}
+
 }  // namespace d3t::core

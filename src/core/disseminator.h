@@ -182,6 +182,11 @@ class TemporalDisseminator : public Disseminator {
 /// period); returns nullptr for unknown names.
 std::unique_ptr<Disseminator> MakeDisseminator(const std::string& name);
 
+/// Every name MakeDisseminator accepts, in factory order. Callers that
+/// take a policy name as user input should validate against this list up
+/// front (exp::ValidatePolicyName renders the canonical error).
+const std::vector<std::string>& KnownPolicyNames();
+
 }  // namespace d3t::core
 
 #endif  // D3T_CORE_DISSEMINATOR_H_

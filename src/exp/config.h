@@ -1,0 +1,107 @@
+#ifndef D3T_EXP_CONFIG_H_
+#define D3T_EXP_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/lela.h"
+
+namespace d3t::exp {
+
+/// Physical-network knobs: everything that shapes the topology and its
+/// routed delay model. World-building input — immutable across the runs
+/// of a session.
+struct NetworkConfig {
+  size_t repositories = 100;
+  size_t routers = 600;
+  /// Number of source nodes (paper base case: 1; §4's multi-source
+  /// extension partitions the items round-robin across sources).
+  size_t source_count = 1;
+  /// Use Floyd-Warshall (paper-faithful) when true; Dijkstra rows
+  /// restricted to overlay members otherwise (for large networks).
+  /// Multi-source worlds always route with Dijkstra rows.
+  bool use_floyd_warshall = true;
+  /// Per-link Pareto delay parameters (milliseconds); see
+  /// net::TopologyGeneratorOptions for the calibration note.
+  double link_delay_min_ms = 1.5;
+  double link_delay_mean_ms = 4.0;
+
+  friend bool operator==(const NetworkConfig& a, const NetworkConfig& b) {
+    return a.repositories == b.repositories && a.routers == b.routers &&
+           a.source_count == b.source_count &&
+           a.use_floyd_warshall == b.use_floyd_warshall &&
+           a.link_delay_min_ms == b.link_delay_min_ms &&
+           a.link_delay_mean_ms == b.link_delay_mean_ms;
+  }
+  friend bool operator!=(const NetworkConfig& a, const NetworkConfig& b) {
+    return !(a == b);
+  }
+};
+
+/// Workload knobs: the traces and the repositories' data needs.
+/// World-building input — immutable across the runs of a session.
+struct WorkloadConfig {
+  size_t items = 100;
+  size_t ticks = 10000;
+  double item_probability = 0.5;
+  /// The paper's T: fraction of a repository's items with stringent
+  /// tolerances, in [0, 1].
+  double stringent_fraction = 0.5;
+
+  friend bool operator==(const WorkloadConfig& a, const WorkloadConfig& b) {
+    return a.items == b.items && a.ticks == b.ticks &&
+           a.item_probability == b.item_probability &&
+           a.stringent_fraction == b.stringent_fraction;
+  }
+  friend bool operator!=(const WorkloadConfig& a, const WorkloadConfig& b) {
+    return !(a == b);
+  }
+};
+
+/// Overlay-construction knobs, applied per run (LeLA rebuilds the d3g
+/// for every RunSpec; the substrate underneath stays shared).
+struct OverlayConfig {
+  /// Degree of cooperation *offered* by every member.
+  size_t coop_degree = 5;
+  /// When true, the effective degree is min(offered, Eq. (2) value).
+  bool controlled_cooperation = false;
+  /// Eq. (2)'s interest-fraction constant f.
+  double coop_f = 50.0;
+  double p_window = 0.05;
+  core::PreferenceFunction preference = core::PreferenceFunction::kP1;
+  core::InsertionOrder insertion_order =
+      core::InsertionOrder::kStringentFirst;
+};
+
+/// Dissemination-policy and timing knobs, applied per run.
+struct PolicyConfig {
+  /// "distributed", "centralized", "eq3-only", "all-updates" or
+  /// "temporal". Validated before any substrate work; see
+  /// exp::ValidatePolicyName.
+  std::string policy = "distributed";
+  double comp_delay_ms = 12.5;
+  /// When > 0, the pairwise delay matrix is rescaled so its mean equals
+  /// this value (the x-axis of Figs. 5 and 7b). 0 keeps topology-native
+  /// delays. Negative forces all-zero communication delays.
+  double comm_delay_mean_ms = 0.0;
+  /// See core::EngineOptions::tag_check_cost_factor.
+  double tag_check_cost_factor = 0.0;
+};
+
+/// Legacy flat description of one simulation run, defaulted to the
+/// paper's base case (§6.1). Kept as a compatibility shim: it is exactly
+/// the four decomposed configs glued together (field access is
+/// unchanged), and slicing to a base struct extracts the world-building
+/// or per-run part, e.g. `NetworkConfig net = config;`. New code should
+/// prefer SessionBuilder + RunSpec (exp/session.h).
+struct ExperimentConfig : NetworkConfig,
+                          WorkloadConfig,
+                          OverlayConfig,
+                          PolicyConfig {
+  uint64_t seed = 42;
+};
+
+}  // namespace d3t::exp
+
+#endif  // D3T_EXP_CONFIG_H_

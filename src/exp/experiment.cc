@@ -1,127 +1,43 @@
 #include "exp/experiment.h"
 
-#include <algorithm>
-
-#include "core/coop_degree.h"
-#include "core/interest.h"
-#include "net/routing.h"
-#include "net/topology_generator.h"
-#include "trace/synthetic.h"
-
 namespace d3t::exp {
 
+RunSpec Workbench::SpecFromConfig(const ExperimentConfig& config) {
+  RunSpec spec;
+  spec.overlay = config;  // slice to the OverlayConfig base
+  spec.policy = config;   // slice to the PolicyConfig base
+  spec.seed = config.seed;
+  return spec;
+}
+
 Result<Workbench> Workbench::Create(const ExperimentConfig& config) {
-  if (config.repositories == 0 || config.items == 0 || config.ticks < 2) {
+  D3T_RETURN_IF_ERROR(ValidatePolicyName(config.policy));
+  if (config.source_count != 1) {
     return Status::InvalidArgument(
-        "need >=1 repository, >=1 item and >=2 ticks");
+        "a Workbench is single-source (the paper's base case); use "
+        "SessionBuilder or RunMultiSource for multi-source worlds");
   }
-  Rng master(config.seed);
-  Rng topo_rng = master.Fork(1);
-  Rng trace_rng = master.Fork(2);
-  Rng interest_rng = master.Fork(3);
-
-  net::TopologyGeneratorOptions topo_options;
-  topo_options.router_count = config.routers;
-  topo_options.repository_count = config.repositories;
-  Result<net::Topology> topo = net::GenerateTopology(topo_options, topo_rng);
-  if (!topo.ok()) return topo.status();
-
-  Result<net::OverlayDelayModel> delays = [&]() {
-    if (config.use_floyd_warshall) {
-      Result<net::RoutingTables> routing =
-          net::RoutingTables::FloydWarshall(*topo);
-      if (!routing.ok()) return Result<net::OverlayDelayModel>(routing.status());
-      return net::OverlayDelayModel::FromRouting(*topo, *routing);
-    }
-    std::vector<net::NodeId> rows;
-    rows.push_back(topo->SourceNode());
-    for (net::NodeId repo : topo->RepositoryNodes()) rows.push_back(repo);
-    Result<net::RoutingTables> routing =
-        net::RoutingTables::DijkstraRows(*topo, rows);
-    if (!routing.ok()) return Result<net::OverlayDelayModel>(routing.status());
-    return net::OverlayDelayModel::FromRouting(*topo, *routing);
-  }();
-  if (!delays.ok()) return delays.status();
-
-  std::vector<trace::Trace> traces =
-      trace::BuildTraceLibrary(config.items, config.ticks, trace_rng);
-  if (traces.size() != config.items) {
-    return Status::Internal("trace library generation failed");
-  }
-
-  core::InterestOptions interest_options;
-  interest_options.repository_count = config.repositories;
-  interest_options.item_count = config.items;
-  interest_options.item_probability = config.item_probability;
-  interest_options.stringent_fraction = config.stringent_fraction;
-  std::vector<core::InterestSet> interests =
-      core::GenerateInterests(interest_options, interest_rng);
-
-  return Workbench(config, std::move(delays).value(), std::move(traces),
-                   std::move(interests));
+  SessionBuilder builder;
+  builder.SetNetwork(config)
+      .SetWorkload(config)
+      .SetSeed(config.seed);
+  Result<SimulationSession> session = builder.Build();
+  if (!session.ok()) return session.status();
+  return Workbench(config, std::move(session).value());
 }
 
 Result<ExperimentResult> Workbench::Run(const ExperimentConfig& config) const {
-  if (config.repositories != base_.repositories ||
-      config.items != base_.items || config.ticks != base_.ticks) {
+  // Compare the full world-building slices: any NetworkConfig or
+  // WorkloadConfig field changed per run would be silently ignored
+  // (the World is already built), so reject instead.
+  if (static_cast<const NetworkConfig&>(config) !=
+          static_cast<const NetworkConfig&>(base_) ||
+      static_cast<const WorkloadConfig&>(config) !=
+          static_cast<const WorkloadConfig&>(base_)) {
     return Status::InvalidArgument(
         "network/workload fields differ from the workbench base config");
   }
-
-  // Communication-delay scaling (Figs. 5 and 7b sweep the mean delay).
-  net::OverlayDelayModel delays = delays_;
-  if (config.comm_delay_mean_ms > 0.0) {
-    delays = delays.ScaledToMeanDelay(sim::Millis(config.comm_delay_mean_ms));
-  } else if (config.comm_delay_mean_ms < 0.0) {
-    delays = delays.ScaledToMeanDelay(0);
-  }
-
-  ExperimentResult result;
-  result.mean_pair_delay_ms = delays.PairDelayStats().mean() / 1000.0;
-  result.mean_pair_hops = delays.MeanPairHops();
-
-  // Effective cooperation degree.
-  size_t degree = std::max<size_t>(1, config.coop_degree);
-  if (config.controlled_cooperation) {
-    core::CoopDegreeInputs inputs;
-    inputs.avg_comm_delay =
-        static_cast<sim::SimTime>(delays.PairDelayStats().mean());
-    inputs.avg_comp_delay = sim::Millis(config.comp_delay_ms);
-    inputs.f = config.coop_f;
-    inputs.max_resources = config.repositories;
-    degree = std::min(degree, core::ComputeCooperationDegree(inputs));
-  }
-  result.effective_degree = degree;
-
-  core::LelaOptions lela_options;
-  lela_options.coop_degree = degree;
-  lela_options.p_window = config.p_window;
-  lela_options.preference = config.preference;
-  lela_options.insertion_order = config.insertion_order;
-  Rng lela_rng = Rng(config.seed).Fork(4);
-  Result<core::LelaResult> built = core::BuildOverlay(
-      delays, interests_, config.items, lela_options, lela_rng);
-  if (!built.ok()) return built.status();
-  // Defense in depth: never simulate on a malformed overlay.
-  D3T_RETURN_IF_ERROR(built->overlay.Validate(degree));
-  result.build_info = built->info;
-  result.shape = built->overlay.ComputeShape();
-
-  std::unique_ptr<core::Disseminator> policy =
-      core::MakeDisseminator(config.policy);
-  if (policy == nullptr) {
-    return Status::InvalidArgument("unknown policy: " + config.policy);
-  }
-
-  core::EngineOptions engine_options;
-  engine_options.comp_delay = sim::Millis(config.comp_delay_ms);
-  engine_options.tag_check_cost_factor = config.tag_check_cost_factor;
-  core::Engine engine(built->overlay, delays, traces_, *policy,
-                      engine_options);
-  Result<core::EngineMetrics> metrics = engine.Run();
-  if (!metrics.ok()) return metrics.status();
-  result.metrics = std::move(metrics).value();
-  return result;
+  return session_.Run(SpecFromConfig(config));
 }
 
 Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {

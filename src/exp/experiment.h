@@ -5,112 +5,54 @@
 #include <string>
 #include <vector>
 
-#include "common/random.h"
 #include "common/result.h"
-#include "core/engine.h"
-#include "core/lela.h"
-#include "net/delay_model.h"
-#include "trace/trace.h"
+#include "exp/config.h"
+#include "exp/session.h"
 
 namespace d3t::exp {
 
-/// Full description of one simulation run, defaulted to the paper's base
-/// case (§6.1): 1 source + 100 repositories + 600 routers, 100 data
-/// items requested with 50% probability, T% stringent tolerances,
-/// 12.5 ms computational delay, Pareto link delays.
-struct ExperimentConfig {
-  // --- physical network -------------------------------------------------
-  size_t repositories = 100;
-  size_t routers = 600;
-  /// Use Floyd-Warshall (paper-faithful) when true; Dijkstra rows
-  /// restricted to overlay members otherwise (for large networks).
-  bool use_floyd_warshall = true;
-
-  // --- workload ----------------------------------------------------------
-  size_t items = 100;
-  size_t ticks = 10000;
-  double item_probability = 0.5;
-  /// The paper's T: fraction of a repository's items with stringent
-  /// tolerances, in [0, 1].
-  double stringent_fraction = 0.5;
-
-  // --- overlay construction ---------------------------------------------
-  /// Degree of cooperation *offered* by every member.
-  size_t coop_degree = 5;
-  /// When true, the effective degree is min(offered, Eq. (2) value).
-  bool controlled_cooperation = false;
-  /// Eq. (2)'s interest-fraction constant f.
-  double coop_f = 50.0;
-  double p_window = 0.05;
-  core::PreferenceFunction preference = core::PreferenceFunction::kP1;
-  core::InsertionOrder insertion_order =
-      core::InsertionOrder::kStringentFirst;
-
-  // --- timing --------------------------------------------------------
-  double comp_delay_ms = 12.5;
-  /// When > 0, the pairwise delay matrix is rescaled so its mean equals
-  /// this value (the x-axis of Figs. 5 and 7b). 0 keeps topology-native
-  /// delays. Negative forces all-zero communication delays.
-  double comm_delay_mean_ms = 0.0;
-  /// See EngineOptions::tag_check_cost_factor.
-  double tag_check_cost_factor = 0.0;
-
-  // --- dissemination -------------------------------------------------
-  /// "distributed", "centralized", "eq3-only" or "all-updates".
-  std::string policy = "distributed";
-
-  uint64_t seed = 42;
-};
-
-/// Everything a run reports.
-struct ExperimentResult {
-  core::EngineMetrics metrics;
-  core::OverlayShape shape;
-  core::LelaBuildInfo build_info;
-  /// Degree actually enforced (after controlled cooperation).
-  size_t effective_degree = 0;
-  /// Mean repository-to-repository delay of the (possibly rescaled)
-  /// delay model, in ms, and the mean physical hop count.
-  double mean_pair_delay_ms = 0.0;
-  double mean_pair_hops = 0.0;
-};
-
-/// Expensive, sweep-invariant artifacts: the routed topology's overlay
-/// delay model, the trace library and the interest sets. Building these
-/// once and sweeping overlay/timing/policy parameters keeps figure
-/// sweeps fast and holds the workload fixed across sweep points, exactly
-/// as the paper varies one knob at a time.
+/// Compatibility wrapper over the SimulationSession API (exp/session.h)
+/// for callers still on the flat ExperimentConfig. A Workbench is a
+/// single-source session: Create() builds the World once from the
+/// network/workload/seed fields, Run() turns the overlay/timing/policy
+/// fields into a RunSpec and executes it against the shared World. New
+/// code should use SessionBuilder + RunSpec directly.
 class Workbench {
  public:
   /// Builds network, traces and interests from `config` (the overlay /
-  /// timing / policy fields are ignored here and supplied per run).
+  /// timing fields are ignored here and supplied per run). The policy
+  /// name is validated here — at build time — so a typo fails before any
+  /// substrate work.
   static Result<Workbench> Create(const ExperimentConfig& config);
 
-  const net::OverlayDelayModel& delays() const { return delays_; }
-  const std::vector<trace::Trace>& traces() const { return traces_; }
+  const net::OverlayDelayModel& delays() const {
+    return session_.world().delays();
+  }
+  const std::vector<trace::Trace>& traces() const {
+    return session_.world().traces();
+  }
   const std::vector<core::InterestSet>& interests() const {
-    return interests_;
+    return session_.world().interests();
   }
   const ExperimentConfig& base_config() const { return base_; }
+
+  /// The underlying session, for RunAll/RunSweep over the same World.
+  const SimulationSession& session() const { return session_; }
 
   /// Runs one experiment on the prebuilt substrate. Only overlay,
   /// timing, policy, and workload-independent fields of `config` are
   /// honored; network and workload fields must match the base config.
   Result<ExperimentResult> Run(const ExperimentConfig& config) const;
 
+  /// The RunSpec equivalent of a flat config's per-run fields.
+  static RunSpec SpecFromConfig(const ExperimentConfig& config);
+
  private:
-  Workbench(ExperimentConfig base, net::OverlayDelayModel delays,
-            std::vector<trace::Trace> traces,
-            std::vector<core::InterestSet> interests)
-      : base_(std::move(base)),
-        delays_(std::move(delays)),
-        traces_(std::move(traces)),
-        interests_(std::move(interests)) {}
+  Workbench(ExperimentConfig base, SimulationSession session)
+      : base_(std::move(base)), session_(std::move(session)) {}
 
   ExperimentConfig base_;
-  net::OverlayDelayModel delays_;
-  std::vector<trace::Trace> traces_;
-  std::vector<core::InterestSet> interests_;
+  SimulationSession session_;
 };
 
 /// Convenience wrapper: builds a Workbench and runs once.

@@ -2,115 +2,68 @@
 
 #include <algorithm>
 
-#include "core/lela.h"
-#include "net/routing.h"
-#include "net/topology_generator.h"
-#include "trace/synthetic.h"
-
 namespace d3t::exp {
+
+std::vector<RunSpec> MultiSourceSpecs(const ExperimentConfig& base,
+                                      size_t source_count) {
+  std::vector<RunSpec> specs(source_count);
+  for (size_t s = 0; s < source_count; ++s) {
+    RunSpec& spec = specs[s];
+    spec.overlay = base;
+    spec.policy = base;
+    spec.source_index = s;
+    // Each shard gets its own stream: deriving every source's overlay
+    // randomness from the one base seed would correlate the shards.
+    spec.seed = PerSourceSeed(base.seed, s);
+    spec.label = "source " + std::to_string(s);
+  }
+  return specs;
+}
 
 Result<MultiSourceResult> RunMultiSource(const MultiSourceConfig& config) {
   const ExperimentConfig& base = config.base;
   if (config.source_count == 0) {
     return Status::InvalidArgument("need at least one source");
   }
-  if (base.repositories == 0 || base.items == 0 || base.ticks < 2) {
-    return Status::InvalidArgument(
-        "need >=1 repository, >=1 item and >=2 ticks");
-  }
+  // Fail fast on a bad policy name — before the World is built.
+  D3T_RETURN_IF_ERROR(ValidatePolicyName(base.policy));
 
-  Rng master(base.seed);
-  Rng topo_rng = master.Fork(1);
-  Rng trace_rng = master.Fork(2);
-  Rng interest_rng = master.Fork(3);
+  NetworkConfig network = base;
+  network.source_count = config.source_count;
+  SessionBuilder builder;
+  builder.SetNetwork(network)
+      .SetWorkload(base)
+      .SetSeed(base.seed)
+      .SetWorkerThreads(config.worker_threads);
+  Result<SimulationSession> session = builder.Build();
+  if (!session.ok()) return session.status();
 
-  net::TopologyGeneratorOptions topo_options;
-  topo_options.router_count = base.routers;
-  topo_options.repository_count = base.repositories;
-  topo_options.source_count = config.source_count;
-  Result<net::Topology> topo = net::GenerateTopology(topo_options, topo_rng);
-  if (!topo.ok()) return topo.status();
-
-  // Route once from every source and repository (Dijkstra scales to the
-  // multi-source node counts).
-  std::vector<net::NodeId> rows = topo->SourceNodes();
-  for (net::NodeId repo : topo->RepositoryNodes()) rows.push_back(repo);
-  Result<net::RoutingTables> routing =
-      net::RoutingTables::DijkstraRows(*topo, rows);
-  if (!routing.ok()) return routing.status();
-
-  std::vector<trace::Trace> traces =
-      trace::BuildTraceLibrary(base.items, base.ticks, trace_rng);
-
-  core::InterestOptions interest_options;
-  interest_options.repository_count = base.repositories;
-  interest_options.item_count = base.items;
-  interest_options.item_probability = base.item_probability;
-  interest_options.stringent_fraction = base.stringent_fraction;
-  std::vector<core::InterestSet> interests =
-      core::GenerateInterests(interest_options, interest_rng);
+  const std::vector<RunSpec> specs =
+      MultiSourceSpecs(base, config.source_count);
+  const std::vector<Result<ExperimentResult>> runs = session->RunAll(specs);
 
   MultiSourceResult result;
   result.per_source.resize(config.source_count);
   double pair_loss_weighted = 0.0;
   uint64_t total_pairs = 0;
-
-  const std::vector<net::NodeId> sources = topo->SourceNodes();
-  for (size_t s = 0; s < config.source_count; ++s) {
-    Result<net::OverlayDelayModel> delays =
-        net::OverlayDelayModel::FromRoutingWithSource(*topo, *routing,
-                                                      sources[s]);
-    if (!delays.ok()) return delays.status();
-
-    // This source owns the items congruent to s (round-robin
-    // partition); repositories' needs are restricted accordingly.
-    std::vector<core::InterestSet> owned(interests.size());
-    size_t owned_items = 0;
-    for (size_t i = 0; i < interests.size(); ++i) {
-      for (const auto& [item, c] : interests[i]) {
-        if (item % config.source_count == s) owned[i].emplace(item, c);
-      }
-    }
-    for (core::ItemId item = 0; item < base.items; ++item) {
-      if (item % config.source_count == s) ++owned_items;
-    }
-
-    core::LelaOptions lela;
-    lela.coop_degree = std::max<size_t>(1, base.coop_degree);
-    lela.p_window = base.p_window;
-    lela.preference = base.preference;
-    lela.insertion_order = base.insertion_order;
-    Rng lela_rng = Rng(base.seed).Fork(100 + s);
-    Result<core::LelaResult> built =
-        core::BuildOverlay(*delays, owned, base.items, lela, lela_rng);
-    if (!built.ok()) return built.status();
-
-    std::unique_ptr<core::Disseminator> policy =
-        core::MakeDisseminator(base.policy);
-    if (policy == nullptr) {
-      return Status::InvalidArgument("unknown policy: " + base.policy);
-    }
-    core::EngineOptions engine_options;
-    engine_options.comp_delay = sim::Millis(base.comp_delay_ms);
-    core::Engine engine(built->overlay, *delays, traces, *policy,
-                        engine_options);
-    Result<core::EngineMetrics> metrics = engine.Run();
-    if (!metrics.ok()) return metrics.status();
+  for (size_t s = 0; s < runs.size(); ++s) {
+    if (!runs[s].ok()) return runs[s].status();
+    const core::EngineMetrics& metrics = runs[s]->metrics;
 
     SourceSlice& slice = result.per_source[s];
-    slice.items = owned_items;
-    slice.messages = metrics->messages;
-    slice.source_checks = metrics->source_checks;
-    slice.pair_loss_percent = metrics->pair_loss_percent;
-    slice.tracked_pairs = metrics->tracked_pairs;
+    slice.items = session->world().OwnedItemCount(s);
+    slice.messages = metrics.messages;
+    slice.source_checks = metrics.source_checks;
+    slice.pair_loss_percent = metrics.pair_loss_percent;
+    slice.tracked_pairs = metrics.tracked_pairs;
 
-    result.messages += metrics->messages;
-    result.checks += metrics->checks;
+    result.messages += metrics.messages;
+    result.checks += metrics.checks;
     result.max_source_checks =
-        std::max(result.max_source_checks, metrics->source_checks);
-    pair_loss_weighted += metrics->pair_loss_percent *
-                          static_cast<double>(metrics->tracked_pairs);
-    total_pairs += metrics->tracked_pairs;
+        std::max(result.max_source_checks, metrics.source_checks);
+    pair_loss_weighted += metrics.pair_loss_percent *
+                          static_cast<double>(metrics.tracked_pairs);
+    total_pairs += metrics.tracked_pairs;
   }
   result.loss_percent =
       total_pairs > 0 ? pair_loss_weighted / static_cast<double>(total_pairs)

@@ -19,6 +19,11 @@ namespace d3t::exp {
 struct MultiSourceConfig {
   ExperimentConfig base;
   size_t source_count = 2;
+  /// Worker threads for the per-source engine runs (the engines are
+  /// independent — one World, N shards). 0 = one per hardware thread;
+  /// 1 forces the serial reference path. Results are byte-identical
+  /// either way.
+  size_t worker_threads = 0;
 };
 
 /// Per-source slice of the aggregate result.
@@ -40,10 +45,18 @@ struct MultiSourceResult {
   std::vector<SourceSlice> per_source;
 };
 
-/// Runs the multi-source experiment: one topology with
+/// Builds the RunSpecs RunMultiSource executes: one per source, each
+/// rooted at its source with a decorrelated PerSourceSeed stream.
+/// Exposed so callers can tweak specs before running them on a session.
+std::vector<RunSpec> MultiSourceSpecs(const ExperimentConfig& base,
+                                      size_t source_count);
+
+/// Runs the multi-source experiment: one World with
 /// `config.source_count` sources, one trace library, round-robin item
 /// ownership, an independent LeLA overlay per source and one engine run
-/// per source; metrics are aggregated pair-weighted.
+/// per source — sharded across the session's worker pool; metrics are
+/// aggregated pair-weighted in source order (deterministic regardless of
+/// scheduling).
 Result<MultiSourceResult> RunMultiSource(const MultiSourceConfig& config);
 
 }  // namespace d3t::exp

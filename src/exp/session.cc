@@ -1,0 +1,292 @@
+#include "exp/session.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+
+#include "common/thread_pool.h"
+#include "core/coop_degree.h"
+#include "core/disseminator.h"
+#include "net/routing.h"
+#include "net/topology_generator.h"
+#include "trace/synthetic.h"
+
+namespace d3t::exp {
+namespace {
+
+std::atomic<uint64_t> g_world_build_count{0};
+
+Status ValidateRunSpec(const World& world, const RunSpec& spec) {
+  D3T_RETURN_IF_ERROR(ValidatePolicyName(spec.policy.policy));
+  if (spec.source_index >= world.source_count()) {
+    return Status::InvalidArgument(
+        "source_index " + std::to_string(spec.source_index) +
+        " out of range: the world has " +
+        std::to_string(world.source_count()) + " source(s)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ValidatePolicyName(const std::string& name) {
+  const std::vector<std::string>& known = core::KnownPolicyNames();
+  if (std::find(known.begin(), known.end(), name) != known.end()) {
+    return Status::Ok();
+  }
+  std::string message = "unknown policy '" + name + "'; known policies:";
+  for (const std::string& policy : known) message += " " + policy;
+  return Status::InvalidArgument(message);
+}
+
+uint64_t PerSourceSeed(uint64_t base_seed, size_t source_index) {
+  // golden-ratio-unrelated odd constant so PerSourceSeed(s, i) never
+  // collides with the Fork() stream family derived from the same seed.
+  uint64_t state =
+      base_seed ^
+      (0xd1b54a32d192ed03ULL * (static_cast<uint64_t>(source_index) + 1));
+  return SplitMix64(state);
+}
+
+uint64_t World::BuildCount() {
+  return g_world_build_count.load(std::memory_order_relaxed);
+}
+
+std::vector<core::InterestSet> World::OwnedInterests(
+    size_t source_index) const {
+  if (source_count() == 1) return interests_;
+  std::vector<core::InterestSet> owned(interests_.size());
+  for (size_t i = 0; i < interests_.size(); ++i) {
+    for (const auto& [item, c] : interests_[i]) {
+      if (item % source_count() == source_index) owned[i].emplace(item, c);
+    }
+  }
+  return owned;
+}
+
+size_t World::OwnedItemCount(size_t source_index) const {
+  const size_t sources = source_count();
+  size_t count = 0;
+  for (size_t item = 0; item < workload_.items; ++item) {
+    if (item % sources == source_index) ++count;
+  }
+  return count;
+}
+
+Result<SimulationSession> SessionBuilder::Build() const& {
+  return BuildInternal(interests_override_, traces_override_);
+}
+
+Result<SimulationSession> SessionBuilder::Build() && {
+  return BuildInternal(std::move(interests_override_),
+                       std::move(traces_override_));
+}
+
+Result<SimulationSession> SessionBuilder::BuildInternal(
+    std::vector<core::InterestSet> interests,
+    std::vector<trace::Trace> traces) const {
+  if (network_.repositories == 0 || workload_.items == 0 ||
+      workload_.ticks < 2) {
+    return Status::InvalidArgument(
+        "need >=1 repository, >=1 item and >=2 ticks");
+  }
+  if (network_.source_count == 0) {
+    return Status::InvalidArgument("need at least one source");
+  }
+  if (has_interests_ && interests.size() != network_.repositories) {
+    return Status::InvalidArgument(
+        "interest override must cover every repository");
+  }
+  if (has_traces_) {
+    if (traces.size() != workload_.items) {
+      return Status::InvalidArgument(
+          "trace override must supply one trace per item");
+    }
+    for (const trace::Trace& trace : traces) {
+      if (trace.empty()) {
+        return Status::InvalidArgument("trace override contains an empty "
+                                       "trace");
+      }
+    }
+  }
+
+  // Stream assignment is part of the public contract: reproducing the
+  // historical Workbench streams keeps golden metrics byte-identical.
+  Rng master(seed_);
+  Rng topo_rng = master.Fork(1);
+  Rng trace_rng = master.Fork(2);
+  Rng interest_rng = master.Fork(3);
+
+  net::TopologyGeneratorOptions topo_options;
+  topo_options.router_count = network_.routers;
+  topo_options.repository_count = network_.repositories;
+  topo_options.source_count = network_.source_count;
+  topo_options.link_delay_min_ms = network_.link_delay_min_ms;
+  topo_options.link_delay_mean_ms = network_.link_delay_mean_ms;
+  Result<net::Topology> topo = net::GenerateTopology(topo_options, topo_rng);
+  if (!topo.ok()) return topo.status();
+
+  auto world = std::shared_ptr<World>(new World());
+  world->network_ = network_;
+  world->workload_ = workload_;
+  world->seed_ = seed_;
+
+  if (network_.source_count == 1) {
+    Result<net::OverlayDelayModel> delays = [&]() {
+      if (network_.use_floyd_warshall) {
+        Result<net::RoutingTables> routing =
+            net::RoutingTables::FloydWarshall(*topo);
+        if (!routing.ok()) {
+          return Result<net::OverlayDelayModel>(routing.status());
+        }
+        return net::OverlayDelayModel::FromRouting(*topo, *routing);
+      }
+      std::vector<net::NodeId> rows;
+      rows.push_back(topo->SourceNode());
+      for (net::NodeId repo : topo->RepositoryNodes()) rows.push_back(repo);
+      Result<net::RoutingTables> routing =
+          net::RoutingTables::DijkstraRows(*topo, rows);
+      if (!routing.ok()) {
+        return Result<net::OverlayDelayModel>(routing.status());
+      }
+      return net::OverlayDelayModel::FromRouting(*topo, *routing);
+    }();
+    if (!delays.ok()) return delays.status();
+    world->delays_.push_back(std::move(delays).value());
+  } else {
+    // Multi-source worlds route once from every source and repository
+    // (Dijkstra scales to the multi-source node counts), then extract
+    // one member-indexed model per source.
+    std::vector<net::NodeId> rows = topo->SourceNodes();
+    for (net::NodeId repo : topo->RepositoryNodes()) rows.push_back(repo);
+    Result<net::RoutingTables> routing =
+        net::RoutingTables::DijkstraRows(*topo, rows);
+    if (!routing.ok()) return routing.status();
+    for (net::NodeId source : topo->SourceNodes()) {
+      Result<net::OverlayDelayModel> delays =
+          net::OverlayDelayModel::FromRoutingWithSource(*topo, *routing,
+                                                        source);
+      if (!delays.ok()) return delays.status();
+      world->delays_.push_back(std::move(delays).value());
+    }
+  }
+
+  if (has_traces_) {
+    world->traces_ = std::move(traces);
+  } else {
+    world->traces_ =
+        trace::BuildTraceLibrary(workload_.items, workload_.ticks, trace_rng);
+    if (world->traces_.size() != workload_.items) {
+      return Status::Internal("trace library generation failed");
+    }
+  }
+
+  if (has_interests_) {
+    world->interests_ = std::move(interests);
+  } else {
+    core::InterestOptions interest_options;
+    interest_options.repository_count = network_.repositories;
+    interest_options.item_count = workload_.items;
+    interest_options.item_probability = workload_.item_probability;
+    interest_options.stringent_fraction = workload_.stringent_fraction;
+    world->interests_ =
+        core::GenerateInterests(interest_options, interest_rng);
+  }
+
+  g_world_build_count.fetch_add(1, std::memory_order_relaxed);
+  return SimulationSession(std::move(world), worker_threads_);
+}
+
+Result<ExperimentResult> SimulationSession::Run(const RunSpec& spec) const {
+  const World& world = *world_;
+  D3T_RETURN_IF_ERROR(ValidateRunSpec(world, spec));
+
+  // Communication-delay scaling (Figs. 5 and 7b sweep the mean delay).
+  net::OverlayDelayModel delays = world.delays(spec.source_index);
+  if (spec.policy.comm_delay_mean_ms > 0.0) {
+    delays =
+        delays.ScaledToMeanDelay(sim::Millis(spec.policy.comm_delay_mean_ms));
+  } else if (spec.policy.comm_delay_mean_ms < 0.0) {
+    delays = delays.ScaledToMeanDelay(0);
+  }
+
+  ExperimentResult result;
+  result.mean_pair_delay_ms = delays.PairDelayStats().mean() / 1000.0;
+  result.mean_pair_hops = delays.MeanPairHops();
+
+  // Effective cooperation degree.
+  size_t degree = std::max<size_t>(1, spec.overlay.coop_degree);
+  if (spec.overlay.controlled_cooperation) {
+    core::CoopDegreeInputs inputs;
+    inputs.avg_comm_delay =
+        static_cast<sim::SimTime>(delays.PairDelayStats().mean());
+    inputs.avg_comp_delay = sim::Millis(spec.policy.comp_delay_ms);
+    inputs.f = spec.overlay.coop_f;
+    inputs.max_resources = world.network().repositories;
+    degree = std::min(degree, core::ComputeCooperationDegree(inputs));
+  }
+  result.effective_degree = degree;
+
+  // Multi-source worlds restrict this run to the items its source owns;
+  // single-source runs borrow the world's interests without copying.
+  const std::vector<core::InterestSet>* interests = &world.interests();
+  std::vector<core::InterestSet> owned;
+  if (world.source_count() > 1) {
+    owned = world.OwnedInterests(spec.source_index);
+    interests = &owned;
+  }
+
+  core::LelaOptions lela_options;
+  lela_options.coop_degree = degree;
+  lela_options.p_window = spec.overlay.p_window;
+  lela_options.preference = spec.overlay.preference;
+  lela_options.insertion_order = spec.overlay.insertion_order;
+  Rng lela_rng = Rng(spec.seed).Fork(4);
+  Result<core::LelaResult> built =
+      core::BuildOverlay(delays, *interests, world.workload().items,
+                         lela_options, lela_rng);
+  if (!built.ok()) return built.status();
+  // Defense in depth: never simulate on a malformed overlay.
+  D3T_RETURN_IF_ERROR(built->overlay.Validate(degree));
+  result.build_info = built->info;
+  result.shape = built->overlay.ComputeShape();
+
+  std::unique_ptr<core::Disseminator> policy =
+      core::MakeDisseminator(spec.policy.policy);
+  if (policy == nullptr) {
+    // Unreachable unless KnownPolicyNames() and the factory diverge.
+    return Status::Internal("policy '" + spec.policy.policy +
+                            "' is listed as known but has no factory");
+  }
+
+  core::EngineOptions engine_options;
+  engine_options.comp_delay = sim::Millis(spec.policy.comp_delay_ms);
+  engine_options.tag_check_cost_factor = spec.policy.tag_check_cost_factor;
+  core::Engine engine(built->overlay, delays, world.traces(), *policy,
+                      engine_options);
+  Result<core::EngineMetrics> metrics = engine.Run();
+  if (!metrics.ok()) return metrics.status();
+  result.metrics = std::move(metrics).value();
+  return result;
+}
+
+std::vector<Result<ExperimentResult>> SimulationSession::RunAll(
+    const std::vector<RunSpec>& specs) const {
+  std::vector<Result<ExperimentResult>> results(
+      specs.size(), Result<ExperimentResult>(Status::Internal("not run")));
+  size_t threads = worker_threads_ == 0 ? ThreadPool::DefaultThreadCount()
+                                        : worker_threads_;
+  threads = std::min(threads, specs.size());
+  if (threads <= 1) {
+    for (size_t i = 0; i < specs.size(); ++i) results[i] = Run(specs[i]);
+    return results;
+  }
+  ThreadPool pool(threads);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    pool.Submit([this, &specs, &results, i] { results[i] = Run(specs[i]); });
+  }
+  pool.Wait();
+  return results;
+}
+
+}  // namespace d3t::exp

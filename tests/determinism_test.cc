@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "exp/experiment.h"
+#include "exp/multi_source.h"
 #include "gtest/gtest.h"
 
 namespace d3t::exp {
@@ -79,6 +80,44 @@ TEST(DeterminismTest, AllPoliciesAreRunToRunDeterministic) {
     SCOPED_TRACE(policy);
     ExpectIdenticalMetrics(first->metrics, second->metrics);
   }
+}
+
+void ExpectIdenticalMultiSourceResults(const MultiSourceResult& a,
+                                       const MultiSourceResult& b) {
+  // Byte-identical on purpose: the worker pool only changes *where* the
+  // independent per-source engines run, never what they compute or the
+  // (source-ordered) aggregation.
+  EXPECT_EQ(a.loss_percent, b.loss_percent);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.checks, b.checks);
+  EXPECT_EQ(a.max_source_checks, b.max_source_checks);
+  ASSERT_EQ(a.per_source.size(), b.per_source.size());
+  for (size_t s = 0; s < a.per_source.size(); ++s) {
+    SCOPED_TRACE("source " + std::to_string(s));
+    EXPECT_EQ(a.per_source[s].items, b.per_source[s].items);
+    EXPECT_EQ(a.per_source[s].messages, b.per_source[s].messages);
+    EXPECT_EQ(a.per_source[s].source_checks, b.per_source[s].source_checks);
+    EXPECT_EQ(a.per_source[s].pair_loss_percent,
+              b.per_source[s].pair_loss_percent);
+    EXPECT_EQ(a.per_source[s].tracked_pairs, b.per_source[s].tracked_pairs);
+  }
+}
+
+TEST(DeterminismTest, MultiSourceParallelIsByteIdenticalToSerial) {
+  MultiSourceConfig config;
+  config.base = GoldenConfig();
+  config.source_count = 4;
+  config.worker_threads = 1;  // forced serial reference run
+  Result<MultiSourceResult> serial = RunMultiSource(config);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  config.worker_threads = 4;  // sharded across the pool
+  Result<MultiSourceResult> parallel = RunMultiSource(config);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  ExpectIdenticalMultiSourceResults(*serial, *parallel);
+  // And the pool itself is deterministic run to run.
+  Result<MultiSourceResult> again = RunMultiSource(config);
+  ASSERT_TRUE(again.ok());
+  ExpectIdenticalMultiSourceResults(*parallel, *again);
 }
 
 TEST(DeterminismTest, GoldenMetricsOnFixedScenario) {

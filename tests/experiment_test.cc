@@ -1,5 +1,7 @@
 #include "exp/experiment.h"
 
+#include <vector>
+
 #include "gtest/gtest.h"
 
 namespace d3t::exp {
@@ -42,12 +44,46 @@ TEST(WorkbenchTest, RunRejectsMismatchedWorkload) {
   EXPECT_TRUE(bench->Run(other).status().IsInvalidArgument());
 }
 
+TEST(WorkbenchTest, RunRejectsAnyChangedWorldBuildingField) {
+  // Every NetworkConfig/WorkloadConfig field is baked into the World at
+  // Create(); changing one per run would be silently ignored, so Run
+  // must reject it — including the fields the old guard missed.
+  Result<Workbench> bench = Workbench::Create(SmallConfig());
+  ASSERT_TRUE(bench.ok());
+  std::vector<ExperimentConfig> changed(5, SmallConfig());
+  changed[0].link_delay_mean_ms = 9.0;
+  changed[1].link_delay_min_ms = 0.5;
+  changed[2].routers += 1;
+  changed[3].stringent_fraction = 0.9;
+  changed[4].item_probability = 0.25;
+  for (const ExperimentConfig& other : changed) {
+    EXPECT_TRUE(bench->Run(other).status().IsInvalidArgument());
+  }
+  // Per-run fields stay honored: same world-building slices, new policy.
+  ExperimentConfig per_run = SmallConfig();
+  per_run.policy = "all-updates";
+  per_run.coop_degree = 2;
+  EXPECT_TRUE(bench->Run(per_run).ok());
+}
+
 TEST(WorkbenchTest, RunRejectsUnknownPolicy) {
   Result<Workbench> bench = Workbench::Create(SmallConfig());
   ASSERT_TRUE(bench.ok());
   ExperimentConfig config = SmallConfig();
   config.policy = "smoke-signals";
-  EXPECT_TRUE(bench->Run(config).status().IsInvalidArgument());
+  Status status = bench->Run(config).status();
+  EXPECT_TRUE(status.IsInvalidArgument());
+  // The error names the valid choices (see exp::ValidatePolicyName).
+  EXPECT_NE(status.message().find("known policies"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(WorkbenchTest, CreateRejectsUnknownPolicyBeforeBuildingTheWorld) {
+  ExperimentConfig config = SmallConfig();
+  config.policy = "telegraph";
+  Status status = Workbench::Create(config).status();
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("known policies"), std::string::npos);
 }
 
 TEST(ExperimentTest, EndToEndRunProducesMetrics) {

@@ -1,0 +1,299 @@
+// SimulationSession API: SessionBuilder -> World -> RunSpec. Covers the
+// build-once/run-many contract (World::BuildCount hook), sweep/legacy
+// equivalence, build-time policy validation, workload overrides and the
+// per-source seed plumbing.
+
+#include <string>
+#include <vector>
+
+#include "core/disseminator.h"
+#include "exp/experiment.h"
+#include "exp/multi_source.h"
+#include "exp/session.h"
+#include "gtest/gtest.h"
+
+namespace d3t::exp {
+namespace {
+
+NetworkConfig SmallNetwork() {
+  NetworkConfig network;
+  network.repositories = 20;
+  network.routers = 60;
+  return network;
+}
+
+WorkloadConfig SmallWorkload() {
+  WorkloadConfig workload;
+  workload.items = 5;
+  workload.ticks = 300;
+  return workload;
+}
+
+RunSpec SmallSpec() {
+  RunSpec spec;
+  spec.overlay.coop_degree = 3;
+  spec.seed = 1234;
+  return spec;
+}
+
+/// The flat-config equivalent of SmallNetwork/SmallWorkload/SmallSpec,
+/// for cross-checking against the legacy RunExperiment path.
+ExperimentConfig SmallConfig() {
+  ExperimentConfig config;
+  config.repositories = 20;
+  config.routers = 60;
+  config.items = 5;
+  config.ticks = 300;
+  config.coop_degree = 3;
+  config.seed = 1234;
+  return config;
+}
+
+Result<SimulationSession> BuildSmallSession(size_t worker_threads = 0) {
+  return SessionBuilder()
+      .SetNetwork(SmallNetwork())
+      .SetWorkload(SmallWorkload())
+      .SetSeed(1234)
+      .SetWorkerThreads(worker_threads)
+      .Build();
+}
+
+TEST(SessionBuilderTest, BuildsWorldSubstrate) {
+  Result<SimulationSession> session = BuildSmallSession();
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  const World& world = session->world();
+  EXPECT_EQ(world.source_count(), 1u);
+  EXPECT_EQ(world.delays().member_count(), 21u);
+  EXPECT_EQ(world.traces().size(), 5u);
+  EXPECT_EQ(world.interests().size(), 20u);
+  EXPECT_EQ(world.seed(), 1234u);
+}
+
+TEST(SessionBuilderTest, RejectsDegenerateInputs) {
+  NetworkConfig no_repos = SmallNetwork();
+  no_repos.repositories = 0;
+  EXPECT_FALSE(SessionBuilder()
+                   .SetNetwork(no_repos)
+                   .SetWorkload(SmallWorkload())
+                   .Build()
+                   .ok());
+  WorkloadConfig one_tick = SmallWorkload();
+  one_tick.ticks = 1;
+  EXPECT_FALSE(SessionBuilder()
+                   .SetNetwork(SmallNetwork())
+                   .SetWorkload(one_tick)
+                   .Build()
+                   .ok());
+  NetworkConfig no_sources = SmallNetwork();
+  no_sources.source_count = 0;
+  EXPECT_FALSE(SessionBuilder()
+                   .SetNetwork(no_sources)
+                   .SetWorkload(SmallWorkload())
+                   .Build()
+                   .ok());
+}
+
+// The acceptance contract of the session redesign: a 4-point policy
+// sweep builds the World exactly once and reproduces the metrics of 4
+// independent RunExperiment calls (which rebuild the World every time).
+TEST(SessionSweepTest, PolicySweepBuildsWorldOnceAndMatchesLegacyRuns) {
+  const std::vector<std::string> policies = {"distributed", "centralized",
+                                             "eq3-only", "all-updates"};
+  Result<SimulationSession> session = BuildSmallSession();
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  const uint64_t builds_before = World::BuildCount();
+  std::vector<Result<ExperimentResult>> sweep = session->RunSweep(
+      SmallSpec(), policies,
+      [](RunSpec& spec, const std::string& policy) {
+        spec.policy.policy = policy;
+        spec.label = policy;
+      });
+  EXPECT_EQ(World::BuildCount(), builds_before)
+      << "RunSweep must share the prebuilt World, not rebuild it";
+
+  ASSERT_EQ(sweep.size(), policies.size());
+  for (size_t i = 0; i < policies.size(); ++i) {
+    SCOPED_TRACE(policies[i]);
+    ASSERT_TRUE(sweep[i].ok()) << sweep[i].status().ToString();
+    ExperimentConfig config = SmallConfig();
+    config.policy = policies[i];
+    Result<ExperimentResult> independent = RunExperiment(config);
+    ASSERT_TRUE(independent.ok()) << independent.status().ToString();
+    EXPECT_EQ(sweep[i]->metrics.messages, independent->metrics.messages);
+    EXPECT_EQ(sweep[i]->metrics.checks, independent->metrics.checks);
+    EXPECT_EQ(sweep[i]->metrics.events, independent->metrics.events);
+    EXPECT_DOUBLE_EQ(sweep[i]->metrics.loss_percent,
+                     independent->metrics.loss_percent);
+    EXPECT_EQ(sweep[i]->shape.diameter, independent->shape.diameter);
+  }
+}
+
+TEST(SessionSweepTest, ParallelSweepMatchesSerialSweep) {
+  const std::vector<std::string> policies = {"distributed", "centralized",
+                                             "eq3-only", "all-updates"};
+  Result<SimulationSession> serial = BuildSmallSession(/*worker_threads=*/1);
+  Result<SimulationSession> parallel =
+      BuildSmallSession(/*worker_threads=*/4);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  auto apply = [](RunSpec& spec, const std::string& policy) {
+    spec.policy.policy = policy;
+  };
+  auto a = serial->RunSweep(SmallSpec(), policies, apply);
+  auto b = parallel->RunSweep(SmallSpec(), policies, apply);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a[i].ok());
+    ASSERT_TRUE(b[i].ok());
+    EXPECT_EQ(a[i]->metrics.messages, b[i]->metrics.messages);
+    EXPECT_EQ(a[i]->metrics.loss_percent, b[i]->metrics.loss_percent);
+    EXPECT_EQ(a[i]->metrics.events, b[i]->metrics.events);
+  }
+}
+
+TEST(SessionValidationTest, UnknownPolicyErrorListsKnownNames) {
+  Result<SimulationSession> session = BuildSmallSession();
+  ASSERT_TRUE(session.ok());
+  RunSpec spec = SmallSpec();
+  spec.policy.policy = "smoke-signals";
+  Result<ExperimentResult> result = session->Run(spec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  EXPECT_NE(result.status().message().find("known policies"),
+            std::string::npos)
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("distributed"),
+            std::string::npos);
+}
+
+TEST(SessionValidationTest, WorkbenchCreateRejectsUnknownPolicyAtBuildTime) {
+  const uint64_t builds_before = World::BuildCount();
+  ExperimentConfig config = SmallConfig();
+  config.policy = "carrier-pigeon";
+  Result<Workbench> bench = Workbench::Create(config);
+  ASSERT_FALSE(bench.ok());
+  EXPECT_TRUE(bench.status().IsInvalidArgument());
+  EXPECT_NE(bench.status().message().find("known policies"),
+            std::string::npos);
+  EXPECT_EQ(World::BuildCount(), builds_before)
+      << "a bad policy must fail before the World is built";
+}
+
+TEST(SessionValidationTest, KnownPolicyNamesMatchDisseminatorFactory) {
+  // ValidatePolicyName trusts KnownPolicyNames(); Session::Run trusts
+  // MakeDisseminator. If the two lists ever diverge, a valid policy is
+  // rejected (or Run hits its Internal error) with the suite still green
+  // — so pin them to each other here.
+  const std::vector<std::string>& known = core::KnownPolicyNames();
+  EXPECT_FALSE(known.empty());
+  for (const std::string& name : known) {
+    EXPECT_NE(core::MakeDisseminator(name), nullptr)
+        << "'" << name << "' is listed as known but has no factory";
+  }
+}
+
+TEST(SessionValidationTest, RejectsOutOfRangeSourceIndex) {
+  Result<SimulationSession> session = BuildSmallSession();
+  ASSERT_TRUE(session.ok());
+  RunSpec spec = SmallSpec();
+  spec.source_index = 1;  // single-source world
+  EXPECT_TRUE(session->Run(spec).status().IsInvalidArgument());
+}
+
+TEST(SessionOverrideTest, CustomInterestsAndTracesDriveTheRun) {
+  NetworkConfig network = SmallNetwork();
+  WorkloadConfig workload;
+  workload.items = 2;
+  workload.ticks = 100;
+  std::vector<core::InterestSet> interests(network.repositories);
+  for (size_t i = 0; i < interests.size(); ++i) {
+    interests[i][0] = 0.05;
+    interests[i][1] = 0.5;
+  }
+  std::vector<trace::Trace> traces;
+  for (size_t item = 0; item < 2; ++item) {
+    std::vector<trace::Tick> ticks;
+    double value = 10.0 + static_cast<double>(item);
+    for (size_t i = 0; i < 100; ++i) {
+      ticks.push_back({sim::Seconds(static_cast<double>(i)), value});
+      value += (i % 3 == 0) ? 0.2 : -0.1;
+    }
+    traces.emplace_back("item" + std::to_string(item), std::move(ticks));
+  }
+  Result<SimulationSession> session = SessionBuilder()
+                                          .SetNetwork(network)
+                                          .SetWorkload(workload)
+                                          .SetSeed(7)
+                                          .SetInterests(interests)
+                                          .SetTraces(traces)
+                                          .Build();
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_EQ(session->world().traces()[0].name(), "item0");
+  Result<ExperimentResult> result = session->Run(SmallSpec());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->metrics.messages, 0u);
+}
+
+TEST(SessionOverrideTest, RejectsMismatchedOverrides) {
+  // One interest set short.
+  std::vector<core::InterestSet> interests(SmallNetwork().repositories - 1);
+  EXPECT_FALSE(SessionBuilder()
+                   .SetNetwork(SmallNetwork())
+                   .SetWorkload(SmallWorkload())
+                   .SetInterests(interests)
+                   .Build()
+                   .ok());
+  // One trace short.
+  std::vector<trace::Trace> traces(SmallWorkload().items - 1);
+  EXPECT_FALSE(SessionBuilder()
+                   .SetNetwork(SmallNetwork())
+                   .SetWorkload(SmallWorkload())
+                   .SetTraces(traces)
+                   .Build()
+                   .ok());
+}
+
+TEST(SeedPlumbingTest, PerSourceSeedsAreDistinctAndDeterministic) {
+  const uint64_t base = 42;
+  EXPECT_EQ(PerSourceSeed(base, 0), PerSourceSeed(base, 0));
+  EXPECT_NE(PerSourceSeed(base, 0), PerSourceSeed(base, 1));
+  EXPECT_NE(PerSourceSeed(base, 1), PerSourceSeed(base, 2));
+  EXPECT_NE(PerSourceSeed(base, 0), base);
+  // A different base seed moves every per-source stream.
+  EXPECT_NE(PerSourceSeed(base, 0), PerSourceSeed(base + 1, 0));
+}
+
+TEST(SeedPlumbingTest, MultiSourceSpecsCarryExplicitDecorrelatedSeeds) {
+  ExperimentConfig base = SmallConfig();
+  std::vector<RunSpec> specs = MultiSourceSpecs(base, 3);
+  ASSERT_EQ(specs.size(), 3u);
+  for (size_t s = 0; s < specs.size(); ++s) {
+    EXPECT_EQ(specs[s].source_index, s);
+    EXPECT_EQ(specs[s].seed, PerSourceSeed(base.seed, s));
+    for (size_t t = s + 1; t < specs.size(); ++t) {
+      EXPECT_NE(specs[s].seed, specs[t].seed);
+    }
+  }
+}
+
+TEST(ExperimentConfigShimTest, SlicesToDecomposedConfigs) {
+  ExperimentConfig config = SmallConfig();
+  config.policy = "centralized";
+  config.coop_degree = 7;
+  const NetworkConfig& network = config;
+  const WorkloadConfig& workload = config;
+  const OverlayConfig& overlay = config;
+  const PolicyConfig& policy = config;
+  EXPECT_EQ(network.repositories, 20u);
+  EXPECT_EQ(workload.items, 5u);
+  EXPECT_EQ(overlay.coop_degree, 7u);
+  EXPECT_EQ(policy.policy, "centralized");
+  RunSpec spec = Workbench::SpecFromConfig(config);
+  EXPECT_EQ(spec.overlay.coop_degree, 7u);
+  EXPECT_EQ(spec.policy.policy, "centralized");
+  EXPECT_EQ(spec.seed, config.seed);
+}
+
+}  // namespace
+}  // namespace d3t::exp
