@@ -39,17 +39,22 @@ Result<EngineMetrics> Engine::Run() {
 
   disseminator_.Initialize(overlay_, initial_values);
   nodes_.assign(overlay_.member_count(), NodeState{});
-  inflight_.clear();
-  inflight_free_.clear();
+  batches_.clear();
+  batch_free_.clear();
   source_values_ = initial_values;
   metrics_ = EngineMetrics{};
   metrics_.horizon = horizon;
+  simulator_ = sim::Simulator{};
+  simulator_.set_handler(this);
+
+  // Per-item change timelines for the lazy trackers.
+  change_timelines_ = BuildChangeTimelines(traces_);
 
   // Fidelity trackers for every (repository, own-interest item) pair,
-  // indexed by the overlay-assigned dense TrackerId.
+  // indexed by the overlay-assigned dense TrackerId. Each is bound to
+  // its item's change timeline and integrates the source process lazily.
   trackers_.assign(overlay_.tracker_id_limit(), FidelityTracker{});
   tracker_active_.assign(overlay_.tracker_id_limit(), 0);
-  item_trackers_.assign(overlay_.item_count(), {});
   uint64_t tracked_pairs = 0;
   for (OverlayIndex m = 1; m < overlay_.member_count(); ++m) {
     for (ItemId item = 0; item < overlay_.item_count(); ++item) {
@@ -58,9 +63,8 @@ Result<EngineMetrics> Engine::Run() {
       if (!s.own_interest) continue;
       const TrackerId tid = overlay_.tracker_id(m, item);
       assert(tid != kInvalidTrackerId);
-      trackers_[tid] = FidelityTracker(s.c_own, initial_values[item]);
+      trackers_[tid] = FidelityTracker(s.c_own, &change_timelines_[item]);
       tracker_active_[tid] = 1;
-      item_trackers_[item].push_back(tid);
       ++tracked_pairs;
     }
   }
@@ -69,16 +73,14 @@ Result<EngineMetrics> Engine::Run() {
   for (ItemId item = 0; item < traces_.size(); ++item) {
     if (traces_[item].size() < 2) continue;
     const sim::SimTime first = traces_[item].ticks()[1].time;
-    simulator_.ScheduleAt(first, [this, item](sim::SimTime t) {
-      HandleSourceTick(t, item, 1);
-    });
+    simulator_.ScheduleAt(first, sim::Event::SourceTick(item, 1));
   }
 
   simulator_.RunUntil(horizon);
-
-  for (TrackerId tid = 0; tid < trackers_.size(); ++tid) {
-    if (tracker_active_[tid]) trackers_[tid].Finalize(horizon);
-  }
+  // Lazy trackers catch up with the tail of the trace timeline at the
+  // horizon; the hook fires after every ordinary horizon event.
+  simulator_.ScheduleAt(horizon, sim::Event::FinalizeHook());
+  simulator_.RunUntil(horizon);
 
   // Aggregate per the paper: repository loss = mean over its items,
   // system loss = mean over repositories that track anything.
@@ -112,26 +114,77 @@ Result<EngineMetrics> Engine::Run() {
       tracked_pairs == 0
           ? 0.0
           : pair_loss_sum / static_cast<double>(tracked_pairs);
-  metrics_.events = simulator_.events_executed();
   return metrics_;
 }
 
-void Engine::ScheduleDelivery(sim::SimTime when, OverlayIndex node,
-                              Job job) {
-  uint32_t slot;
-  if (!inflight_free_.empty()) {
-    slot = inflight_free_.back();
-    inflight_free_.pop_back();
-    inflight_[slot] = job;
-  } else {
-    slot = static_cast<uint32_t>(inflight_.size());
-    inflight_.push_back(job);
+void Engine::HandleEvent(sim::SimTime t, const sim::Event& event) {
+  // metrics_.events counts *logical* events: one per source tick, per
+  // delivered message and per processing step, regardless of how the
+  // physical events batch (the FinalizeHook is bookkeeping, not load).
+  switch (event.kind) {
+    case sim::EventKind::kSourceTick:
+      ++metrics_.events;
+      HandleSourceTick(t, static_cast<ItemId>(event.a),
+                       static_cast<uint32_t>(event.b));
+      break;
+    case sim::EventKind::kDelivery:
+      HandleDeliveryBatch(t, static_cast<uint32_t>(event.b));
+      break;
+    case sim::EventKind::kNodeProcess:
+      ++metrics_.events;
+      ProcessNext(t, static_cast<OverlayIndex>(event.a));
+      break;
+    case sim::EventKind::kFinalizeHook:
+      FinalizeTrackers(t);
+      break;
+    default:
+      assert(false && "unexpected event kind reached the engine");
+      break;
   }
-  simulator_.ScheduleAt(when, [this, node, slot](sim::SimTime fire) {
-    const Job delivered = inflight_[slot];
-    inflight_free_.push_back(slot);
-    Deliver(fire, node, delivered);
-  });
+}
+
+void Engine::ScheduleDelivery(sim::SimTime when, OverlayIndex node,
+                              const Job& job) {
+  NodeState& state = nodes_[node];
+  if (options_.coalesce_deliveries && state.open_batch != kNoBatch) {
+    DeliveryBatch& open = batches_[state.open_batch];
+    if (open.arrival == when) {
+      open.rest.push_back(job);
+      ++metrics_.coalesced_messages;
+      return;
+    }
+  }
+  uint32_t slot;
+  if (!batch_free_.empty()) {
+    slot = batch_free_.back();
+    batch_free_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(batches_.size());
+    batches_.emplace_back();
+  }
+  DeliveryBatch& batch = batches_[slot];
+  batch.node = node;
+  batch.arrival = when;
+  batch.first = job;
+  state.open_batch = slot;
+  simulator_.ScheduleAt(when, sim::Event::Delivery(node, slot));
+}
+
+void Engine::HandleDeliveryBatch(sim::SimTime t, uint32_t slot) {
+  DeliveryBatch& batch = batches_[slot];
+  const OverlayIndex node = batch.node;
+  // The batch is closed for coalescing the moment it fires.
+  if (nodes_[node].open_batch == slot) nodes_[node].open_batch = kNoBatch;
+  ++metrics_.delivery_batches;
+  metrics_.events += 1 + batch.rest.size();
+  // Deliver only enqueues jobs and schedules NodeProcess events, so the
+  // batch pool cannot be touched (and `batch` cannot dangle) mid-loop.
+  Deliver(t, node, batch.first);
+  if (!batch.rest.empty()) {
+    for (const Job& job : batch.rest) Deliver(t, node, job);
+    batch.rest.clear();
+  }
+  batch_free_.push_back(slot);
 }
 
 void Engine::HandleSourceTick(sim::SimTime t, ItemId item,
@@ -139,36 +192,28 @@ void Engine::HandleSourceTick(sim::SimTime t, ItemId item,
   const trace::Tick& tick = traces_[item].ticks()[tick_index];
   assert(tick.time == t);
   // A poll that repeats the previous value is not an update: nothing
-  // changed at the source, so nothing is checked or disseminated.
+  // changed at the source, so nothing is checked or disseminated. The
+  // true source value changes now independent of dissemination backlog,
+  // but no tracker is told — each integrates the trace timeline lazily.
   if (tick.value != source_values_[item]) {
     source_values_[item] = tick.value;
-    // The true source value changes now, independent of dissemination
-    // backlog at the source node.
-    for (size_t tracker : item_trackers_[item]) {
-      trackers_[tracker].OnSourceValue(t, tick.value);
-    }
     ++metrics_.source_updates;
     Deliver(t, kSourceOverlayIndex, Job{item, tick.value, 0.0});
   }
 
   if (tick_index + 1 < traces_[item].size()) {
     const sim::SimTime next = traces_[item].ticks()[tick_index + 1].time;
-    // item + tick_index pack into the callback's 16-byte small buffer.
-    simulator_.ScheduleAt(next, [this, item, tick_index](sim::SimTime when) {
-      HandleSourceTick(when, item, tick_index + 1);
-    });
+    simulator_.ScheduleAt(next, sim::Event::SourceTick(item, tick_index + 1));
   }
 }
 
-void Engine::Deliver(sim::SimTime t, OverlayIndex node, Job job) {
+void Engine::Deliver(sim::SimTime t, OverlayIndex node, const Job& job) {
   NodeState& state = nodes_[node];
   state.queue.push_back(job);
   if (!state.processing_scheduled) {
     state.processing_scheduled = true;
     const sim::SimTime start = std::max(t, state.busy_until);
-    simulator_.ScheduleAt(start, [this, node](sim::SimTime when) {
-      ProcessNext(when, node);
-    });
+    simulator_.ScheduleAt(start, sim::Event::NodeProcess(node));
   }
 }
 
@@ -221,11 +266,15 @@ void Engine::ProcessNext(sim::SimTime t, OverlayIndex node) {
 
   state.busy_until = busy;
   if (!state.queue.empty()) {
-    simulator_.ScheduleAt(busy, [this, node](sim::SimTime when) {
-      ProcessNext(when, node);
-    });
+    simulator_.ScheduleAt(busy, sim::Event::NodeProcess(node));
   } else {
     state.processing_scheduled = false;
+  }
+}
+
+void Engine::FinalizeTrackers(sim::SimTime t) {
+  for (TrackerId tid = 0; tid < trackers_.size(); ++tid) {
+    if (tracker_active_[tid]) trackers_[tid].Finalize(t);
   }
 }
 

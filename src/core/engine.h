@@ -25,6 +25,12 @@ struct EngineOptions {
   /// as part of source load; 0 excludes them from the time model while
   /// still counting them in the check metric.
   double tag_check_cost_factor = 0.0;
+  /// Coalesce messages arriving at the same (node, time) into one
+  /// batched delivery event carrying a span of pooled jobs. Off = one
+  /// event per message (the per-message dispatch baseline of
+  /// bench/event_kernel.cc). Metrics are byte-identical either way;
+  /// only the physical event count differs.
+  bool coalesce_deliveries = true;
 };
 
 /// Results of one simulation run.
@@ -51,8 +57,17 @@ struct EngineMetrics {
   uint64_t source_checks = 0;
   /// Source value ticks disseminated (excludes the initial value).
   uint64_t source_updates = 0;
-  /// Simulation events executed.
+  /// Logical simulation events executed: source ticks, per-message
+  /// deliveries and node processing steps. Batching-invariant — a
+  /// coalesced delivery event carrying k jobs counts k — so the value is
+  /// byte-identical to the historical one-event-per-message kernel.
   uint64_t events = 0;
+  /// Physical delivery events dispatched (== messages delivered when
+  /// coalescing is off; smaller when same-arrival batches form).
+  uint64_t delivery_batches = 0;
+  /// Messages that rode along an already-scheduled same-(node, arrival)
+  /// delivery event instead of scheduling their own.
+  uint64_t coalesced_messages = 0;
   /// Observation window length (microseconds).
   sim::SimTime horizon = 0;
 };
@@ -61,7 +76,16 @@ struct EngineMetrics {
 /// event simulator with a busy-server model of computational delay at
 /// every node (DESIGN.md §5.2) and full-path communication delays from
 /// the overlay delay model.
-class Engine {
+///
+/// Event-kernel v2: the engine is the simulator's EventHandler and the
+/// whole hot path runs on 16-byte POD events (sim::Event) — SourceTick,
+/// batched Delivery (a recycled pool slot holding the span of jobs that
+/// arrive together), NodeProcess and a FinalizeHook — with no
+/// std::function anywhere per message. Fidelity trackers are lazy: they
+/// integrate the source process straight from the trace timeline on
+/// repository-value changes and at the FinalizeHook, so a source tick
+/// costs O(1) instead of O(holders of the item).
+class Engine : public sim::EventHandler {
  public:
   /// All referenced objects must outlive the engine. `traces[i]` is the
   /// value process of item i; `traces.size()` must equal
@@ -79,20 +103,42 @@ class Engine {
     double value = 0.0;
     double tag = 0.0;
   };
+  static constexpr uint32_t kNoBatch = UINT32_MAX;
+  /// One scheduled delivery event: every job arriving at `node` at
+  /// `arrival`. The first job is stored inline so the common singleton
+  /// delivery never touches the overflow vector; jobs 2..k land in
+  /// `rest`, whose capacity is recycled with the slot, so steady-state
+  /// batching allocates nothing either.
+  struct DeliveryBatch {
+    OverlayIndex node = kInvalidOverlayIndex;
+    sim::SimTime arrival = 0;
+    Job first;
+    std::vector<Job> rest;
+  };
   struct NodeState {
     std::deque<Job> queue;
     sim::SimTime busy_until = 0;
     bool processing_scheduled = false;
+    /// Most recently scheduled, still-pending delivery batch headed for
+    /// this node; same-arrival messages coalesce into it.
+    uint32_t open_batch = kNoBatch;
   };
 
+  /// Decodes and dispatches the typed POD events scheduled by the
+  /// engine itself.
+  void HandleEvent(sim::SimTime t, const sim::Event& event) override;
+
   void HandleSourceTick(sim::SimTime t, ItemId item, uint32_t tick_index);
-  void Deliver(sim::SimTime t, OverlayIndex node, Job job);
+  void HandleDeliveryBatch(sim::SimTime t, uint32_t slot);
+  void Deliver(sim::SimTime t, OverlayIndex node, const Job& job);
   void ProcessNext(sim::SimTime t, OverlayIndex node);
-  /// Schedules delivery of `job` to `node` at `when`. The job payload is
-  /// parked in a recycled pool slot so the event callback captures only
-  /// {this, node, slot} — 16 bytes, inside std::function's small-buffer
-  /// optimization, keeping the per-message path allocation-free.
-  void ScheduleDelivery(sim::SimTime when, OverlayIndex node, Job job);
+  /// Schedules delivery of `job` to `node` at `when` — by appending to
+  /// the node's still-pending same-arrival batch when coalescing allows,
+  /// otherwise by parking the job in a recycled batch slot and
+  /// scheduling one POD Delivery event referencing the slot.
+  void ScheduleDelivery(sim::SimTime when, OverlayIndex node,
+                        const Job& job);
+  void FinalizeTrackers(sim::SimTime t);
 
   const Overlay& overlay_;
   const net::OverlayDelayModel& delays_;
@@ -102,20 +148,23 @@ class Engine {
 
   sim::Simulator simulator_;
   std::vector<NodeState> nodes_;
-  /// In-flight message payloads, indexed by pool slot (see
-  /// ScheduleDelivery); grows to the maximum concurrent message count.
-  std::vector<Job> inflight_;
-  std::vector<uint32_t> inflight_free_;
+  /// In-flight delivery batches, indexed by pool slot (see
+  /// ScheduleDelivery); grows to the maximum concurrent batch count.
+  std::vector<DeliveryBatch> batches_;
+  std::vector<uint32_t> batch_free_;
   /// Last value seen per item at the source; polls that repeat the
   /// previous value are not updates and are not disseminated.
   std::vector<double> source_values_;
+  /// Per-item compacted source timeline (initial tick + value changes
+  /// only), built once per run and shared by every tracker of the item
+  /// so lazy integration never revisits value-repeating polls.
+  std::vector<std::vector<trace::Tick>> change_timelines_;
   /// TrackerId-indexed (ids assigned by the overlay); only slots with
   /// tracker_active_ set belong to a tracked (repository, own-interest
-  /// item) pair of this run.
+  /// item) pair of this run. Lazy mode: each tracker is bound to its
+  /// item's trace and never receives per-tick source pushes.
   std::vector<FidelityTracker> trackers_;
   std::vector<uint8_t> tracker_active_;
-  /// item -> tracker ids to notify on every source tick.
-  std::vector<std::vector<TrackerId>> item_trackers_;
   EngineMetrics metrics_;
 };
 

@@ -20,6 +20,13 @@ bool MeasuredViolation(double source_value, double repo_value, Coherency c) {
 FidelityTracker::FidelityTracker(Coherency c, double initial_value)
     : c_(c), source_value_(initial_value), repo_value_(initial_value) {}
 
+FidelityTracker::FidelityTracker(
+    Coherency c, const std::vector<trace::Tick>* source_timeline)
+    : c_(c), source_timeline_(source_timeline) {
+  assert(source_timeline != nullptr && !source_timeline->empty());
+  source_value_ = repo_value_ = source_timeline->front().value;
+}
+
 void FidelityTracker::Advance(sim::SimTime t) {
   if (finalized_) return;
   assert(t >= last_event_);
@@ -27,7 +34,23 @@ void FidelityTracker::Advance(sim::SimTime t) {
   last_event_ = t;
 }
 
+void FidelityTracker::IntegrateSourceTo(sim::SimTime t) {
+  if (source_timeline_ == nullptr) return;
+  const std::vector<trace::Tick>& ticks = *source_timeline_;
+  while (source_cursor_ < ticks.size() && ticks[source_cursor_].time <= t) {
+    const trace::Tick& tick = ticks[source_cursor_++];
+    // A poll repeating the previous value is not a source update
+    // (already absent from a compacted timeline).
+    if (tick.value == source_value_) continue;
+    Advance(tick.time);
+    source_value_ = tick.value;
+    violated_ = MeasuredViolation(source_value_, repo_value_, c_);
+  }
+}
+
 void FidelityTracker::OnSourceValue(sim::SimTime t, double value) {
+  assert(source_timeline_ == nullptr &&
+         "lazy trackers integrate the source from their bound trace");
   if (finalized_) return;
   Advance(t);
   source_value_ = value;
@@ -36,6 +59,7 @@ void FidelityTracker::OnSourceValue(sim::SimTime t, double value) {
 
 void FidelityTracker::OnRepositoryValue(sim::SimTime t, double value) {
   if (finalized_) return;
+  IntegrateSourceTo(t);
   Advance(t);
   repo_value_ = value;
   violated_ = MeasuredViolation(source_value_, repo_value_, c_);
@@ -43,9 +67,27 @@ void FidelityTracker::OnRepositoryValue(sim::SimTime t, double value) {
 
 void FidelityTracker::Finalize(sim::SimTime end) {
   if (finalized_) return;
+  IntegrateSourceTo(end);
   if (end > last_event_) Advance(end);
   window_ = end;
   finalized_ = true;
+}
+
+std::vector<std::vector<trace::Tick>> BuildChangeTimelines(
+    const std::vector<trace::Trace>& traces) {
+  std::vector<std::vector<trace::Tick>> timelines(traces.size());
+  for (size_t i = 0; i < traces.size(); ++i) {
+    const std::vector<trace::Tick>& ticks = traces[i].ticks();
+    assert(!ticks.empty());
+    std::vector<trace::Tick>& timeline = timelines[i];
+    timeline.push_back(ticks.front());
+    for (size_t k = 1; k < ticks.size(); ++k) {
+      if (ticks[k].value != timeline.back().value) {
+        timeline.push_back(ticks[k]);
+      }
+    }
+  }
+  return timelines;
 }
 
 double FidelityTracker::LossPercent() const {

@@ -1,6 +1,7 @@
 #include "core/pull.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 #include "core/coherency.h"
@@ -38,11 +39,16 @@ Result<PullMetrics> PullEngine::Run() {
   }
   metrics_ = PullMetrics{};
   metrics_.horizon = horizon;
+  source_busy_until_ = 0;
+  source_busy_total_ = 0;
+  simulator_ = sim::Simulator{};
+  simulator_.set_handler(this);
 
-  // One poll loop and one fidelity tracker per (repository, item).
+  // One poll loop and one timeline-bound lazy fidelity tracker per
+  // (repository, item); the source process needs no events of its own.
+  change_timelines_ = BuildChangeTimelines(traces_);
   states_.clear();
   trackers_.clear();
-  item_trackers_.assign(traces_.size(), {});
   for (size_t i = 0; i < interests_.size(); ++i) {
     for (const auto& [item, c] : interests_[i]) {
       if (item >= traces_.size()) {
@@ -55,25 +61,8 @@ Result<PullMetrics> PullEngine::Run() {
       state.ttr = options_.initial_ttr;
       state.last_value = traces_[item].ticks().front().value;
       state.tracker = trackers_.size();
-      item_trackers_[item].push_back(trackers_.size());
-      trackers_.emplace_back(c, state.last_value);
+      trackers_.emplace_back(c, &change_timelines_[item]);
       states_.push_back(state);
-    }
-  }
-
-  // Source value ticks feed the trackers (identical to the push engine).
-  for (ItemId item = 0; item < traces_.size(); ++item) {
-    const auto& ticks = traces_[item].ticks();
-    for (size_t k = 1; k < ticks.size(); ++k) {
-      if (ticks[k].value == ticks[k - 1].value) continue;
-      const double value = ticks[k].value;
-      const std::vector<size_t>& watchers = item_trackers_[item];
-      simulator_.ScheduleAt(ticks[k].time,
-                            [this, &watchers, value](sim::SimTime t) {
-                              for (size_t w : watchers) {
-                                trackers_[w].OnSourceValue(t, value);
-                              }
-                            });
     }
   }
 
@@ -87,7 +76,8 @@ Result<PullMetrics> PullEngine::Run() {
   }
 
   simulator_.RunUntil(horizon);
-  for (FidelityTracker& tracker : trackers_) tracker.Finalize(horizon);
+  simulator_.ScheduleAt(horizon, sim::Event::FinalizeHook());
+  simulator_.RunUntil(horizon);
 
   metrics_.per_member_loss.assign(interests_.size() + 1, -1.0);
   metrics_.per_member_loss[kSourceOverlayIndex] = 0.0;
@@ -116,14 +106,37 @@ Result<PullMetrics> PullEngine::Run() {
   return metrics_;
 }
 
+void PullEngine::HandleEvent(sim::SimTime t, const sim::Event& event) {
+  if (event.kind == sim::EventKind::kFinalizeHook) {
+    for (FidelityTracker& tracker : trackers_) tracker.Finalize(t);
+    return;
+  }
+  assert(event.kind == sim::EventKind::kPullPoll);
+  const size_t state_index = event.a;
+  switch (event.b) {
+    case kPollRequest:
+      HandleRequestAtSource(t, state_index);
+      break;
+    case kPollServiced:
+      HandleServiced(t, state_index);
+      break;
+    case kPollResponse:
+      HandleResponse(t, state_index);
+      break;
+    default:
+      assert(false && "unexpected poll phase");
+      break;
+  }
+}
+
 void PullEngine::SchedulePoll(PollState& state, sim::SimTime when) {
   const size_t index = static_cast<size_t>(&state - states_.data());
   // Request travels repository -> source.
   const sim::SimTime arrival =
       when + delays_.Delay(state.member, kSourceOverlayIndex);
-  simulator_.ScheduleAt(arrival, [this, index](sim::SimTime t) {
-    HandleRequestAtSource(t, index);
-  });
+  simulator_.ScheduleAt(
+      arrival, sim::Event::PullPoll(static_cast<uint32_t>(index),
+                                    kPollRequest));
 }
 
 void PullEngine::HandleRequestAtSource(sim::SimTime t, size_t state_index) {
@@ -134,21 +147,25 @@ void PullEngine::HandleRequestAtSource(sim::SimTime t, size_t state_index) {
   source_busy_until_ = done;
   source_busy_total_ += options_.comp_delay;
   ++metrics_.polls;
-  // The response carries the source value at service time.
-  simulator_.ScheduleAt(done, [this, state_index](sim::SimTime now) {
-    const PollState& s = states_[state_index];
-    const double value = traces_[s.item].ValueAt(now);
-    const sim::SimTime back =
-        now + delays_.Delay(kSourceOverlayIndex, s.member);
-    simulator_.ScheduleAt(back, [this, state_index, value](sim::SimTime r) {
-      HandleResponse(r, state_index, value);
-    });
-  });
+  simulator_.ScheduleAt(
+      done, sim::Event::PullPoll(static_cast<uint32_t>(state_index),
+                                 kPollServiced));
 }
 
-void PullEngine::HandleResponse(sim::SimTime t, size_t state_index,
-                                double value) {
+void PullEngine::HandleServiced(sim::SimTime t, size_t state_index) {
+  // The response carries the source value at service time.
   PollState& state = states_[state_index];
+  state.inflight_value = traces_[state.item].ValueAt(t);
+  const sim::SimTime back =
+      t + delays_.Delay(kSourceOverlayIndex, state.member);
+  simulator_.ScheduleAt(
+      back, sim::Event::PullPoll(static_cast<uint32_t>(state_index),
+                                 kPollResponse));
+}
+
+void PullEngine::HandleResponse(sim::SimTime t, size_t state_index) {
+  PollState& state = states_[state_index];
+  const double value = state.inflight_value;
   trackers_[state.tracker].OnRepositoryValue(t, value);
   AdaptTtr(state, t, value);
   SchedulePoll(state, t + state.ttr);

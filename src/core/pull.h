@@ -64,7 +64,12 @@ struct PullMetrics {
 /// request/response one-way delays; `traces[item]` is the source value
 /// process. No overlay is involved: pull is the non-cooperative
 /// baseline the push architecture is compared against.
-class PullEngine {
+///
+/// Runs entirely on typed POD kPullPoll events (one per poll phase:
+/// request arrival, service completion, response arrival); fidelity
+/// trackers are trace-bound and integrate the source process lazily, so
+/// no per-tick source events exist at all.
+class PullEngine : public sim::EventHandler {
  public:
   PullEngine(const net::OverlayDelayModel& delays,
              const std::vector<InterestSet>& interests,
@@ -74,6 +79,13 @@ class PullEngine {
   Result<PullMetrics> Run();
 
  private:
+  /// Phases of one poll round trip, carried in Event::b.
+  enum PollPhase : uint64_t {
+    kPollRequest = 0,   // request reaches the source
+    kPollServiced = 1,  // source finished producing the response
+    kPollResponse = 2,  // response reaches the repository
+  };
+
   struct PollState {
     OverlayIndex member = kInvalidOverlayIndex;
     ItemId item = kInvalidItem;
@@ -81,12 +93,19 @@ class PullEngine {
     sim::SimTime ttr = 0;
     sim::SimTime last_response_time = 0;
     double last_value = 0.0;
+    /// Value sampled at service time, in flight toward the repository.
+    /// One slot suffices: each poll loop has at most one outstanding
+    /// round trip.
+    double inflight_value = 0.0;
     size_t tracker = 0;
   };
 
+  void HandleEvent(sim::SimTime t, const sim::Event& event) override;
+
   void SchedulePoll(PollState& state, sim::SimTime when);
   void HandleRequestAtSource(sim::SimTime t, size_t state_index);
-  void HandleResponse(sim::SimTime t, size_t state_index, double value);
+  void HandleServiced(sim::SimTime t, size_t state_index);
+  void HandleResponse(sim::SimTime t, size_t state_index);
   void AdaptTtr(PollState& state, sim::SimTime now, double value);
 
   const net::OverlayDelayModel& delays_;
@@ -97,7 +116,8 @@ class PullEngine {
   sim::Simulator simulator_;
   std::vector<PollState> states_;
   std::vector<FidelityTracker> trackers_;
-  std::vector<std::vector<size_t>> item_trackers_;
+  /// Per-item compacted source timeline for the lazy trackers.
+  std::vector<std::vector<trace::Tick>> change_timelines_;
   sim::SimTime source_busy_until_ = 0;
   sim::SimTime source_busy_total_ = 0;
   PullMetrics metrics_;

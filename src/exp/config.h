@@ -87,6 +87,10 @@ struct PolicyConfig {
   double comm_delay_mean_ms = 0.0;
   /// See core::EngineOptions::tag_check_cost_factor.
   double tag_check_cost_factor = 0.0;
+  /// See core::EngineOptions::coalesce_deliveries. Off = the
+  /// one-event-per-message dispatch baseline; metrics are byte-identical
+  /// either way.
+  bool coalesce_deliveries = true;
 };
 
 /// Legacy flat description of one simulation run, defaulted to the

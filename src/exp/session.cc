@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <numeric>
 
 #include "common/thread_pool.h"
 #include "core/coop_degree.h"
@@ -262,12 +263,31 @@ Result<ExperimentResult> SimulationSession::Run(const RunSpec& spec) const {
   core::EngineOptions engine_options;
   engine_options.comp_delay = sim::Millis(spec.policy.comp_delay_ms);
   engine_options.tag_check_cost_factor = spec.policy.tag_check_cost_factor;
+  engine_options.coalesce_deliveries = spec.policy.coalesce_deliveries;
   core::Engine engine(built->overlay, delays, world.traces(), *policy,
                       engine_options);
   Result<core::EngineMetrics> metrics = engine.Run();
   if (!metrics.ok()) return metrics.status();
   result.metrics = std::move(metrics).value();
   return result;
+}
+
+std::vector<size_t> LongestFirstOrder(const std::vector<RunSpec>& specs,
+                                      const WorkloadConfig& workload) {
+  std::vector<size_t> order(specs.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  // Engine cost scales with the tick count and (through fan-out and
+  // message volume) with the cooperation degree; ticks x degree is a
+  // cheap proxy that keeps a degree-100 point from tail-blocking a
+  // sweep whose degree-1 points were submitted ahead of it.
+  auto cost = [&](const RunSpec& spec) {
+    return static_cast<uint64_t>(workload.ticks) *
+           static_cast<uint64_t>(std::max<size_t>(1, spec.overlay.coop_degree));
+  };
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return cost(specs[a]) > cost(specs[b]);
+  });
+  return order;
 }
 
 std::vector<Result<ExperimentResult>> SimulationSession::RunAll(
@@ -282,7 +302,10 @@ std::vector<Result<ExperimentResult>> SimulationSession::RunAll(
     return results;
   }
   ThreadPool pool(threads);
-  for (size_t i = 0; i < specs.size(); ++i) {
+  // Longest-estimated-first submission so uneven sweeps don't leave the
+  // pool idle behind one late-submitted expensive point; results[i]
+  // still corresponds to specs[i] no matter the execution order.
+  for (size_t i : LongestFirstOrder(specs, world_->workload())) {
     pool.Submit([this, &specs, &results, i] { results[i] = Run(specs[i]); });
   }
   pool.Wait();

@@ -208,6 +208,14 @@ class SessionBuilder {
   bool has_traces_ = false;
 };
 
+/// Submission order RunAll uses when fanning specs out to the worker
+/// pool: indices of `specs` sorted longest-estimated-run-first (ticks x
+/// cooperation-degree heuristic), ties broken by original index.
+/// Results always come back in spec order regardless; exposed so the
+/// scheduling policy itself is testable.
+std::vector<size_t> LongestFirstOrder(const std::vector<RunSpec>& specs,
+                                      const WorkloadConfig& workload);
+
 /// OK iff `name` is a policy core::MakeDisseminator knows; the error
 /// lists the known policy names.
 Status ValidatePolicyName(const std::string& name);

@@ -4,21 +4,48 @@
 
 namespace d3t::sim {
 
-uint64_t EventQueue::Schedule(SimTime when, EventFn fn) {
+uint64_t EventQueue::Schedule(SimTime when, Event event) {
+  // Callback slots are queue-internal: an externally built kCallback
+  // event would index (or corrupt) the closure side table.
+  assert(event.kind != EventKind::kCallback);
+  return ScheduleInternal(when, event);
+}
+
+uint64_t EventQueue::ScheduleInternal(SimTime when, const Event& event) {
   assert(when >= 0);
   const uint64_t seq = next_seq_++;
   size_t index;
   if (!free_list_.empty()) {
     index = free_list_.back();
     free_list_.pop_back();
-    entries_[index] = Entry{when, seq, std::move(fn), false};
+    entries_[index] = Entry{when, seq, event, false};
   } else {
     index = entries_.size();
-    entries_.push_back(Entry{when, seq, std::move(fn), false});
+    entries_.push_back(Entry{when, seq, event, false});
   }
   heap_.push(HeapItem{when, seq, index});
   ++live_;
   return seq;
+}
+
+uint64_t EventQueue::Schedule(SimTime when, EventFn fn) {
+  uint32_t slot;
+  if (!callback_free_.empty()) {
+    slot = callback_free_.back();
+    callback_free_.pop_back();
+    callbacks_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<uint32_t>(callbacks_.size());
+    callbacks_.push_back(std::move(fn));
+  }
+  return ScheduleInternal(when, Event{EventKind::kCallback, 0, slot});
+}
+
+void EventQueue::ReleaseCallback(const Event& event) {
+  if (event.kind != EventKind::kCallback) return;
+  const uint32_t slot = static_cast<uint32_t>(event.b);
+  callbacks_[slot] = nullptr;
+  callback_free_.push_back(slot);
 }
 
 bool EventQueue::Cancel(uint64_t id) {
@@ -29,8 +56,9 @@ bool EventQueue::Cancel(uint64_t id) {
     if (e.seq != id) continue;
     if (e.cancelled) return false;
     e.cancelled = true;
-    e.fn = nullptr;  // release the closure now; the slot is recycled
-                     // when its heap item surfaces (DropDeadTop)
+    ReleaseCallback(e.event);  // release the closure now; the slot is
+                               // recycled when its heap item surfaces
+                               // (DropDeadTop)
     --live_;
     return true;
   }
@@ -56,18 +84,27 @@ SimTime EventQueue::PeekTime() const {
   return heap_.top().when;
 }
 
-SimTime EventQueue::RunNext() {
+SimTime EventQueue::RunNext(EventHandler* handler) {
   DropDeadTop();
   assert(!heap_.empty());
   const HeapItem top = heap_.top();
   heap_.pop();
   Entry& e = entries_[top.index];
-  EventFn fn = std::move(e.fn);
+  const Event event = e.event;
   const SimTime when = e.when;
-  e.cancelled = true;  // mark consumed before running (fn may reschedule)
+  e.cancelled = true;  // mark consumed before running (the handler or
+                       // callback may schedule further events)
   free_list_.push_back(top.index);
   --live_;
-  fn(when);
+  if (event.kind == EventKind::kCallback) {
+    EventFn fn = std::move(callbacks_[static_cast<uint32_t>(event.b)]);
+    ReleaseCallback(event);
+    fn(when);
+  } else {
+    assert(handler != nullptr &&
+           "typed event popped from a queue run without a handler");
+    handler->HandleEvent(when, event);
+  }
   return when;
 }
 

@@ -4,24 +4,96 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <type_traits>
 #include <vector>
 
 #include "sim/time.h"
 
 namespace d3t::sim {
 
-/// Callback executed when an event fires. Receives the firing time.
+/// Discriminator of the typed POD event variant. The simulation hot
+/// path (source ticks, message deliveries, node processing) carries
+/// these 16-byte PODs instead of type-erased closures; kCallback is the
+/// escape hatch for tests and cold control paths.
+enum class EventKind : uint32_t {
+  /// Generic std::function callback; payload `b` is the queue-internal
+  /// slot of the stored closure.
+  kCallback = 0,
+  /// One source trace tick: `a` = item, `b` = tick index.
+  kSourceTick,
+  /// A batched message delivery: `a` = destination overlay node, `b` =
+  /// the scheduler's batch-pool slot holding the span of pooled jobs.
+  kDelivery,
+  /// A node dequeues and processes its next queued job: `a` = node.
+  kNodeProcess,
+  /// One phase of a pull-engine poll round trip: `a` = poll-state
+  /// index, `b` = phase (request arrival / serviced / response).
+  kPullPoll,
+  /// End-of-run hook (e.g. lazy fidelity finalization at the horizon).
+  kFinalizeHook,
+};
+
+/// A 16-byte POD event: a kind tag plus two untyped payload words whose
+/// meaning is fixed by the kind (see EventKind). Handlers decode with
+/// the named accessors of the scheduling layer; the queue never looks
+/// inside the payload except for kCallback.
+struct Event {
+  EventKind kind = EventKind::kCallback;
+  uint32_t a = 0;
+  uint64_t b = 0;
+
+  static Event SourceTick(uint32_t item, uint64_t tick_index) {
+    return Event{EventKind::kSourceTick, item, tick_index};
+  }
+  static Event Delivery(uint32_t node, uint64_t batch_slot) {
+    return Event{EventKind::kDelivery, node, batch_slot};
+  }
+  static Event NodeProcess(uint32_t node) {
+    return Event{EventKind::kNodeProcess, node, 0};
+  }
+  static Event PullPoll(uint32_t state_index, uint64_t phase) {
+    return Event{EventKind::kPullPoll, state_index, phase};
+  }
+  static Event FinalizeHook() {
+    return Event{EventKind::kFinalizeHook, 0, 0};
+  }
+};
+static_assert(sizeof(Event) == 16, "hot-path events must stay 16 bytes");
+static_assert(std::is_trivially_copyable_v<Event>,
+              "hot-path events must be PODs");
+
+/// Receiver of typed events. The engine (or any other driver) implements
+/// this once and decodes the POD payload per kind; kCallback events
+/// never reach the handler (the queue runs the stored closure itself).
+class EventHandler {
+ public:
+  virtual void HandleEvent(SimTime t, const Event& event) = 0;
+
+ protected:
+  ~EventHandler() = default;
+};
+
+/// Callback executed when a kCallback event fires. Receives the firing
+/// time.
 using EventFn = std::function<void(SimTime)>;
 
 /// A deterministic min-heap of timed events. Ties in firing time are
 /// broken by insertion sequence so runs are reproducible regardless of
 /// heap internals. Entry slots are recycled through a free list so memory
 /// stays proportional to the number of *pending* events, not the total
-/// ever scheduled.
+/// ever scheduled. Entries store the 16-byte POD Event; closures of
+/// kCallback events live in a side table indexed by the event payload,
+/// keeping std::function construction off the typed hot path entirely.
 class EventQueue {
  public:
-  /// Schedules `fn` at absolute time `when` (must be >= 0). Returns a
-  /// unique, monotonically increasing event id.
+  /// Schedules a typed POD event at absolute time `when` (must be >= 0).
+  /// Returns a unique, monotonically increasing event id. `event.kind`
+  /// must not be kCallback — callback slots are queue-internal; use the
+  /// EventFn overload, which allocates one.
+  uint64_t Schedule(SimTime when, Event event);
+
+  /// Schedules `fn` at absolute time `when` as a kCallback event (the
+  /// escape hatch for tests and cold control paths).
   uint64_t Schedule(SimTime when, EventFn fn);
 
   /// Cancels a scheduled event. Returns false if the id already fired,
@@ -39,14 +111,16 @@ class EventQueue {
   SimTime PeekTime() const;
 
   /// Pops and runs the earliest event; returns its time. Must not be
-  /// called when empty. The callback may schedule further events.
-  SimTime RunNext();
+  /// called when empty. kCallback events run their stored closure;
+  /// every other kind is dispatched to `handler` (which must then be
+  /// non-null). The callback/handler may schedule further events.
+  SimTime RunNext(EventHandler* handler = nullptr);
 
  private:
   struct Entry {
     SimTime when;
     uint64_t seq;
-    EventFn fn;
+    Event event;
     bool cancelled = false;
   };
   struct HeapItem {
@@ -59,14 +133,22 @@ class EventQueue {
     }
   };
 
+  /// Shared insertion path; `event` may be a queue-built kCallback.
+  uint64_t ScheduleInternal(SimTime when, const Event& event);
   /// Pops heap items whose entry slot was cancelled or recycled.
   void DropDeadTop() const;
+  /// Releases the closure slot of a cancelled/consumed kCallback entry.
+  void ReleaseCallback(const Event& event);
 
   std::vector<Entry> entries_;
   mutable std::vector<size_t> free_list_;
   mutable std::priority_queue<HeapItem, std::vector<HeapItem>,
                               std::greater<HeapItem>>
       heap_;
+  /// Side table of kCallback closures, recycled through its own free
+  /// list; Event::b of a kCallback event indexes it.
+  std::vector<EventFn> callbacks_;
+  std::vector<uint32_t> callback_free_;
   uint64_t next_seq_ = 0;
   size_t live_ = 0;
 };

@@ -4,6 +4,16 @@
 
 namespace d3t::sim {
 
+uint64_t Simulator::ScheduleAfter(SimTime delay, Event event) {
+  assert(delay >= 0);
+  return queue_.Schedule(now_ + delay, event);
+}
+
+uint64_t Simulator::ScheduleAt(SimTime when, Event event) {
+  assert(when >= now_);
+  return queue_.Schedule(when, event);
+}
+
 uint64_t Simulator::ScheduleAfter(SimTime delay, EventFn fn) {
   assert(delay >= 0);
   return queue_.Schedule(now_ + delay, std::move(fn));
@@ -19,10 +29,10 @@ uint64_t Simulator::RunUntil(SimTime horizon) {
   while (!queue_.empty()) {
     const SimTime next = queue_.PeekTime();
     if (next > horizon) break;
-    // Advance the clock before running the callback so that now() is the
-    // event's firing time inside the callback.
+    // Advance the clock before running the event so that now() is the
+    // event's firing time inside the handler/callback.
     now_ = next;
-    queue_.RunNext();
+    queue_.RunNext(handler_);
     ++executed;
   }
   events_executed_ += executed;

@@ -9,11 +9,24 @@
 namespace d3t::sim {
 
 /// Discrete-event simulation driver: owns the clock and the event queue
-/// and advances time by running events in order.
+/// and advances time by running events in order. Typed POD events are
+/// dispatched to the registered EventHandler; kCallback events run their
+/// stored closure (the escape hatch for tests and cold control paths).
 class Simulator {
  public:
   SimTime now() const { return now_; }
   EventQueue& queue() { return queue_; }
+
+  /// Registers the receiver of typed events. Must be set before any
+  /// typed event fires; may be null while only callbacks are scheduled.
+  void set_handler(EventHandler* handler) { handler_ = handler; }
+  EventHandler* handler() const { return handler_; }
+
+  /// Schedules a typed event `delay` microseconds from now (delay >= 0).
+  uint64_t ScheduleAfter(SimTime delay, Event event);
+
+  /// Schedules a typed event at absolute time `when` (>= now()).
+  uint64_t ScheduleAt(SimTime when, Event event);
 
   /// Schedules `fn` `delay` microseconds from now (delay >= 0).
   uint64_t ScheduleAfter(SimTime delay, EventFn fn);
@@ -35,6 +48,7 @@ class Simulator {
  private:
   SimTime now_ = 0;
   EventQueue queue_;
+  EventHandler* handler_ = nullptr;
   uint64_t events_executed_ = 0;
 };
 

@@ -120,6 +120,35 @@ TEST(DeterminismTest, MultiSourceParallelIsByteIdenticalToSerial) {
   ExpectIdenticalMultiSourceResults(*parallel, *again);
 }
 
+TEST(DeterminismTest, BatchedDispatchIsByteIdenticalToPerMessageDispatch) {
+  // The event-kernel redesign coalesces same-(node, arrival) deliveries
+  // into one batched POD event. Dispatch granularity is a pure kernel
+  // concern: every metric — including the logical event count — must be
+  // byte-identical to the one-event-per-message baseline, for every
+  // policy, on the golden fixture.
+  for (const char* policy :
+       {"distributed", "centralized", "eq3-only", "all-updates"}) {
+    SCOPED_TRACE(policy);
+    ExperimentConfig config = GoldenConfig();
+    config.policy = policy;
+    Result<Workbench> bench = Workbench::Create(config);
+    ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+    RunSpec batched = Workbench::SpecFromConfig(config);
+    RunSpec per_message = batched;
+    per_message.policy.coalesce_deliveries = false;
+    Result<ExperimentResult> a = bench->session().Run(batched);
+    Result<ExperimentResult> b = bench->session().Run(per_message);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    ExpectIdenticalMetrics(a->metrics, b->metrics);
+    // Per-message dispatch fires exactly one delivery event per message
+    // delivered and can never coalesce.
+    EXPECT_EQ(b->metrics.coalesced_messages, 0u);
+    EXPECT_EQ(a->metrics.delivery_batches + a->metrics.coalesced_messages,
+              b->metrics.delivery_batches);
+  }
+}
+
 TEST(DeterminismTest, GoldenMetricsOnFixedScenario) {
   // Captured from the pre-refactor (unordered_map) engine at seed 1234;
   // pins the dense-state refactor to the exact historical behavior.

@@ -216,6 +216,81 @@ TEST(EngineTest, PoliciesSendComparableMessageCounts) {
 }
 
 // ---------------------------------------------------------------------------
+// Batched delivery dispatch
+
+EngineMetrics RunScenarioWithOptions(const Scenario& s,
+                                     const std::string& policy_name,
+                                     const EngineOptions& options) {
+  std::unique_ptr<Disseminator> policy = MakeDisseminator(policy_name);
+  EXPECT_NE(policy, nullptr);
+  Engine engine(s.overlay, s.delays, s.traces, *policy, options);
+  Result<EngineMetrics> metrics = engine.Run();
+  EXPECT_TRUE(metrics.ok()) << metrics.status().ToString();
+  return metrics.value_or(EngineMetrics{});
+}
+
+TEST(EngineTest, SameArrivalDeliveriesCoalesceIntoOneEvent) {
+  // Two items change at the same source tick time; with zero
+  // computational delay the source pushes both to its child in the same
+  // instant, so both messages arrive together and must ride one batched
+  // delivery event.
+  Scenario s;
+  s.overlay = Overlay(2, 2);
+  for (ItemId item = 0; item < 2; ++item) {
+    s.overlay.SetServing(0, item, 0.0, kInvalidOverlayIndex);
+    s.overlay.SetOwnInterest(1, item, 0.01);
+    s.overlay.AddItemEdge(0, 1, item, 0.01);
+  }
+  s.delays = net::OverlayDelayModel::Uniform(2, sim::Millis(5));
+  // Value-repeating tail ticks keep the horizon past the delivery times.
+  s.traces = {SecondsTrace({10.0, 11.0, 11.0, 11.0}),
+              SecondsTrace({20.0, 21.0, 21.0, 21.0})};
+
+  EngineOptions batched;
+  batched.comp_delay = 0;
+  const EngineMetrics with = RunScenarioWithOptions(s, "all-updates", batched);
+  EXPECT_EQ(with.messages, 2u);
+  EXPECT_EQ(with.delivery_batches, 1u);  // N same-arrival jobs -> 1 event
+  EXPECT_EQ(with.coalesced_messages, 1u);
+
+  EngineOptions per_message = batched;
+  per_message.coalesce_deliveries = false;
+  const EngineMetrics without =
+      RunScenarioWithOptions(s, "all-updates", per_message);
+  EXPECT_EQ(without.delivery_batches, 2u);
+  EXPECT_EQ(without.coalesced_messages, 0u);
+
+  // Every externally observable metric is batching-invariant, including
+  // the logical event count.
+  EXPECT_EQ(with.messages, without.messages);
+  EXPECT_EQ(with.checks, without.checks);
+  EXPECT_EQ(with.events, without.events);
+  EXPECT_EQ(with.loss_percent, without.loss_percent);
+  EXPECT_EQ(with.per_member_loss, without.per_member_loss);
+}
+
+TEST(EngineTest, DistinctArrivalTimesDoNotCoalesce) {
+  // Same destination, but a nonzero per-edge computational delay makes
+  // the two pushes leave the source at different busy times, so nothing
+  // may batch.
+  Scenario s;
+  s.overlay = Overlay(2, 2);
+  for (ItemId item = 0; item < 2; ++item) {
+    s.overlay.SetServing(0, item, 0.0, kInvalidOverlayIndex);
+    s.overlay.SetOwnInterest(1, item, 0.01);
+    s.overlay.AddItemEdge(0, 1, item, 0.01);
+  }
+  s.delays = net::OverlayDelayModel::Uniform(2, sim::Millis(5));
+  s.traces = {SecondsTrace({10.0, 11.0, 11.0, 11.0}),
+              SecondsTrace({20.0, 21.0, 21.0, 21.0})};
+  const EngineMetrics metrics =
+      RunScenario(s, "all-updates", sim::Millis(10));
+  EXPECT_EQ(metrics.messages, 2u);
+  EXPECT_EQ(metrics.delivery_batches, 2u);
+  EXPECT_EQ(metrics.coalesced_messages, 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Validation & determinism
 
 TEST(EngineTest, RejectsMismatchedTraceCount) {

@@ -1,9 +1,12 @@
 #include "core/fidelity.h"
 
 #include "gtest/gtest.h"
+#include "trace/trace.h"
 
 namespace d3t::core {
 namespace {
+
+using Timeline = std::vector<trace::Tick>;
 
 TEST(FidelityTest, PerfectSyncIsZeroLoss) {
   FidelityTracker tracker(0.1, 10.0);
@@ -90,6 +93,64 @@ TEST(FidelityTest, AlternatingProcessesExactIntegral) {
   tracker.Finalize(100);
   EXPECT_EQ(tracker.out_of_sync_time(), 10 + 15 + 20);
   EXPECT_DOUBLE_EQ(tracker.LossPercent(), 45.0);
+}
+
+// ---------------------------------------------------------------------------
+// Lazy (trace-bound) mode: the tracker integrates the source process
+// from the trace timeline instead of being pushed every source tick.
+
+TEST(LazyFidelityTest, MatchesEagerOnHandScenario) {
+  // Same interleaving as AlternatingProcessesExactIntegral, with the
+  // source steps coming from a bound trace instead of pushes.
+  const Timeline source = {
+      {0, 0.0}, {10, 2.0}, {20, 0.5}, {30, 3.0}, {50, 4.0}};
+  FidelityTracker tracker(1.0, &source);
+  tracker.OnRepositoryValue(45, 2.5);
+  tracker.OnRepositoryValue(70, 4.0);
+  tracker.Finalize(100);
+  EXPECT_EQ(tracker.out_of_sync_time(), 10 + 15 + 20);
+  EXPECT_DOUBLE_EQ(tracker.LossPercent(), 45.0);
+}
+
+TEST(LazyFidelityTest, FinalizeIntegratesUnconsumedTraceTail) {
+  // No repository update ever arrives; the whole violation window is
+  // discovered at Finalize.
+  const Timeline source = {{0, 10.0}, {900, 11.0}};
+  FidelityTracker tracker(0.1, &source);
+  tracker.Finalize(1000);
+  EXPECT_EQ(tracker.out_of_sync_time(), 100);
+  EXPECT_DOUBLE_EQ(tracker.LossPercent(), 10.0);
+}
+
+TEST(LazyFidelityTest, RepeatedTraceValuesAreNotUpdates) {
+  // Polls that repeat the previous value must integrate exactly like
+  // the eager mode, which never saw them at all.
+  const Timeline source = {
+      {0, 10.0}, {100, 10.0}, {200, 11.0}, {300, 11.0}, {400, 11.0}};
+  FidelityTracker tracker(0.1, &source);
+  tracker.OnRepositoryValue(250, 11.0);
+  tracker.Finalize(500);
+  EXPECT_EQ(tracker.out_of_sync_time(), 50);  // violated only [200, 250)
+}
+
+TEST(LazyFidelityTest, SourceTickAtRepositoryUpdateTimeIsAppliedFirst) {
+  // A trace tick at exactly the repository-update time belongs to the
+  // past of that update (zero-duration intermediate states carry no
+  // weight either way).
+  const Timeline source = {{0, 10.0}, {100, 12.0}};
+  FidelityTracker tracker(0.1, &source);
+  tracker.OnRepositoryValue(100, 12.0);  // repairs at the same instant
+  tracker.Finalize(200);
+  EXPECT_EQ(tracker.out_of_sync_time(), 0);
+}
+
+TEST(LazyFidelityTest, EventsAfterFinalizeIgnored) {
+  const Timeline source = {{0, 10.0}, {150, 99.0}};
+  FidelityTracker tracker(0.1, &source);
+  tracker.Finalize(100);
+  tracker.OnRepositoryValue(160, 50.0);
+  EXPECT_EQ(tracker.out_of_sync_time(), 0);
+  EXPECT_DOUBLE_EQ(tracker.LossPercent(), 0.0);
 }
 
 }  // namespace

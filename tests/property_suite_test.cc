@@ -115,6 +115,72 @@ TEST(PropertySuite, FidelityTrackerMatchesBruteForceReplay) {
 }
 
 // ---------------------------------------------------------------------------
+// Lazy (trace-bound) tracker vs eager push replay
+
+TEST(PropertySuite, LazyTrackerMatchesEagerTracker) {
+  // The two feeding modes must agree bit-for-bit: the lazy tracker sees
+  // the source process only through its bound trace (caught up on repo
+  // updates and at Finalize), the eager one is pushed every change.
+  for (uint64_t seed : {61u, 62u, 63u, 64u, 65u}) {
+    Rng rng(seed);
+    const core::Coherency c = rng.NextDoubleInRange(0.05, 0.5);
+    const double initial = 10.0;
+
+    std::vector<trace::Tick> ticks = {{0, initial}};
+    sim::SimTime t = 0;
+    for (int i = 0; i < 300; ++i) {
+      t += 1 + static_cast<sim::SimTime>(rng.NextBounded(40));
+      // Mix genuine changes with value-repeating polls.
+      const double value = rng.NextBernoulli(0.3)
+                               ? ticks.back().value
+                               : initial + rng.NextDoubleInRange(-1.0, 1.0);
+      ticks.push_back({t, value});
+    }
+
+    struct RepoEvent {
+      sim::SimTime t;
+      double value;
+    };
+    std::vector<RepoEvent> repo_events;
+    sim::SimTime rt = 0;
+    for (int i = 0; i < 60; ++i) {
+      rt += 1 + static_cast<sim::SimTime>(rng.NextBounded(200));
+      repo_events.push_back(
+          {rt, initial + rng.NextDoubleInRange(-1.0, 1.0)});
+    }
+    const sim::SimTime end = std::max(t, rt) + 10;
+
+    // Bind the raw timeline, repeats included — the lazy cursor must
+    // skip them exactly like the eager replay (which never pushes them).
+    core::FidelityTracker lazy(c, &ticks);
+    core::FidelityTracker eager(c, initial);
+    size_t cursor = 1;
+    double last_source = initial;
+    auto push_source_until = [&](sim::SimTime limit) {
+      while (cursor < ticks.size() && ticks[cursor].time <= limit) {
+        if (ticks[cursor].value != last_source) {
+          last_source = ticks[cursor].value;
+          eager.OnSourceValue(ticks[cursor].time, last_source);
+        }
+        ++cursor;
+      }
+    };
+    for (const RepoEvent& event : repo_events) {
+      push_source_until(event.t);
+      eager.OnRepositoryValue(event.t, event.value);
+      lazy.OnRepositoryValue(event.t, event.value);
+    }
+    push_source_until(end);
+    eager.Finalize(end);
+    lazy.Finalize(end);
+
+    EXPECT_EQ(lazy.out_of_sync_time(), eager.out_of_sync_time())
+        << "seed " << seed;
+    EXPECT_EQ(lazy.LossPercent(), eager.LossPercent()) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Trace::ValueAt vs linear reference
 
 TEST(PropertySuite, ValueAtMatchesLinearScan) {

@@ -152,6 +152,48 @@ TEST(SessionSweepTest, ParallelSweepMatchesSerialSweep) {
   }
 }
 
+TEST(SessionSchedulingTest, LongestFirstOrderSortsByTicksTimesDegree) {
+  WorkloadConfig workload = SmallWorkload();
+  std::vector<RunSpec> specs(5, SmallSpec());
+  specs[0].overlay.coop_degree = 2;
+  specs[1].overlay.coop_degree = 100;
+  specs[2].overlay.coop_degree = 1;
+  specs[3].overlay.coop_degree = 100;  // tie with 1 -> original order
+  specs[4].overlay.coop_degree = 7;
+  const std::vector<size_t> order = LongestFirstOrder(specs, workload);
+  EXPECT_EQ(order, (std::vector<size_t>{1, 3, 4, 0, 2}));
+  // coop_degree 0 is clamped to 1 by the runner; the heuristic must
+  // agree so a zero-degree spec doesn't sort above everything.
+  specs[2].overlay.coop_degree = 0;
+  EXPECT_EQ(LongestFirstOrder(specs, workload),
+            (std::vector<size_t>{1, 3, 4, 0, 2}));
+}
+
+TEST(SessionSchedulingTest, PooledRunAllReturnsResultsInSpecOrder) {
+  // Longest-first submission reorders pool execution only; results[i]
+  // must still match a serial Run of specs[i].
+  Result<SimulationSession> session = BuildSmallSession(/*worker_threads=*/3);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  std::vector<RunSpec> specs(4, SmallSpec());
+  specs[0].overlay.coop_degree = 1;
+  specs[1].overlay.coop_degree = 6;
+  specs[2].overlay.coop_degree = 2;
+  specs[3].overlay.coop_degree = 4;
+  std::vector<Result<ExperimentResult>> pooled = session->RunAll(specs);
+  ASSERT_EQ(pooled.size(), specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    SCOPED_TRACE("spec " + std::to_string(i));
+    Result<ExperimentResult> serial = session->Run(specs[i]);
+    ASSERT_TRUE(pooled[i].ok()) << pooled[i].status().ToString();
+    ASSERT_TRUE(serial.ok());
+    EXPECT_EQ(pooled[i]->metrics.messages, serial->metrics.messages);
+    EXPECT_EQ(pooled[i]->metrics.events, serial->metrics.events);
+    EXPECT_EQ(pooled[i]->effective_degree, serial->effective_degree);
+    EXPECT_DOUBLE_EQ(pooled[i]->metrics.loss_percent,
+                     serial->metrics.loss_percent);
+  }
+}
+
 TEST(SessionValidationTest, UnknownPolicyErrorListsKnownNames) {
   Result<SimulationSession> session = BuildSmallSession();
   ASSERT_TRUE(session.ok());

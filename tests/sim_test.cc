@@ -57,6 +57,93 @@ TEST(EventQueueTest, CancelUnknownIdFails) {
   EXPECT_FALSE(q.Cancel(12345));
 }
 
+// Pins the documented Cancel contract: false for fired, already
+// cancelled and never-issued ids — including after the entry slot has
+// been recycled through the free list by later Schedules.
+TEST(EventQueueTest, CancelSemanticsSurviveSlotRecycling) {
+  EventQueue q;
+  const uint64_t fired = q.Schedule(10, [](SimTime) {});
+  q.RunNext();
+  EXPECT_FALSE(q.Cancel(fired));  // already fired
+
+  const uint64_t cancelled = q.Schedule(20, [](SimTime) {});
+  EXPECT_TRUE(q.Cancel(cancelled));
+  EXPECT_FALSE(q.Cancel(cancelled));  // double cancel
+
+  // Surface the cancelled entry so its slot returns to the free list,
+  // then reuse it. Ids of the old occupants must stay dead; the new
+  // occupant must be cancellable exactly once.
+  EXPECT_EQ(q.PeekTime(), kSimTimeMax);
+  const uint64_t recycled = q.Schedule(30, [](SimTime) {});
+  EXPECT_FALSE(q.Cancel(fired));
+  EXPECT_FALSE(q.Cancel(cancelled));
+  EXPECT_FALSE(q.Cancel(recycled + 100));  // never issued
+  EXPECT_TRUE(q.Cancel(recycled));
+  EXPECT_FALSE(q.Cancel(recycled));
+  EXPECT_TRUE(q.empty());
+}
+
+/// Records every typed event it receives.
+struct RecordingHandler : EventHandler {
+  struct Seen {
+    SimTime t;
+    Event event;
+  };
+  std::vector<Seen> seen;
+  void HandleEvent(SimTime t, const Event& event) override {
+    seen.push_back({t, event});
+  }
+};
+
+TEST(EventQueueTest, TypedEventsDispatchThroughHandler) {
+  EventQueue q;
+  RecordingHandler handler;
+  q.Schedule(20, Event::Delivery(7, 42));
+  q.Schedule(10, Event::SourceTick(3, 5));
+  q.Schedule(30, Event::NodeProcess(9));
+  while (!q.empty()) q.RunNext(&handler);
+  ASSERT_EQ(handler.seen.size(), 3u);
+  EXPECT_EQ(handler.seen[0].t, 10);
+  EXPECT_EQ(handler.seen[0].event.kind, EventKind::kSourceTick);
+  EXPECT_EQ(handler.seen[0].event.a, 3u);
+  EXPECT_EQ(handler.seen[0].event.b, 5u);
+  EXPECT_EQ(handler.seen[1].event.kind, EventKind::kDelivery);
+  EXPECT_EQ(handler.seen[1].event.a, 7u);
+  EXPECT_EQ(handler.seen[1].event.b, 42u);
+  EXPECT_EQ(handler.seen[2].event.kind, EventKind::kNodeProcess);
+  EXPECT_EQ(handler.seen[2].event.a, 9u);
+}
+
+TEST(EventQueueTest, TypedAndCallbackEventsInterleaveInOrder) {
+  EventQueue q;
+  RecordingHandler handler;
+  std::vector<int> callback_fired;
+  q.Schedule(5, Event::PullPoll(1, 0));
+  q.Schedule(5, [&](SimTime) { callback_fired.push_back(1); });
+  q.Schedule(5, Event::FinalizeHook());
+  while (!q.empty()) q.RunNext(&handler);
+  // Insertion order at equal times: typed, callback, typed.
+  ASSERT_EQ(handler.seen.size(), 2u);
+  EXPECT_EQ(handler.seen[0].event.kind, EventKind::kPullPoll);
+  EXPECT_EQ(handler.seen[1].event.kind, EventKind::kFinalizeHook);
+  EXPECT_EQ(callback_fired, (std::vector<int>{1}));
+}
+
+TEST(EventQueueTest, CancelledTypedAndCallbackEventsNeverFire) {
+  EventQueue q;
+  RecordingHandler handler;
+  bool callback_ran = false;
+  const uint64_t typed = q.Schedule(10, Event::SourceTick(1, 1));
+  const uint64_t cb = q.Schedule(10, [&](SimTime) { callback_ran = true; });
+  q.Schedule(20, Event::NodeProcess(2));
+  EXPECT_TRUE(q.Cancel(typed));
+  EXPECT_TRUE(q.Cancel(cb));
+  while (!q.empty()) q.RunNext(&handler);
+  EXPECT_FALSE(callback_ran);
+  ASSERT_EQ(handler.seen.size(), 1u);
+  EXPECT_EQ(handler.seen[0].event.kind, EventKind::kNodeProcess);
+}
+
 TEST(EventQueueTest, CancelledEventSkippedInPeek) {
   EventQueue q;
   uint64_t early = q.Schedule(5, [](SimTime) {});
@@ -138,6 +225,24 @@ TEST(SimulatorTest, ZeroDelaySelfChainTerminates) {
   sim.Run();
   EXPECT_EQ(depth, 1000);
   EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(SimulatorTest, DispatchesTypedEventsToRegisteredHandler) {
+  Simulator sim;
+  RecordingHandler handler;
+  sim.set_handler(&handler);
+  sim.ScheduleAfter(100, Event::SourceTick(2, 4));
+  sim.ScheduleAt(50, Event::Delivery(1, 3));
+  int callbacks = 0;
+  sim.ScheduleAt(75, [&](SimTime) { ++callbacks; });
+  sim.Run();
+  ASSERT_EQ(handler.seen.size(), 2u);
+  EXPECT_EQ(handler.seen[0].t, 50);
+  EXPECT_EQ(handler.seen[0].event.kind, EventKind::kDelivery);
+  EXPECT_EQ(handler.seen[1].t, 100);
+  EXPECT_EQ(handler.seen[1].event.kind, EventKind::kSourceTick);
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_EQ(sim.events_executed(), 3u);
 }
 
 TEST(SimulatorTest, ManyEventsStressOrder) {
