@@ -115,11 +115,13 @@ struct EventKernelFixture {
   std::vector<trace::Trace> traces;
 };
 
-void RunDispatchBenchmark(benchmark::State& state, bool coalesce) {
+void RunDispatchBenchmark(benchmark::State& state, bool coalesce,
+                          bool drain_spans) {
   static EventKernelFixture fixture;
   core::EngineOptions options;
   options.comp_delay = 0;
   options.coalesce_deliveries = coalesce;
+  options.drain_process_spans = drain_spans;
   core::EngineMetrics last{};
   for (auto _ : state) {
     core::DistributedDisseminator policy;
@@ -133,21 +135,35 @@ void RunDispatchBenchmark(benchmark::State& state, bool coalesce) {
                           static_cast<int64_t>(last.messages));
   state.counters["delivery_batches"] =
       static_cast<double>(last.delivery_batches);
+  state.counters["process_wakeups"] =
+      static_cast<double>(last.process_wakeups);
   state.counters["coalesced_frac"] =
       last.messages == 0 ? 0.0
                          : static_cast<double>(last.coalesced_messages) /
                                static_cast<double>(last.messages);
 }
 
+/// PR 3's per-message dispatch baseline: one physical event per message
+/// and per job.
+void BM_EnginePerMessageDispatch(benchmark::State& state) {
+  RunDispatchBenchmark(state, /*coalesce=*/false, /*drain_spans=*/false);
+}
+BENCHMARK(BM_EnginePerMessageDispatch)->Unit(benchmark::kMillisecond);
+
+/// PR 3's batched-delivery kernel: same-arrival messages coalesce into
+/// one Delivery event, but each job still gets its own NodeProcess.
 void BM_EngineBatchedDispatch(benchmark::State& state) {
-  RunDispatchBenchmark(state, /*coalesce=*/true);
+  RunDispatchBenchmark(state, /*coalesce=*/true, /*drain_spans=*/false);
 }
 BENCHMARK(BM_EngineBatchedDispatch)->Unit(benchmark::kMillisecond);
 
-void BM_EnginePerMessageDispatch(benchmark::State& state) {
-  RunDispatchBenchmark(state, /*coalesce=*/false);
+/// Span-draining kernel (current default): batched delivery plus one
+/// NodeProcess wakeup consuming the node's whole pending span in a
+/// single busy-server pass.
+void BM_EngineSpanDrain(benchmark::State& state) {
+  RunDispatchBenchmark(state, /*coalesce=*/true, /*drain_spans=*/true);
 }
-BENCHMARK(BM_EnginePerMessageDispatch)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineSpanDrain)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace d3t

@@ -3,11 +3,16 @@
 //    on one shared World vs the legacy per-point RunExperiment rebuild
 //    (both serial, so the gap is pure substrate reuse); BM_SessionSweepPooled
 //    adds the worker pool on top;
+//  * BM_TimelineCachedSweep vs BM_TimelineRebuildSweep — the World-cached
+//    change timelines vs PR 3's per-run BuildChangeTimelines trace pass,
+//    on long mostly-flat traces where the per-run pass is visible;
 //  * BM_MultiSourceSerial vs BM_MultiSourceParallel — the sharded
 //    multi-source run on 1 worker thread vs the worker pool.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -15,6 +20,7 @@
 #include "exp/experiment.h"
 #include "exp/multi_source.h"
 #include "exp/session.h"
+#include "trace/trace.h"
 
 namespace d3t {
 namespace {
@@ -101,6 +107,90 @@ void BM_SweepRebuildBaseline(benchmark::State& state) {
                           static_cast<int64_t>(SweepPolicies().size()));
 }
 BENCHMARK(BM_SweepRebuildBaseline)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// World-cached change timelines
+//
+// The lazy fidelity trackers bind to per-item compacted change
+// timelines. PR 3 rebuilt them with a full trace pass per run; the
+// session now builds them once at SessionBuilder::Build and every run
+// borrows a const view (PolicyConfig::use_cached_timelines). The
+// workload below makes the difference visible: long, mostly-flat traces
+// (many value-repeating polls, few genuine changes) make the per-run
+// trace pass the dominant per-point cost of a sweep.
+
+exp::SimulationSession BuildTimelineSweepSessionOrDie() {
+  constexpr size_t kItems = 8;
+  constexpr size_t kTicks = 60000;
+  exp::NetworkConfig network;
+  network.repositories = 10;
+  network.routers = 40;
+  exp::WorkloadConfig workload;
+  workload.items = kItems;
+  workload.ticks = kTicks;
+  // One tick per simulated second; the value steps only every 1500th
+  // poll, so the compacted timeline is ~40 entries per 60k-tick trace.
+  std::vector<trace::Trace> traces;
+  traces.reserve(kItems);
+  for (size_t i = 0; i < kItems; ++i) {
+    std::vector<trace::Tick> ticks;
+    ticks.reserve(kTicks);
+    double value = 25.0 + static_cast<double>(i);
+    for (size_t k = 0; k < kTicks; ++k) {
+      if (k > 0 && k % 1500 == 0) value += 0.05;
+      ticks.push_back({sim::Seconds(static_cast<double>(k)), value});
+    }
+    traces.emplace_back("flat" + std::to_string(i), std::move(ticks));
+  }
+  exp::SessionBuilder builder;
+  builder.SetNetwork(network)
+      .SetWorkload(workload)
+      .SetSeed(42)
+      .SetWorkerThreads(1)
+      .SetTraces(std::move(traces));
+  Result<exp::SimulationSession> session = std::move(builder).Build();
+  if (!session.ok()) {
+    std::fprintf(stderr, "timeline sweep session build failed: %s\n",
+                 session.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(session).value();
+}
+
+void TimelineSweep(benchmark::State& state, bool use_cache) {
+  static exp::SimulationSession* session =
+      new exp::SimulationSession(BuildTimelineSweepSessionOrDie());
+  exp::RunSpec base;
+  base.overlay.coop_degree = 4;
+  base.policy.use_cached_timelines = use_cache;
+  const std::vector<uint64_t> seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+  for (auto _ : state) {
+    auto results = session->RunSweep(
+        base, seeds,
+        [](exp::RunSpec& spec, uint64_t seed) { spec.seed = seed; });
+    for (const auto& result : results) {
+      if (!result.ok()) {
+        state.SkipWithError(result.status().ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(result->metrics.loss_percent);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(seeds.size()));
+}
+
+void BM_TimelineCachedSweep(benchmark::State& state) {
+  TimelineSweep(state, /*use_cache=*/true);
+}
+BENCHMARK(BM_TimelineCachedSweep)->Unit(benchmark::kMillisecond);
+
+/// PR 3 baseline: every run re-traces the library to rebuild its own
+/// change timelines.
+void BM_TimelineRebuildSweep(benchmark::State& state) {
+  TimelineSweep(state, /*use_cache=*/false);
+}
+BENCHMARK(BM_TimelineRebuildSweep)->Unit(benchmark::kMillisecond);
 
 void RunMultiSourceOrSkip(benchmark::State& state, size_t worker_threads) {
   exp::MultiSourceConfig config;

@@ -8,9 +8,51 @@
 # thread variant race-checks the RunAll/RunMultiSource worker-pool path.
 # D3T_TEST_FILTER optionally narrows ctest (regex) for slow sanitizer
 # builds.
+#
+# Bench smoke: set D3T_BENCH_SMOKE=1 to instead build bench/ in Release
+# mode (D3T_BUILD_BENCH=ON — here a missing google-benchmark *fails*,
+# that is the point) and run every bench binary briefly: the
+# google-benchmark drivers with --benchmark_min_time=1x, the paper-
+# figure CLI drivers at a tiny scale. Keeps the perf binaries from
+# bitrotting without turning CI into a benchmarking farm.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+if [[ -n "${D3T_BENCH_SMOKE:-}" ]]; then
+  BUILD_DIR=build-bench-smoke
+  cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DD3T_BUILD_BENCH=ON \
+    -DD3T_BUILD_TESTS=OFF \
+    -DD3T_BUILD_EXAMPLES=OFF
+  cmake --build "$BUILD_DIR" -j
+  # One measured iteration per google-benchmark binary. The `1x`
+  # iteration syntax needs google-benchmark >= 1.8; probe flag support
+  # via --benchmark_list_tests (parses flags, runs nothing) so the
+  # fallback is chosen by library version, never by a crashing benchmark.
+  MIN_TIME_FLAG="--benchmark_min_time=1x"
+  if ! "$BUILD_DIR/bench/event_kernel" "$MIN_TIME_FLAG" \
+      --benchmark_list_tests=true > /dev/null 2>&1; then
+    MIN_TIME_FLAG="--benchmark_min_time=0.01"
+  fi
+  for gbench in event_kernel micro_core session_sweep; do
+    echo "== bench smoke: ${gbench} =="
+    "$BUILD_DIR/bench/$gbench" "$MIN_TIME_FLAG"
+  done
+  # Paper-figure CLI drivers at a tiny scale (they all take the common
+  # flags); scalability also exercises the streaming routing path and
+  # prints peak RSS.
+  for cli_bench in "$BUILD_DIR"/bench/*; do
+    name=$(basename "$cli_bench")
+    case "$name" in
+      event_kernel|micro_core|session_sweep) continue ;;
+    esac
+    echo "== bench smoke: ${name} =="
+    "$cli_bench" --repositories 8 --items 4 --ticks 120
+  done
+  exit 0
+fi
 
 BUILD_DIR=build
 CMAKE_ARGS=()

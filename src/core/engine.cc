@@ -1,18 +1,48 @@
 #include "core/engine.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstddef>
 
 namespace d3t::core {
 
 Engine::Engine(const Overlay& overlay, const net::OverlayDelayModel& delays,
                const std::vector<trace::Trace>& traces,
-               Disseminator& disseminator, const EngineOptions& options)
+               Disseminator& disseminator, const EngineOptions& options,
+               const ChangeTimelines* change_timelines)
     : overlay_(overlay),
       delays_(delays),
       traces_(traces),
       disseminator_(disseminator),
-      options_(options) {}
+      options_(options),
+      change_timelines_(change_timelines) {
+  // Pre-reserve the run pools from overlay degree stats so the first run
+  // does not pay reallocation churn: a node's steady-state backlog is
+  // bounded by its incoming per-item edges (one in-flight update per
+  // edge in the common regime), and the delivery-batch pool grows to the
+  // maximum number of concurrently in-flight deliveries, itself bounded
+  // by the total edge count.
+  nodes_.resize(overlay_.member_count());
+  std::vector<uint32_t> in_edges(overlay_.member_count(), 0);
+  size_t total_edges = 0;
+  for (OverlayIndex m = 0; m < overlay_.member_count(); ++m) {
+    for (ItemId item = 0; item < overlay_.item_count(); ++item) {
+      if (!overlay_.Holds(m, item)) continue;
+      for (const ItemEdge& edge : overlay_.Serving(m, item).children) {
+        ++in_edges[edge.child];
+        ++total_edges;
+      }
+    }
+  }
+  for (OverlayIndex m = 0; m < overlay_.member_count(); ++m) {
+    nodes_[m].queue.reserve(std::max<size_t>(4, in_edges[m]));
+  }
+  const size_t batch_estimate =
+      std::min<size_t>(total_edges + 1, size_t{4096});
+  batches_.reserve(batch_estimate);
+  batch_free_.reserve(batch_estimate);
+}
 
 Result<EngineMetrics> Engine::Run() {
   if (traces_.size() != overlay_.item_count()) {
@@ -37,8 +67,22 @@ Result<EngineMetrics> Engine::Run() {
     horizon = std::max(horizon, traces_[i].ticks().back().time);
   }
 
+  // Per-item change timelines for the lazy trackers: the shared cache
+  // when one was supplied (a World-cached copy lets sweeps skip this
+  // trace pass entirely), otherwise built here.
+  Result<const ChangeTimelines*> resolved =
+      ResolveChangeTimelines(change_timelines_, traces_, owned_timelines_);
+  if (!resolved.ok()) return resolved.status();
+  const ChangeTimelines* timelines = *resolved;
+
   disseminator_.Initialize(overlay_, initial_values);
-  nodes_.assign(overlay_.member_count(), NodeState{});
+  for (NodeState& state : nodes_) {
+    state.queue.clear();
+    state.next = 0;
+    state.busy_until = 0;
+    state.processing_scheduled = false;
+    state.open_batch = kNoBatch;
+  }
   batches_.clear();
   batch_free_.clear();
   source_values_ = initial_values;
@@ -46,9 +90,6 @@ Result<EngineMetrics> Engine::Run() {
   metrics_.horizon = horizon;
   simulator_ = sim::Simulator{};
   simulator_.set_handler(this);
-
-  // Per-item change timelines for the lazy trackers.
-  change_timelines_ = BuildChangeTimelines(traces_);
 
   // Fidelity trackers for every (repository, own-interest item) pair,
   // indexed by the overlay-assigned dense TrackerId. Each is bound to
@@ -63,7 +104,7 @@ Result<EngineMetrics> Engine::Run() {
       if (!s.own_interest) continue;
       const TrackerId tid = overlay_.tracker_id(m, item);
       assert(tid != kInvalidTrackerId);
-      trackers_[tid] = FidelityTracker(s.c_own, &change_timelines_[item]);
+      trackers_[tid] = FidelityTracker(s.c_own, &(*timelines)[item]);
       tracker_active_[tid] = 1;
       ++tracked_pairs;
     }
@@ -131,8 +172,8 @@ void Engine::HandleEvent(sim::SimTime t, const sim::Event& event) {
       HandleDeliveryBatch(t, static_cast<uint32_t>(event.b));
       break;
     case sim::EventKind::kNodeProcess:
-      ++metrics_.events;
-      ProcessNext(t, static_cast<OverlayIndex>(event.a));
+      ++metrics_.process_wakeups;
+      ProcessWakeup(t, static_cast<OverlayIndex>(event.a));
       break;
     case sim::EventKind::kFinalizeHook:
       FinalizeTrackers(t);
@@ -217,23 +258,55 @@ void Engine::Deliver(sim::SimTime t, OverlayIndex node, const Job& job) {
   }
 }
 
-void Engine::ProcessNext(sim::SimTime t, OverlayIndex node) {
+void Engine::ProcessWakeup(sim::SimTime t, OverlayIndex node) {
   NodeState& state = nodes_[node];
-  assert(!state.queue.empty());
-  const Job job = state.queue.front();
-  state.queue.pop_front();
+  assert(state.pending() > 0);
+  // The span is the backlog snapshot at wake time. Draining it here is
+  // exactly the per-job event chain collapsed into one pass: job k of
+  // the span starts when job k-1's busy period ends — the very time its
+  // own NodeProcess event would have fired — and nothing a job does can
+  // append to its own node's queue (pushes go to children, never self),
+  // so the snapshot cannot grow mid-pass.
+  size_t span = options_.drain_process_spans ? state.pending() : 1;
+  sim::SimTime busy = t;
+  while (span-- > 0) {
+    const Job job = state.queue[state.next++];
+    ++metrics_.events;
+    busy = ProcessOneJob(busy, node, job);
+  }
+  if (state.next == state.queue.size()) {
+    state.queue.clear();
+    state.next = 0;
+  } else if (state.next > 64 && state.next * 2 > state.queue.size()) {
+    // Per-job mode can leave a long consumed prefix on a continuously
+    // backlogged node; compact it so memory tracks the live backlog,
+    // not every job ever delivered (drain mode always empties above).
+    state.queue.erase(state.queue.begin(),
+                      state.queue.begin() +
+                          static_cast<std::ptrdiff_t>(state.next));
+    state.next = 0;
+  }
+  state.busy_until = busy;
+  if (state.pending() > 0) {
+    simulator_.ScheduleAt(busy, sim::Event::NodeProcess(node));
+  } else {
+    state.processing_scheduled = false;
+  }
+}
 
+sim::SimTime Engine::ProcessOneJob(sim::SimTime start, OverlayIndex node,
+                                   const Job& job) {
   // Apply the value locally (refreshes this repository's copy).
   if (node != kSourceOverlayIndex) {
     const TrackerId tid = overlay_.tracker_id(node, job.item);
     if (tid != kInvalidTrackerId && tracker_active_[tid]) {
-      trackers_[tid].OnRepositoryValue(t, job.value);
+      trackers_[tid].OnRepositoryValue(start, job.value);
     }
   }
 
-  sim::SimTime busy = t;
+  sim::SimTime busy = start;
   const BeginDecision decision =
-      disseminator_.BeginUpdate(t, node, job.item, job.value, job.tag);
+      disseminator_.BeginUpdate(start, node, job.item, job.value, job.tag);
   if (decision.extra_checks > 0) {
     metrics_.checks += decision.extra_checks;
     if (node == kSourceOverlayIndex) {
@@ -263,13 +336,7 @@ void Engine::ProcessNext(sim::SimTime t, OverlayIndex node) {
       }
     }
   }
-
-  state.busy_until = busy;
-  if (!state.queue.empty()) {
-    simulator_.ScheduleAt(busy, sim::Event::NodeProcess(node));
-  } else {
-    state.processing_scheduled = false;
-  }
+  return busy;
 }
 
 void Engine::FinalizeTrackers(sim::SimTime t) {

@@ -2,7 +2,6 @@
 #define D3T_CORE_ENGINE_H_
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "common/result.h"
@@ -31,6 +30,20 @@ struct EngineOptions {
   /// bench/event_kernel.cc). Metrics are byte-identical either way;
   /// only the physical event count differs.
   bool coalesce_deliveries = true;
+  /// Drain a node's whole pending job backlog in one busy-server pass
+  /// per wakeup instead of scheduling one NodeProcess event per job.
+  /// Per-job accounting (comp_delay accrual, check/message counters,
+  /// push times) is unchanged — each drained job starts exactly when its
+  /// own NodeProcess event would have fired — so metrics are
+  /// byte-identical to per-job processing; only the physical
+  /// process-wakeup count drops (see EngineMetrics::process_wakeups).
+  /// (Caveat for synthetic delay models: when two *different* parents
+  /// push to one child with arrivals at the exact same microsecond,
+  /// draining can reorder those jobs within the instant; with nonzero
+  /// comp_delay that shifts which job starts first. Routed topologies'
+  /// continuous delays make such cross-parent ties vanishingly rare,
+  /// and DeterminismTest pins byte-identity on the golden fixtures.)
+  bool drain_process_spans = true;
 };
 
 /// Results of one simulation run.
@@ -58,9 +71,11 @@ struct EngineMetrics {
   /// Source value ticks disseminated (excludes the initial value).
   uint64_t source_updates = 0;
   /// Logical simulation events executed: source ticks, per-message
-  /// deliveries and node processing steps. Batching-invariant — a
-  /// coalesced delivery event carrying k jobs counts k — so the value is
-  /// byte-identical to the historical one-event-per-message kernel.
+  /// deliveries and per-job processing steps. Batching- and
+  /// span-invariant — a coalesced delivery event carrying k jobs counts
+  /// k, and a process wakeup draining a span of k jobs counts k — so the
+  /// value is byte-identical to the historical one-event-per-message,
+  /// one-event-per-job kernel.
   uint64_t events = 0;
   /// Physical delivery events dispatched (== messages delivered when
   /// coalescing is off; smaller when same-arrival batches form).
@@ -68,6 +83,9 @@ struct EngineMetrics {
   /// Messages that rode along an already-scheduled same-(node, arrival)
   /// delivery event instead of scheduling their own.
   uint64_t coalesced_messages = 0;
+  /// Physical NodeProcess events dispatched (== jobs processed when span
+  /// draining is off; smaller when a wakeup drains a multi-job span).
+  uint64_t process_wakeups = 0;
   /// Observation window length (microseconds).
   sim::SimTime horizon = 0;
 };
@@ -80,19 +98,24 @@ struct EngineMetrics {
 /// Event-kernel v2: the engine is the simulator's EventHandler and the
 /// whole hot path runs on 16-byte POD events (sim::Event) — SourceTick,
 /// batched Delivery (a recycled pool slot holding the span of jobs that
-/// arrive together), NodeProcess and a FinalizeHook — with no
-/// std::function anywhere per message. Fidelity trackers are lazy: they
-/// integrate the source process straight from the trace timeline on
-/// repository-value changes and at the FinalizeHook, so a source tick
-/// costs O(1) instead of O(holders of the item).
+/// arrive together), span-draining NodeProcess and a FinalizeHook —
+/// with no std::function anywhere per message. Fidelity trackers are
+/// lazy: they integrate the source process straight from the trace
+/// timeline on repository-value changes and at the FinalizeHook, so a
+/// source tick costs O(1) instead of O(holders of the item).
 class Engine : public sim::EventHandler {
  public:
   /// All referenced objects must outlive the engine. `traces[i]` is the
   /// value process of item i; `traces.size()` must equal
   /// `overlay.item_count()` and every trace must be non-empty.
+  /// `change_timelines`, when non-null, must be the compacted per-item
+  /// timelines of exactly `traces` (BuildChangeTimelines output, e.g.
+  /// the World-cached copy a sweep shares) and lets Run() skip its own
+  /// trace pass; null rebuilds them per run.
   Engine(const Overlay& overlay, const net::OverlayDelayModel& delays,
          const std::vector<trace::Trace>& traces,
-         Disseminator& disseminator, const EngineOptions& options);
+         Disseminator& disseminator, const EngineOptions& options,
+         const ChangeTimelines* change_timelines = nullptr);
 
   /// Runs the full simulation once and returns the metrics.
   Result<EngineMetrics> Run();
@@ -115,13 +138,20 @@ class Engine : public sim::EventHandler {
     Job first;
     std::vector<Job> rest;
   };
+  /// Per-node busy-server state. The job backlog is a flat FIFO
+  /// (`queue` + `next`): jobs append at the back, drain from `next`,
+  /// and the storage resets — capacity retained — whenever the backlog
+  /// empties, so steady-state processing allocates nothing.
   struct NodeState {
-    std::deque<Job> queue;
+    std::vector<Job> queue;
+    size_t next = 0;
     sim::SimTime busy_until = 0;
     bool processing_scheduled = false;
     /// Most recently scheduled, still-pending delivery batch headed for
     /// this node; same-arrival messages coalesce into it.
     uint32_t open_batch = kNoBatch;
+
+    size_t pending() const { return queue.size() - next; }
   };
 
   /// Decodes and dispatches the typed POD events scheduled by the
@@ -131,7 +161,14 @@ class Engine : public sim::EventHandler {
   void HandleSourceTick(sim::SimTime t, ItemId item, uint32_t tick_index);
   void HandleDeliveryBatch(sim::SimTime t, uint32_t slot);
   void Deliver(sim::SimTime t, OverlayIndex node, const Job& job);
-  void ProcessNext(sim::SimTime t, OverlayIndex node);
+  /// One NodeProcess wakeup: drains the node's pending span (or a single
+  /// job with drain_process_spans off), then reschedules or parks.
+  void ProcessWakeup(sim::SimTime t, OverlayIndex node);
+  /// Busy-server processing of one job starting at `start`; returns the
+  /// time the node is busy until. The per-job unit both processing modes
+  /// share, so their accounting cannot diverge.
+  sim::SimTime ProcessOneJob(sim::SimTime start, OverlayIndex node,
+                             const Job& job);
   /// Schedules delivery of `job` to `node` at `when` — by appending to
   /// the node's still-pending same-arrival batch when coalescing allows,
   /// otherwise by parking the job in a recycled batch slot and
@@ -150,15 +187,18 @@ class Engine : public sim::EventHandler {
   std::vector<NodeState> nodes_;
   /// In-flight delivery batches, indexed by pool slot (see
   /// ScheduleDelivery); grows to the maximum concurrent batch count.
+  /// Pre-reserved from overlay degree stats at construction so the first
+  /// run does not pay reallocation churn.
   std::vector<DeliveryBatch> batches_;
   std::vector<uint32_t> batch_free_;
   /// Last value seen per item at the source; polls that repeat the
   /// previous value are not updates and are not disseminated.
   std::vector<double> source_values_;
-  /// Per-item compacted source timeline (initial tick + value changes
-  /// only), built once per run and shared by every tracker of the item
-  /// so lazy integration never revisits value-repeating polls.
-  std::vector<std::vector<trace::Tick>> change_timelines_;
+  /// Per-item compacted source timelines the lazy trackers bind to:
+  /// either the caller-supplied shared copy (sweeps) or `owned_
+  /// timelines_`, built by Run() when no cache was provided.
+  const ChangeTimelines* change_timelines_ = nullptr;
+  ChangeTimelines owned_timelines_;
   /// TrackerId-indexed (ids assigned by the overlay); only slots with
   /// tracker_active_ set belong to a tracked (repository, own-interest
   /// item) pair of this run. Lazy mode: each tracker is bound to its

@@ -1,6 +1,7 @@
 #include "core/fidelity.h"
 
 #include <cassert>
+#include <string>
 
 #include "core/coherency.h"
 
@@ -73,9 +74,9 @@ void FidelityTracker::Finalize(sim::SimTime end) {
   finalized_ = true;
 }
 
-std::vector<std::vector<trace::Tick>> BuildChangeTimelines(
+ChangeTimelines BuildChangeTimelines(
     const std::vector<trace::Trace>& traces) {
-  std::vector<std::vector<trace::Tick>> timelines(traces.size());
+  ChangeTimelines timelines(traces.size());
   for (size_t i = 0; i < traces.size(); ++i) {
     const std::vector<trace::Tick>& ticks = traces[i].ticks();
     assert(!ticks.empty());
@@ -88,6 +89,40 @@ std::vector<std::vector<trace::Tick>> BuildChangeTimelines(
     }
   }
   return timelines;
+}
+
+Status ValidateChangeTimelines(const ChangeTimelines& timelines,
+                               const std::vector<trace::Trace>& traces) {
+  if (timelines.size() != traces.size()) {
+    return Status::InvalidArgument(
+        "change-timeline cache does not cover every trace");
+  }
+  for (size_t i = 0; i < traces.size(); ++i) {
+    const std::vector<trace::Tick>& timeline = timelines[i];
+    const std::vector<trace::Tick>& ticks = traces[i].ticks();
+    const bool consistent =
+        !timeline.empty() && !ticks.empty() &&
+        timeline.size() <= ticks.size() &&
+        timeline.front().time == ticks.front().time &&
+        timeline.front().value == ticks.front().value &&
+        timeline.back().time <= ticks.back().time;
+    if (!consistent) {
+      return Status::InvalidArgument(
+          "change-timeline cache does not match trace " + std::to_string(i));
+    }
+  }
+  return Status::Ok();
+}
+
+Result<const ChangeTimelines*> ResolveChangeTimelines(
+    const ChangeTimelines* cache, const std::vector<trace::Trace>& traces,
+    ChangeTimelines& owned) {
+  if (cache == nullptr) {
+    owned = BuildChangeTimelines(traces);
+    return static_cast<const ChangeTimelines*>(&owned);
+  }
+  D3T_RETURN_IF_ERROR(ValidateChangeTimelines(*cache, traces));
+  return cache;
 }
 
 double FidelityTracker::LossPercent() const {

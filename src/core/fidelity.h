@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/result.h"
+#include "common/status.h"
 #include "core/types.h"
 #include "sim/time.h"
 #include "trace/trace.h"
@@ -86,14 +88,39 @@ class FidelityTracker {
   size_t source_cursor_ = 1;
 };
 
+/// Per-item compacted source timelines (index = item id): each timeline
+/// keeps the trace's initial tick plus the ticks whose value differs
+/// from the previous kept one. Trace-invariant, so a set built once
+/// (e.g. at exp::SessionBuilder::Build) can be shared read-only by
+/// every engine run against the same traces.
+using ChangeTimelines = std::vector<std::vector<trace::Tick>>;
+
 /// Builds the per-item compacted source timelines the lazy trackers
 /// bind to: each timeline keeps `traces[i]`'s initial tick plus the
 /// ticks whose value differs from the previous kept one (value-
 /// repeating polls are not source updates). Every trace must be
 /// non-empty; shared by all trackers of an item so the per-tracker walk
 /// only ever visits genuine changes.
-std::vector<std::vector<trace::Tick>> BuildChangeTimelines(
-    const std::vector<trace::Trace>& traces);
+ChangeTimelines BuildChangeTimelines(const std::vector<trace::Trace>& traces);
+
+/// Cheap structural consistency check binding a timeline cache to the
+/// traces it claims to compact (used by Engine/PullEngine when a caller
+/// supplies a shared cache): per item, the timeline must be non-empty,
+/// no longer than the trace, start at the trace's initial tick (time
+/// and value) and end no later than its final tick. O(items) — it
+/// cannot prove the cache was built from exactly these traces; callers
+/// own that contract (exp::World builds and stores the two together).
+Status ValidateChangeTimelines(const ChangeTimelines& timelines,
+                               const std::vector<trace::Trace>& traces);
+
+/// Borrow-or-build resolution shared by Engine and PullEngine: returns
+/// `cache` after validating it against `traces`, or — when no cache was
+/// supplied — builds the timelines into `owned` and returns its
+/// address. Every trace must be non-empty. The returned pointer is
+/// valid as long as both `cache` (if used) and `owned` live.
+Result<const ChangeTimelines*> ResolveChangeTimelines(
+    const ChangeTimelines* cache, const std::vector<trace::Trace>& traces,
+    ChangeTimelines& owned);
 
 }  // namespace d3t::core
 

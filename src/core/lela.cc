@@ -9,7 +9,20 @@ namespace d3t::core {
 
 namespace {
 
+/// Sentinel serve level of a (member, item) the member does not hold.
+/// NaN so that `serve <= c` is false for every tolerance — including an
+/// infinite one — exactly like the Holds() check it replaces.
+const double kNotServed = std::numeric_limits<double>::quiet_NaN();
+
 /// Working state of one construction.
+///
+/// Join-time candidate evaluation is flattened for large memberships:
+/// the joining repository's needs are copied out of the InterestSet map
+/// once per join, CanServe reads a dense (member x item) serve-level
+/// array instead of chasing the overlay's serving records, and each
+/// level keeps a bucket of members that still offer spare cooperation
+/// capacity (lazily compacted) so a join never rescans saturated
+/// levels member by member.
 class Builder {
  public:
   Builder(const net::OverlayDelayModel& delays, size_t member_count,
@@ -17,7 +30,8 @@ class Builder {
       : delays_(delays),
         options_(options),
         rng_(rng),
-        overlay_(member_count, item_count) {}
+        overlay_(member_count, item_count),
+        serve_c_(member_count * item_count, kNotServed) {}
 
   /// One-time validation of options and the delay model; also roots the
   /// source's holdings. Must be called (successfully) before any join.
@@ -35,6 +49,9 @@ class Builder {
   }
 
  private:
+  /// Flat (item, tolerance) view of the joining member's needs.
+  using FlatNeeds = std::vector<std::pair<ItemId, Coherency>>;
+
   /// Cooperation capacity offered by `m`.
   size_t DegreeOf(OverlayIndex m) const {
     return options_.per_member_degree.empty()
@@ -42,14 +59,23 @@ class Builder {
                : options_.per_member_degree[m];
   }
 
-  /// True when `parent` can already serve `item` at tolerance `c`.
+  /// True when `parent` can already serve `item` at tolerance `c`: one
+  /// dense array read (kNotServed compares false against any c).
   bool CanServe(OverlayIndex parent, ItemId item, Coherency c) const {
-    if (!overlay_.Holds(parent, item)) return false;
-    return overlay_.Serving(parent, item).c_serve <= c;
+    return serve_c_[static_cast<size_t>(parent) * overlay_.item_count() +
+                    item] <= c;
+  }
+
+  /// Mirrors `m`'s serve level for `item` into the dense array after an
+  /// overlay mutation that may have changed it.
+  void SyncServe(OverlayIndex m, ItemId item) {
+    serve_c_[static_cast<size_t>(m) * overlay_.item_count() + item] =
+        overlay_.Holds(m, item) ? overlay_.Serving(m, item).c_serve
+                                : kNotServed;
   }
 
   double Preference(OverlayIndex candidate, OverlayIndex q,
-                    const InterestSet& needed) const;
+                    const FlatNeeds& needed) const;
 
   Status InsertRepository(OverlayIndex q, const InterestSet& needed);
 
@@ -64,20 +90,32 @@ class Builder {
   Rng& rng_;
   Overlay overlay_;
   std::vector<std::vector<OverlayIndex>> levels_{{kSourceOverlayIndex}};
+  /// Per level: the members still eligible as connection parents (spare
+  /// capacity, reachable from the source). Members are appended on
+  /// placement and lazily compacted out once their capacity fills —
+  /// capacity never comes back, so eviction is permanent and a join
+  /// skips saturated levels in O(1) instead of rescanning them.
+  std::vector<std::vector<OverlayIndex>> open_{{kSourceOverlayIndex}};
+  /// Dense (member x item) serve levels (c_serve, or kNotServed when the
+  /// member does not hold the item) mirroring the overlay's serving
+  /// records; lets join-time scoring read one flat double per check.
+  std::vector<Coherency> serve_c_;
   LelaBuildInfo info_;
 };
 
 double Builder::Preference(OverlayIndex candidate, OverlayIndex q,
-                           const InterestSet& needed) const {
+                           const FlatNeeds& needed) const {
   const double comm = static_cast<double>(delays_.Delay(candidate, q));
   const double dependents = static_cast<double>(
       overlay_.ConnectionChildren(candidate).size());
   if (options_.preference == PreferenceFunction::kP2) {
     return comm * (1.0 + dependents);
   }
+  const Coherency* serve =
+      &serve_c_[static_cast<size_t>(candidate) * overlay_.item_count()];
   size_t servable = 0;
   for (const auto& [item, c] : needed) {
-    if (CanServe(candidate, item, c)) ++servable;
+    if (serve[item] <= c) ++servable;
   }
   return comm * (1.0 + dependents) /
          (1.0 + static_cast<double>(servable));
@@ -97,6 +135,7 @@ size_t Builder::AugmentServe(OverlayIndex node, ItemId item, Coherency c,
     size_t fresh = AugmentServe(parent, item, c, depth + 1);
     overlay_.SetServing(node, item, c, parent);
     overlay_.TightenItemEdge(parent, node, item, c);
+    SyncServe(node, item);
     return fresh;
   }
   // The node does not hold the item: recruit a supplier among its
@@ -116,43 +155,47 @@ size_t Builder::AugmentServe(OverlayIndex node, ItemId item, Coherency c,
   }
   size_t fresh = AugmentServe(supplier, item, c, depth + 1);
   overlay_.AddItemEdge(supplier, node, item, c);
+  SyncServe(node, item);
   return fresh + 1;
 }
 
 Status Builder::InsertRepository(OverlayIndex q, const InterestSet& needed) {
   if (needed.empty()) {
     // A repository with no data needs joins as a leaf of level 1 with no
-    // connections; it can still be recruited as a parent later... but a
-    // parent must be reachable from the source for every item it serves,
-    // which LeLA guarantees via augmentation, so simply place it.
+    // connections; it has no path to the source, so it is never added to
+    // the open (parent-eligible) bucket of its level.
     overlay_.set_level(q, 1);
-    if (levels_.size() < 2) levels_.emplace_back();
+    if (levels_.size() < 2) {
+      levels_.emplace_back();
+      open_.emplace_back();
+    }
     levels_[1].push_back(q);
     info_.levels = levels_.size();
     return Status::Ok();
   }
+  // One flat copy of the needs per join: every per-candidate scan below
+  // walks this contiguous array instead of re-iterating the InterestSet
+  // map per candidate.
+  const FlatNeeds needs(needed.begin(), needed.end());
   for (size_t level = 0; level < levels_.size(); ++level) {
-    // Candidates: members of this level with spare connection capacity.
-    std::vector<OverlayIndex> candidates;
-    for (OverlayIndex m : levels_[level]) {
-      if (overlay_.ConnectionChildren(m).size() >= DegreeOf(m)) {
-        continue;
-      }
-      // A repository placed with no data needs has no path to the
-      // source, so it cannot act as a parent.
-      if (m != kSourceOverlayIndex &&
-          overlay_.ConnectionParents(m).empty()) {
-        continue;
-      }
-      candidates.push_back(m);
+    // Candidates: the level's open bucket, compacted in place to evict
+    // members whose capacity has filled since the last visit (capacity
+    // never comes back, so eviction is permanent). A fully saturated
+    // level costs O(1) from then on.
+    std::vector<OverlayIndex>& candidates = open_[level];
+    size_t keep = 0;
+    for (OverlayIndex m : candidates) {
+      if (overlay_.ConnectionChildren(m).size() >= DegreeOf(m)) continue;
+      candidates[keep++] = m;
     }
+    candidates.resize(keep);
     if (candidates.empty()) continue;  // pass to the next load controller
 
     // Preference factors; keep those within the P% window of the best.
     std::vector<std::pair<double, OverlayIndex>> scored;
     scored.reserve(candidates.size());
     for (OverlayIndex m : candidates) {
-      scored.emplace_back(Preference(m, q, needed), m);
+      scored.emplace_back(Preference(m, q, needs), m);
     }
     std::sort(scored.begin(), scored.end());
     const double best = scored.front().first;
@@ -168,7 +211,7 @@ Status Builder::InsertRepository(OverlayIndex q, const InterestSet& needed) {
     std::vector<std::pair<OverlayIndex, std::pair<ItemId, Coherency>>>
         assignments;
     std::vector<std::pair<ItemId, Coherency>> leftovers;
-    for (const auto& [item, c] : needed) {
+    for (const auto& [item, c] : needs) {
       OverlayIndex server = kInvalidOverlayIndex;
       for (OverlayIndex m : window) {
         if (CanServe(m, item, c)) {
@@ -183,9 +226,13 @@ Status Builder::InsertRepository(OverlayIndex q, const InterestSet& needed) {
       }
     }
 
-    for (const auto& [item, c] : needed) overlay_.SetOwnInterest(q, item, c);
+    for (const auto& [item, c] : needs) {
+      overlay_.SetOwnInterest(q, item, c);
+      SyncServe(q, item);
+    }
     for (const auto& [server, item_c] : assignments) {
       overlay_.AddItemEdge(server, q, item_c.first, item_c.second);
+      SyncServe(q, item_c.first);
       ++info_.demand_edges;
     }
     if (!leftovers.empty()) {
@@ -198,13 +245,20 @@ Status Builder::InsertRepository(OverlayIndex q, const InterestSet& needed) {
         // counts q exactly once against its capacity.
         info_.augmented_edges += AugmentServe(favorite, item, c, 0);
         overlay_.AddItemEdge(favorite, q, item, c);
+        SyncServe(q, item);
         ++info_.demand_edges;
       }
     }
 
     overlay_.set_level(q, static_cast<uint32_t>(level + 1));
-    if (levels_.size() < level + 2) levels_.emplace_back();
+    if (levels_.size() < level + 2) {
+      levels_.emplace_back();
+      open_.emplace_back();
+    }
     levels_[level + 1].push_back(q);
+    // q joined with needs, so it has a connection parent and is
+    // source-reachable: parent-eligible as soon as it offers capacity.
+    if (DegreeOf(q) > 0) open_[level + 1].push_back(q);
     if (overlay_.ConnectionParents(q).size() > 1) {
       ++info_.multi_parent_repositories;
     }
@@ -240,6 +294,7 @@ Status Builder::Initialize() {
   for (ItemId item = 0; item < overlay_.item_count(); ++item) {
     overlay_.SetServing(kSourceOverlayIndex, item, 0.0,
                         kInvalidOverlayIndex);
+    SyncServe(kSourceOverlayIndex, item);
   }
   return Status::Ok();
 }

@@ -11,11 +11,13 @@ namespace d3t::core {
 PullEngine::PullEngine(const net::OverlayDelayModel& delays,
                        const std::vector<InterestSet>& interests,
                        const std::vector<trace::Trace>& traces,
-                       const PullOptions& options)
+                       const PullOptions& options,
+                       const ChangeTimelines* change_timelines)
     : delays_(delays),
       interests_(interests),
       traces_(traces),
-      options_(options) {}
+      options_(options),
+      change_timelines_(change_timelines) {}
 
 Result<PullMetrics> PullEngine::Run() {
   if (interests_.size() + 1 != delays_.member_count()) {
@@ -46,7 +48,12 @@ Result<PullMetrics> PullEngine::Run() {
 
   // One poll loop and one timeline-bound lazy fidelity tracker per
   // (repository, item); the source process needs no events of its own.
-  change_timelines_ = BuildChangeTimelines(traces_);
+  // The timelines come from the caller's shared cache when one was
+  // supplied, sparing every run its own trace pass.
+  Result<const ChangeTimelines*> resolved =
+      ResolveChangeTimelines(change_timelines_, traces_, owned_timelines_);
+  if (!resolved.ok()) return resolved.status();
+  const ChangeTimelines* timelines = *resolved;
   states_.clear();
   trackers_.clear();
   for (size_t i = 0; i < interests_.size(); ++i) {
@@ -61,7 +68,7 @@ Result<PullMetrics> PullEngine::Run() {
       state.ttr = options_.initial_ttr;
       state.last_value = traces_[item].ticks().front().value;
       state.tracker = trackers_.size();
-      trackers_.emplace_back(c, &change_timelines_[item]);
+      trackers_.emplace_back(c, &(*timelines)[item]);
       states_.push_back(state);
     }
   }

@@ -71,10 +71,15 @@ struct PullMetrics {
 /// no per-tick source events exist at all.
 class PullEngine : public sim::EventHandler {
  public:
+  /// `change_timelines`, when non-null, must be the compacted per-item
+  /// timelines of exactly `traces` (BuildChangeTimelines output, e.g. a
+  /// World-cached copy shared across runs) and lets Run() skip its own
+  /// trace pass; null rebuilds them per run.
   PullEngine(const net::OverlayDelayModel& delays,
              const std::vector<InterestSet>& interests,
              const std::vector<trace::Trace>& traces,
-             const PullOptions& options);
+             const PullOptions& options,
+             const ChangeTimelines* change_timelines = nullptr);
 
   Result<PullMetrics> Run();
 
@@ -116,8 +121,11 @@ class PullEngine : public sim::EventHandler {
   sim::Simulator simulator_;
   std::vector<PollState> states_;
   std::vector<FidelityTracker> trackers_;
-  /// Per-item compacted source timeline for the lazy trackers.
-  std::vector<std::vector<trace::Tick>> change_timelines_;
+  /// Per-item compacted source timelines the lazy trackers bind to:
+  /// either the caller-supplied shared copy or `owned_timelines_`,
+  /// built by Run() when no cache was provided.
+  const ChangeTimelines* change_timelines_ = nullptr;
+  ChangeTimelines owned_timelines_;
   sim::SimTime source_busy_until_ = 0;
   sim::SimTime source_busy_total_ = 0;
   PullMetrics metrics_;

@@ -91,6 +91,16 @@ struct PolicyConfig {
   /// one-event-per-message dispatch baseline; metrics are byte-identical
   /// either way.
   bool coalesce_deliveries = true;
+  /// See core::EngineOptions::drain_process_spans. Off = the
+  /// one-event-per-job processing baseline; metrics are byte-identical
+  /// either way on routed topologies (see the caveat there about exact
+  /// same-instant cross-parent arrivals on synthetic delay models).
+  bool drain_process_spans = true;
+  /// Bind this run's lazy fidelity trackers to the World's change-
+  /// timeline cache (built once at SessionBuilder::Build) instead of
+  /// re-tracing the library per run. Results are identical either way;
+  /// off exists for the rebuild baseline (bench/session_sweep.cc).
+  bool use_cached_timelines = true;
 };
 
 /// Legacy flat description of one simulation run, defaulted to the

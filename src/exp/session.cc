@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstddef>
 #include <numeric>
+#include <optional>
 
 #include "common/thread_pool.h"
 #include "core/coop_degree.h"
@@ -132,44 +133,28 @@ Result<SimulationSession> SessionBuilder::BuildInternal(
   world->workload_ = workload_;
   world->seed_ = seed_;
 
-  if (network_.source_count == 1) {
-    Result<net::OverlayDelayModel> delays = [&]() {
-      if (network_.use_floyd_warshall) {
-        Result<net::RoutingTables> routing =
-            net::RoutingTables::FloydWarshall(*topo);
-        if (!routing.ok()) {
-          return Result<net::OverlayDelayModel>(routing.status());
-        }
-        return net::OverlayDelayModel::FromRouting(*topo, *routing);
-      }
-      std::vector<net::NodeId> rows;
-      rows.push_back(topo->SourceNode());
-      for (net::NodeId repo : topo->RepositoryNodes()) rows.push_back(repo);
-      Result<net::RoutingTables> routing =
-          net::RoutingTables::DijkstraRows(*topo, rows);
-      if (!routing.ok()) {
-        return Result<net::OverlayDelayModel>(routing.status());
-      }
-      return net::OverlayDelayModel::FromRouting(*topo, *routing);
-    }();
+  if (network_.source_count == 1 && network_.use_floyd_warshall) {
+    // Paper-faithful small-network path: full Floyd-Warshall APSP.
+    Result<net::RoutingTables> routing =
+        net::RoutingTables::FloydWarshall(*topo);
+    if (!routing.ok()) return routing.status();
+    Result<net::OverlayDelayModel> delays =
+        net::OverlayDelayModel::FromRouting(*topo, *routing);
     if (!delays.ok()) return delays.status();
     world->delays_.push_back(std::move(delays).value());
   } else {
-    // Multi-source worlds route once from every source and repository
-    // (Dijkstra scales to the multi-source node counts), then extract
-    // one member-indexed model per source.
-    std::vector<net::NodeId> rows = topo->SourceNodes();
-    for (net::NodeId repo : topo->RepositoryNodes()) rows.push_back(repo);
-    Result<net::RoutingTables> routing =
-        net::RoutingTables::DijkstraRows(*topo, rows);
-    if (!routing.ok()) return routing.status();
-    for (net::NodeId source : topo->SourceNodes()) {
-      Result<net::OverlayDelayModel> delays =
-          net::OverlayDelayModel::FromRoutingWithSource(*topo, *routing,
-                                                        source);
-      if (!delays.ok()) return delays.status();
-      world->delays_.push_back(std::move(delays).value());
-    }
+    // Large and multi-source worlds: stream one Dijkstra row per member
+    // straight into the compressed member-indexed model(s) — no routing
+    // table over physical nodes is ever materialized, which is what
+    // keeps 10k-repository worlds memory-bounded. Rows are independent,
+    // so the build fans out over the session's worker budget.
+    const size_t build_threads = worker_threads_ == 0
+                                     ? ThreadPool::DefaultThreadCount()
+                                     : worker_threads_;
+    Result<std::vector<net::OverlayDelayModel>> delays =
+        net::OverlayDelayModel::FromTopologyAllSources(*topo, build_threads);
+    if (!delays.ok()) return delays.status();
+    world->delays_ = std::move(delays).value();
   }
 
   if (has_traces_) {
@@ -181,6 +166,21 @@ Result<SimulationSession> SessionBuilder::BuildInternal(
       return Status::Internal("trace library generation failed");
     }
   }
+
+  // Pair statistics of each delay model are World-invariant; computing
+  // them here spares every run its own O(member^2) matrix scans (three
+  // per run before — two delay passes plus hops — which at 10k
+  // repositories is ~300M accumulator adds per sweep point).
+  for (const net::OverlayDelayModel& delays : world->delays_) {
+    world->pair_delay_stats_.push_back(delays.PairDelayStats());
+    world->mean_pair_hops_.push_back(delays.MeanPairHops());
+  }
+
+  // Compacted per-item change timelines are trace-invariant, so one copy
+  // built here serves every run of the session (the engines' lazy
+  // trackers bind read-only views; see PolicyConfig::use_cached_
+  // timelines).
+  world->change_timelines_ = core::BuildChangeTimelines(world->traces_);
 
   if (has_interests_) {
     world->interests_ = std::move(interests);
@@ -203,24 +203,38 @@ Result<ExperimentResult> SimulationSession::Run(const RunSpec& spec) const {
   D3T_RETURN_IF_ERROR(ValidateRunSpec(world, spec));
 
   // Communication-delay scaling (Figs. 5 and 7b sweep the mean delay).
-  net::OverlayDelayModel delays = world.delays(spec.source_index);
+  // The world's model is only copied when a rescale actually asks for
+  // one — at 10k repositories the member matrix is ~600 MiB, so an
+  // unconditional per-run copy would double peak RSS and burn a large
+  // memcpy per sweep point.
+  const net::OverlayDelayModel* delays_ptr = &world.delays(spec.source_index);
+  std::optional<net::OverlayDelayModel> scaled;
   if (spec.policy.comm_delay_mean_ms > 0.0) {
-    delays =
-        delays.ScaledToMeanDelay(sim::Millis(spec.policy.comm_delay_mean_ms));
+    scaled = delays_ptr->ScaledToMeanDelay(
+        sim::Millis(spec.policy.comm_delay_mean_ms));
+    delays_ptr = &*scaled;
   } else if (spec.policy.comm_delay_mean_ms < 0.0) {
-    delays = delays.ScaledToMeanDelay(0);
+    scaled = delays_ptr->ScaledToMeanDelay(0);
+    delays_ptr = &*scaled;
   }
+  const net::OverlayDelayModel& delays = *delays_ptr;
+
+  // Pair stats come from the World's cache unless this run rescaled the
+  // delay model (hops are never rescaled, so their cache always holds).
+  const StreamingStats pair_delay_stats =
+      scaled.has_value() ? delays.PairDelayStats()
+                         : world.pair_delay_stats(spec.source_index);
 
   ExperimentResult result;
-  result.mean_pair_delay_ms = delays.PairDelayStats().mean() / 1000.0;
-  result.mean_pair_hops = delays.MeanPairHops();
+  result.mean_pair_delay_ms = pair_delay_stats.mean() / 1000.0;
+  result.mean_pair_hops = world.mean_pair_hops(spec.source_index);
 
   // Effective cooperation degree.
   size_t degree = std::max<size_t>(1, spec.overlay.coop_degree);
   if (spec.overlay.controlled_cooperation) {
     core::CoopDegreeInputs inputs;
     inputs.avg_comm_delay =
-        static_cast<sim::SimTime>(delays.PairDelayStats().mean());
+        static_cast<sim::SimTime>(pair_delay_stats.mean());
     inputs.avg_comp_delay = sim::Millis(spec.policy.comp_delay_ms);
     inputs.f = spec.overlay.coop_f;
     inputs.max_resources = world.network().repositories;
@@ -264,8 +278,11 @@ Result<ExperimentResult> SimulationSession::Run(const RunSpec& spec) const {
   engine_options.comp_delay = sim::Millis(spec.policy.comp_delay_ms);
   engine_options.tag_check_cost_factor = spec.policy.tag_check_cost_factor;
   engine_options.coalesce_deliveries = spec.policy.coalesce_deliveries;
+  engine_options.drain_process_spans = spec.policy.drain_process_spans;
+  const core::ChangeTimelines* timelines =
+      spec.policy.use_cached_timelines ? &world.change_timelines() : nullptr;
   core::Engine engine(built->overlay, delays, world.traces(), *policy,
-                      engine_options);
+                      engine_options, timelines);
   Result<core::EngineMetrics> metrics = engine.Run();
   if (!metrics.ok()) return metrics.status();
   result.metrics = std::move(metrics).value();

@@ -66,7 +66,25 @@ class World {
   const net::OverlayDelayModel& delays(size_t source_index = 0) const {
     return delays_[source_index];
   }
+  /// Off-diagonal pair-delay stats and mean pair hops of
+  /// delays(source_index), computed once at Build. World-invariant, so
+  /// runs do not rescan the O(member^2) matrix per sweep point; a run
+  /// that rescales the delay model recomputes delay stats from its
+  /// scaled copy (hops are never rescaled).
+  const StreamingStats& pair_delay_stats(size_t source_index = 0) const {
+    return pair_delay_stats_[source_index];
+  }
+  double mean_pair_hops(size_t source_index = 0) const {
+    return mean_pair_hops_[source_index];
+  }
   const std::vector<trace::Trace>& traces() const { return traces_; }
+  /// Per-item compacted change timelines of traces(), built exactly once
+  /// at SessionBuilder::Build. Engines bind their lazy fidelity trackers
+  /// to these views (RunSpecs with use_cached_timelines, the default),
+  /// so a sweep never re-traces the library per run.
+  const core::ChangeTimelines& change_timelines() const {
+    return change_timelines_;
+  }
   const std::vector<core::InterestSet>& interests() const {
     return interests_;
   }
@@ -91,7 +109,10 @@ class World {
   WorkloadConfig workload_;
   uint64_t seed_ = 0;
   std::vector<net::OverlayDelayModel> delays_;
+  std::vector<StreamingStats> pair_delay_stats_;
+  std::vector<double> mean_pair_hops_;
   std::vector<trace::Trace> traces_;
+  core::ChangeTimelines change_timelines_;
   std::vector<core::InterestSet> interests_;
 };
 

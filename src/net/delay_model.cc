@@ -1,6 +1,11 @@
 #include "net/delay_model.h"
 
+#include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <limits>
+
+#include "common/thread_pool.h"
 
 namespace d3t::net {
 
@@ -9,6 +14,25 @@ OverlayDelayModel::OverlayDelayModel(size_t count)
       delay_(count * count, 0),
       hops_(count * count, 0),
       physical_(count, kInvalidNode) {}
+
+OverlayDelayModel::PackedDelay OverlayDelayModel::PackDelay(
+    sim::SimTime delay) {
+  assert(delay >= 0 && "pair delays are nonnegative");
+  assert(delay <= std::numeric_limits<PackedDelay>::max() &&
+         "pair delay overflows the compressed 32-bit store");
+  if (delay < 0) return 0;
+  if (delay > std::numeric_limits<PackedDelay>::max()) {
+    return std::numeric_limits<PackedDelay>::max();
+  }
+  return static_cast<PackedDelay>(delay);
+}
+
+OverlayDelayModel::PackedHops OverlayDelayModel::PackHops(uint32_t hops) {
+  assert(hops <= std::numeric_limits<PackedHops>::max() &&
+         "pair hop count overflows the compressed 16-bit store");
+  return static_cast<PackedHops>(
+      std::min<uint32_t>(hops, std::numeric_limits<PackedHops>::max()));
+}
 
 Result<OverlayDelayModel> OverlayDelayModel::FromRouting(
     const Topology& topo, const RoutingTables& routing) {
@@ -37,22 +61,122 @@ Result<OverlayDelayModel> OverlayDelayModel::FromRoutingWithSource(
           "routing row missing for overlay member");
     }
     for (OverlayIndex j = 0; j < members.size(); ++j) {
-      model.delay_[model.Idx(i, j)] = routing.Delay(members[i], members[j]);
-      model.hops_[model.Idx(i, j)] = routing.Hops(members[i], members[j]);
+      model.delay_[model.Idx(i, j)] =
+          PackDelay(routing.Delay(members[i], members[j]));
+      model.hops_[model.Idx(i, j)] =
+          PackHops(routing.Hops(members[i], members[j]));
     }
   }
   return model;
+}
+
+Result<std::vector<OverlayDelayModel>>
+OverlayDelayModel::FromTopologyAllSources(const Topology& topo,
+                                          size_t worker_threads) {
+  const std::vector<NodeId> sources = topo.SourceNodes();
+  if (sources.empty()) {
+    return Status::FailedPrecondition("topology has no source node");
+  }
+  const std::vector<NodeId> repos = topo.RepositoryNodes();
+  const size_t member_count = repos.size() + 1;
+
+  std::vector<OverlayDelayModel> models;
+  models.reserve(sources.size());
+  for (NodeId source : sources) {
+    OverlayDelayModel model(member_count);
+    model.physical_[0] = source;
+    for (size_t r = 0; r < repos.size(); ++r) {
+      model.physical_[r + 1] = repos[r];
+    }
+    models.push_back(std::move(model));
+  }
+
+  // One row task per distinct member node: a source fills row 0 of its
+  // own model; a repository fills row r+1 of every model. Tasks write
+  // disjoint rows, so fanning them out over the pool is deterministic
+  // regardless of scheduling.
+  struct RowTask {
+    NodeId node;
+    /// Source index owning the row, or SIZE_MAX for a repository row.
+    size_t source_index;
+    /// Member row the task fills (0 for sources, r+1 for repositories).
+    OverlayIndex member_row;
+  };
+  std::vector<RowTask> tasks;
+  tasks.reserve(sources.size() + repos.size());
+  for (size_t s = 0; s < sources.size(); ++s) {
+    tasks.push_back({sources[s], s, 0});
+  }
+  for (size_t r = 0; r < repos.size(); ++r) {
+    tasks.push_back({repos[r], SIZE_MAX, static_cast<OverlayIndex>(r + 1)});
+  }
+
+  struct Scratch {
+    std::vector<sim::SimTime> delay;
+    std::vector<uint32_t> hops;
+  };
+  auto run_task = [&](const RowTask& task, Scratch& scratch) -> Status {
+    RoutingTables::ShortestPathsFrom(topo, task.node, scratch.delay,
+                                     scratch.hops);
+    for (NodeId j = 0; j < topo.node_count(); ++j) {
+      if (scratch.delay[j] >= RoutingTables::kUnreachableDelay) {
+        return Status::FailedPrecondition("topology is disconnected");
+      }
+    }
+    const size_t first = task.source_index == SIZE_MAX ? 0 : task.source_index;
+    const size_t last =
+        task.source_index == SIZE_MAX ? models.size() : task.source_index + 1;
+    for (size_t s = first; s < last; ++s) {
+      OverlayDelayModel& model = models[s];
+      const size_t base = model.Idx(task.member_row, 0);
+      model.delay_[base] = PackDelay(scratch.delay[sources[s]]);
+      model.hops_[base] = PackHops(scratch.hops[sources[s]]);
+      for (size_t r = 0; r < repos.size(); ++r) {
+        model.delay_[base + r + 1] = PackDelay(scratch.delay[repos[r]]);
+        model.hops_[base + r + 1] = PackHops(scratch.hops[repos[r]]);
+      }
+    }
+    return Status::Ok();
+  };
+
+  if (worker_threads <= 1 || tasks.size() <= 1) {
+    Scratch scratch;
+    for (const RowTask& task : tasks) {
+      D3T_RETURN_IF_ERROR(run_task(task, scratch));
+    }
+    return models;
+  }
+
+  // Per-row statuses keep the first (lowest-row) error deterministic.
+  std::vector<Status> statuses(tasks.size(), Status::Ok());
+  ThreadPool pool(std::min(worker_threads, tasks.size()));
+  const size_t shard_count = pool.thread_count();
+  for (size_t shard = 0; shard < shard_count; ++shard) {
+    pool.Submit([&, shard] {
+      Scratch scratch;
+      for (size_t i = shard; i < tasks.size(); i += shard_count) {
+        statuses[i] = run_task(tasks[i], scratch);
+      }
+    });
+  }
+  pool.Wait();
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+  return models;
 }
 
 OverlayDelayModel OverlayDelayModel::Uniform(size_t member_count,
                                              sim::SimTime delay,
                                              uint32_t hops) {
   OverlayDelayModel model(member_count);
+  const PackedDelay packed_delay = PackDelay(delay);
+  const PackedHops packed_hops = PackHops(hops);
   for (OverlayIndex i = 0; i < member_count; ++i) {
     for (OverlayIndex j = 0; j < member_count; ++j) {
       if (i == j) continue;
-      model.delay_[model.Idx(i, j)] = delay;
-      model.hops_[model.Idx(i, j)] = hops;
+      model.delay_[model.Idx(i, j)] = packed_delay;
+      model.hops_[model.Idx(i, j)] = packed_hops;
     }
   }
   return model;
@@ -88,17 +212,18 @@ OverlayDelayModel OverlayDelayModel::ScaledToMeanDelay(
     for (auto& d : out.delay_) d = 0;
     if (target_mean <= 0) return out;
     // Degenerate input model: fall back to a uniform target delay.
+    const PackedDelay packed = PackDelay(target_mean);
     for (OverlayIndex i = 0; i < count_; ++i) {
       for (OverlayIndex j = 0; j < count_; ++j) {
-        if (i != j) out.delay_[Idx(i, j)] = target_mean;
+        if (i != j) out.delay_[Idx(i, j)] = packed;
       }
     }
     return out;
   }
   const double factor = static_cast<double>(target_mean) / current;
   for (auto& d : out.delay_) {
-    d = static_cast<sim::SimTime>(std::llround(static_cast<double>(d) *
-                                               factor));
+    d = PackDelay(static_cast<sim::SimTime>(
+        std::llround(static_cast<double>(d) * factor)));
   }
   return out;
 }

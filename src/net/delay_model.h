@@ -20,9 +20,18 @@ inline constexpr OverlayIndex kSourceOverlayIndex = 0;
 inline constexpr OverlayIndex kInvalidOverlayIndex = UINT32_MAX;
 
 /// Pairwise communication delays (and hop counts) between overlay
-/// members, extracted from the physical routing tables. This is the only
-/// view of the network the coherency layer needs: delay(parent, child) is
-/// the full path delay across routers, as in the paper's model.
+/// members, extracted from the physical routing substrate. This is the
+/// only view of the network the coherency layer needs: delay(parent,
+/// child) is the full path delay across routers, as in the paper's
+/// model.
+///
+/// The backing store is *compressed*: it covers only the member x member
+/// submatrix the engines and LeLA actually query (never the physical
+/// n x n all-pairs tables), packed as 32-bit microsecond delays and
+/// 16-bit hop counts — 6 bytes per pair instead of the 12 a SimTime +
+/// uint32 pair costs. Query results are numerically identical to the
+/// wide representation; packing a value that does not fit (a path delay
+/// over ~71 minutes) saturates, which no generated topology approaches.
 class OverlayDelayModel {
  public:
   /// Builds the model from a routed topology. `routing` must have valid
@@ -38,6 +47,17 @@ class OverlayDelayModel {
   static Result<OverlayDelayModel> FromRoutingWithSource(
       const Topology& topo, const RoutingTables& routing, NodeId source);
 
+  /// Memory-bounded builder for large networks: routes one member row at
+  /// a time (Dijkstra through two scratch buffers) straight into the
+  /// compressed member x member model(s) — one per source node, in
+  /// SourceNodes() order — without ever materializing a physical-node
+  /// routing table. Numerically identical to DijkstraRows +
+  /// FromRoutingWithSource. Rows are independent, so `worker_threads`
+  /// > 1 fans them out over a pool; results do not depend on the thread
+  /// count. Fails if the topology is disconnected or has no source.
+  static Result<std::vector<OverlayDelayModel>> FromTopologyAllSources(
+      const Topology& topo, size_t worker_threads = 1);
+
   /// Builds a synthetic model with `member_count` members (including the
   /// source) and a constant delay/hops everywhere — handy for unit tests
   /// and controlled experiments.
@@ -49,7 +69,7 @@ class OverlayDelayModel {
   size_t repository_count() const { return count_ - 1; }
 
   sim::SimTime Delay(OverlayIndex from, OverlayIndex to) const {
-    return delay_[Idx(from, to)];
+    return static_cast<sim::SimTime>(delay_[Idx(from, to)]);
   }
   uint32_t Hops(OverlayIndex from, OverlayIndex to) const {
     return hops_[Idx(from, to)];
@@ -71,15 +91,22 @@ class OverlayDelayModel {
   OverlayDelayModel ScaledToMeanDelay(sim::SimTime target_mean) const;
 
  private:
+  /// Packed pair entries; see the class comment.
+  using PackedDelay = uint32_t;
+  using PackedHops = uint16_t;
+
   explicit OverlayDelayModel(size_t count);
+
+  static PackedDelay PackDelay(sim::SimTime delay);
+  static PackedHops PackHops(uint32_t hops);
 
   size_t Idx(OverlayIndex a, OverlayIndex b) const {
     return static_cast<size_t>(a) * count_ + b;
   }
 
   size_t count_ = 0;
-  std::vector<sim::SimTime> delay_;
-  std::vector<uint32_t> hops_;
+  std::vector<PackedDelay> delay_;
+  std::vector<PackedHops> hops_;
   std::vector<NodeId> physical_;
 };
 

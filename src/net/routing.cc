@@ -4,41 +4,65 @@
 
 namespace d3t::net {
 
-namespace {
-constexpr sim::SimTime kInf = sim::kSimTimeMax / 4;
-}  // namespace
+RoutingTables::RoutingTables(size_t node_count) : rows_(node_count) {}
 
-RoutingTables::RoutingTables(size_t node_count)
-    : delay_(node_count * node_count, kInf),
-      hops_(node_count * node_count, UINT32_MAX),
-      row_valid_(node_count, false) {}
+RoutingTables::Row& RoutingTables::EnsureRow(NodeId from) {
+  Row& row = rows_[from];
+  if (row.delay.empty()) {
+    row.delay.assign(rows_.size(), kUnreachableDelay);
+    row.hops.assign(rows_.size(), kUnreachableHops);
+  }
+  return row;
+}
+
+Result<sim::SimTime> RoutingTables::CheckedDelay(NodeId from,
+                                                 NodeId to) const {
+  if (from >= rows_.size() || to >= rows_.size()) {
+    return Status::OutOfRange("routing query endpoint out of range");
+  }
+  if (rows_[from].delay.empty()) {
+    return Status::FailedPrecondition("routing row was never computed");
+  }
+  return rows_[from].delay[to];
+}
+
+Result<uint32_t> RoutingTables::CheckedHops(NodeId from, NodeId to) const {
+  if (from >= rows_.size() || to >= rows_.size()) {
+    return Status::OutOfRange("routing query endpoint out of range");
+  }
+  if (rows_[from].hops.empty()) {
+    return Status::FailedPrecondition("routing row was never computed");
+  }
+  return rows_[from].hops[to];
+}
 
 Result<RoutingTables> RoutingTables::FloydWarshall(const Topology& topo) {
   const size_t n = topo.node_count();
   RoutingTables t(n);
   for (NodeId i = 0; i < n; ++i) {
-    t.delay_[t.Index(i, i)] = 0;
-    t.hops_[t.Index(i, i)] = 0;
+    Row& row = t.EnsureRow(i);
+    row.delay[i] = 0;
+    row.hops[i] = 0;
   }
   for (const Link& link : topo.links()) {
     // Parallel links: keep the cheapest.
-    if (link.delay < t.delay_[t.Index(link.a, link.b)]) {
-      t.delay_[t.Index(link.a, link.b)] = link.delay;
-      t.delay_[t.Index(link.b, link.a)] = link.delay;
-      t.hops_[t.Index(link.a, link.b)] = 1;
-      t.hops_[t.Index(link.b, link.a)] = 1;
+    if (link.delay < t.rows_[link.a].delay[link.b]) {
+      t.rows_[link.a].delay[link.b] = link.delay;
+      t.rows_[link.b].delay[link.a] = link.delay;
+      t.rows_[link.a].hops[link.b] = 1;
+      t.rows_[link.b].hops[link.a] = 1;
     }
   }
   // Classic triple loop (Floyd & Warshall, as cited by the paper [7]).
   for (NodeId k = 0; k < n; ++k) {
-    const sim::SimTime* dk = &t.delay_[t.Index(k, 0)];
+    const sim::SimTime* dk = t.rows_[k].delay.data();
+    const uint32_t* hk = t.rows_[k].hops.data();
     for (NodeId i = 0; i < n; ++i) {
-      const sim::SimTime dik = t.delay_[t.Index(i, k)];
-      if (dik >= kInf) continue;
-      sim::SimTime* di = &t.delay_[t.Index(i, 0)];
-      uint32_t* hi = &t.hops_[t.Index(i, 0)];
-      const uint32_t hik = t.hops_[t.Index(i, k)];
-      const uint32_t* hk = &t.hops_[t.Index(k, 0)];
+      const sim::SimTime dik = t.rows_[i].delay[k];
+      if (dik >= kUnreachableDelay) continue;
+      sim::SimTime* di = t.rows_[i].delay.data();
+      uint32_t* hi = t.rows_[i].hops.data();
+      const uint32_t hik = hi[k];
       for (NodeId j = 0; j < n; ++j) {
         const sim::SimTime candidate = dik + dk[j];
         if (candidate < di[j]) {
@@ -49,9 +73,8 @@ Result<RoutingTables> RoutingTables::FloydWarshall(const Topology& topo) {
     }
   }
   for (NodeId i = 0; i < n; ++i) {
-    t.row_valid_[i] = true;
     for (NodeId j = 0; j < n; ++j) {
-      if (t.delay_[t.Index(i, j)] >= kInf) {
+      if (t.rows_[i].delay[j] >= kUnreachableDelay) {
         return Status::FailedPrecondition("topology is disconnected");
       }
     }
@@ -59,28 +82,30 @@ Result<RoutingTables> RoutingTables::FloydWarshall(const Topology& topo) {
   return t;
 }
 
-void RoutingTables::RunDijkstraFrom(const Topology& topo, NodeId src) {
+void RoutingTables::ShortestPathsFrom(const Topology& topo, NodeId src,
+                                      std::vector<sim::SimTime>& delay,
+                                      std::vector<uint32_t>& hops) {
+  assert(src < topo.node_count());
+  delay.assign(topo.node_count(), kUnreachableDelay);
+  hops.assign(topo.node_count(), kUnreachableHops);
   using Item = std::pair<sim::SimTime, NodeId>;
   std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
-  sim::SimTime* dist = &delay_[Index(src, 0)];
-  uint32_t* hops = &hops_[Index(src, 0)];
-  dist[src] = 0;
+  delay[src] = 0;
   hops[src] = 0;
   pq.emplace(0, src);
   while (!pq.empty()) {
     auto [d, u] = pq.top();
     pq.pop();
-    if (d > dist[u]) continue;
+    if (d > delay[u]) continue;
     for (const auto& [v, w] : topo.neighbors(u)) {
       const sim::SimTime nd = d + w;
-      if (nd < dist[v]) {
-        dist[v] = nd;
+      if (nd < delay[v]) {
+        delay[v] = nd;
         hops[v] = hops[u] + 1;
         pq.emplace(nd, v);
       }
     }
   }
-  row_valid_[src] = true;
 }
 
 Result<RoutingTables> RoutingTables::DijkstraRows(
@@ -90,9 +115,11 @@ Result<RoutingTables> RoutingTables::DijkstraRows(
     if (src >= topo.node_count()) {
       return Status::OutOfRange("dijkstra row out of range");
     }
-    t.RunDijkstraFrom(topo, src);
+    if (t.HasRow(src)) continue;  // duplicate request
+    Row& row = t.rows_[src];
+    ShortestPathsFrom(topo, src, row.delay, row.hops);
     for (NodeId j = 0; j < topo.node_count(); ++j) {
-      if (t.delay_[t.Index(src, j)] >= kInf) {
+      if (row.delay[j] >= kUnreachableDelay) {
         return Status::FailedPrecondition("topology is disconnected");
       }
     }

@@ -1,6 +1,7 @@
 #ifndef D3T_NET_ROUTING_H_
 #define D3T_NET_ROUTING_H_
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -10,46 +11,95 @@
 
 namespace d3t::net {
 
-/// Dense all-pairs shortest-path tables (delay and hop count). The paper
-/// computes routing tables with Floyd-Warshall; for the 2100-node
-/// scalability runs we provide an equivalent Dijkstra-based computation
-/// restricted to the rows that matter (source + repositories).
+/// All-pairs shortest-path tables (delay and hop count), stored as a
+/// *row table*: only rows that were actually computed are allocated.
+/// The paper computes routing with Floyd-Warshall (which populates every
+/// row); for large networks the equivalent Dijkstra-based computation
+/// restricted to the rows that matter (source + repositories) keeps
+/// memory proportional to |rows| x n instead of n x n. Callers that
+/// cannot afford even that should use ShortestPathsFrom to stream one
+/// row at a time through caller-owned scratch.
 class RoutingTables {
  public:
-  RoutingTables(size_t node_count);
+  /// Sentinel delay of an unreachable (or never computed) pair. Chosen
+  /// well below kSimTimeMax so sums of two sentinels cannot overflow.
+  static constexpr sim::SimTime kUnreachableDelay = sim::kSimTimeMax / 4;
+  /// Sentinel hop count of an unreachable (or never computed) pair.
+  static constexpr uint32_t kUnreachableHops = UINT32_MAX;
 
+  explicit RoutingTables(size_t node_count);
+
+  /// Unchecked row queries: `from` must be a computed row (always true
+  /// after Floyd-Warshall; only for requested sources with Dijkstra) and
+  /// `to` in range. Debug builds assert; release builds return the
+  /// unreachable sentinels for an uncomputed row rather than reading out
+  /// of bounds. Use the Checked variants when the row's validity is not
+  /// known statically.
   sim::SimTime Delay(NodeId from, NodeId to) const {
-    return delay_[Index(from, to)];
+    assert(from < rows_.size() && "routing row out of range");
+    assert(to < rows_.size() && "routing column out of range");
+    assert(!rows_[from].delay.empty() && "querying an unrouted row");
+    if (from >= rows_.size() || to >= rows_.size() ||
+        rows_[from].delay.empty()) {
+      return kUnreachableDelay;
+    }
+    return rows_[from].delay[to];
   }
   uint32_t Hops(NodeId from, NodeId to) const {
-    return hops_[Index(from, to)];
+    assert(from < rows_.size() && "routing row out of range");
+    assert(to < rows_.size() && "routing column out of range");
+    assert(!rows_[from].hops.empty() && "querying an unrouted row");
+    if (from >= rows_.size() || to >= rows_.size() ||
+        rows_[from].hops.empty()) {
+      return kUnreachableHops;
+    }
+    return rows_[from].hops[to];
   }
+
+  /// Checked queries: OutOfRange for an endpoint beyond node_count(),
+  /// FailedPrecondition for a row that was never computed.
+  Result<sim::SimTime> CheckedDelay(NodeId from, NodeId to) const;
+  Result<uint32_t> CheckedHops(NodeId from, NodeId to) const;
 
   /// True when a row was computed (always true for Floyd-Warshall; only
   /// for requested sources with Dijkstra).
-  bool HasRow(NodeId from) const { return row_valid_[from]; }
+  bool HasRow(NodeId from) const {
+    return from < rows_.size() && !rows_[from].delay.empty();
+  }
 
-  size_t node_count() const { return row_valid_.size(); }
+  size_t node_count() const { return rows_.size(); }
 
-  /// Full Floyd-Warshall APSP exactly as in the paper (O(V^3)).
-  /// Fails if the topology is disconnected.
+  /// Full Floyd-Warshall APSP exactly as in the paper (O(V^3)); every
+  /// row is allocated. Fails if the topology is disconnected.
   static Result<RoutingTables> FloydWarshall(const Topology& topo);
 
-  /// Runs Dijkstra from each node in `rows` only; other rows stay
-  /// invalid. O(|rows| * E log V) — used for large networks.
+  /// Runs Dijkstra from each node in `rows` only; other rows are never
+  /// allocated. O(|rows| * E log V) time and O(|rows| * V) memory — used
+  /// for large networks. Duplicate row requests are computed once.
   static Result<RoutingTables> DijkstraRows(const Topology& topo,
                                             const std::vector<NodeId>& rows);
 
+  /// Streaming single-row shortest paths: fills `delay`/`hops` (resized
+  /// to the node count, unreachable entries left at the sentinels) with
+  /// the shortest paths from `src`, allocating nothing beyond the two
+  /// caller-owned buffers. The memory-bounded building block for
+  /// per-member delay-model extraction on 10k+ repository networks.
+  /// `src` must be in range.
+  static void ShortestPathsFrom(const Topology& topo, NodeId src,
+                                std::vector<sim::SimTime>& delay,
+                                std::vector<uint32_t>& hops);
+
  private:
-  size_t Index(NodeId from, NodeId to) const {
-    return static_cast<size_t>(from) * row_valid_.size() + to;
-  }
+  /// One computed row; `delay`/`hops` are empty until routed.
+  struct Row {
+    std::vector<sim::SimTime> delay;
+    std::vector<uint32_t> hops;
+  };
 
-  void RunDijkstraFrom(const Topology& topo, NodeId src);
+  /// Allocates (and sentinel-fills) row `from` if absent.
+  Row& EnsureRow(NodeId from);
 
-  std::vector<sim::SimTime> delay_;
-  std::vector<uint32_t> hops_;
-  std::vector<bool> row_valid_;
+  std::vector<Row> rows_;
 };
 
 }  // namespace d3t::net

@@ -5,6 +5,7 @@
 // refactor must reproduce them exactly.
 
 #include <cstdint>
+#include <string>
 
 #include "exp/experiment.h"
 #include "exp/multi_source.h"
@@ -146,6 +147,59 @@ TEST(DeterminismTest, BatchedDispatchIsByteIdenticalToPerMessageDispatch) {
     EXPECT_EQ(b->metrics.coalesced_messages, 0u);
     EXPECT_EQ(a->metrics.delivery_batches + a->metrics.coalesced_messages,
               b->metrics.delivery_batches);
+  }
+}
+
+TEST(DeterminismTest, SpanDrainingIsByteIdenticalToPerJobProcessing) {
+  // Span-draining ProcessNext consumes a node's whole pending backlog in
+  // one busy-server pass. Each drained job starts exactly when its own
+  // NodeProcess event would have fired, so processing granularity is a
+  // pure kernel concern: every metric — including the logical event
+  // count — must be byte-identical to one-event-per-job processing, for
+  // every policy, on the golden fixture. Only the physical wakeup count
+  // may (and should) drop.
+  for (const char* policy :
+       {"distributed", "centralized", "eq3-only", "all-updates"}) {
+    SCOPED_TRACE(policy);
+    ExperimentConfig config = GoldenConfig();
+    config.policy = policy;
+    Result<Workbench> bench = Workbench::Create(config);
+    ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+    RunSpec drained = Workbench::SpecFromConfig(config);
+    RunSpec per_job = drained;
+    per_job.policy.drain_process_spans = false;
+    Result<ExperimentResult> a = bench->session().Run(drained);
+    Result<ExperimentResult> b = bench->session().Run(per_job);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    ExpectIdenticalMetrics(a->metrics, b->metrics);
+    // Per-job processing fires exactly one NodeProcess event per job;
+    // draining can only merge wakeups, never add them.
+    EXPECT_LE(a->metrics.process_wakeups, b->metrics.process_wakeups);
+    EXPECT_GT(a->metrics.process_wakeups, 0u);
+  }
+}
+
+TEST(DeterminismTest, DispatchAndProcessingModesAreByteIdenticalInAllCombos) {
+  // The two kernel toggles (delivery coalescing, span draining) must be
+  // independent: all four combinations yield the same metrics.
+  const ExperimentConfig config = GoldenConfig();
+  Result<Workbench> bench = Workbench::Create(config);
+  ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+  const RunSpec base = Workbench::SpecFromConfig(config);
+  Result<ExperimentResult> reference = bench->session().Run(base);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  for (bool coalesce : {true, false}) {
+    for (bool drain : {true, false}) {
+      SCOPED_TRACE(std::string("coalesce=") + (coalesce ? "on" : "off") +
+                   " drain=" + (drain ? "on" : "off"));
+      RunSpec spec = base;
+      spec.policy.coalesce_deliveries = coalesce;
+      spec.policy.drain_process_spans = drain;
+      Result<ExperimentResult> run = bench->session().Run(spec);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      ExpectIdenticalMetrics(reference->metrics, run->metrics);
+    }
   }
 }
 

@@ -206,6 +206,59 @@ TEST(RoutingTest, DijkstraRowOutOfRange) {
       RoutingTables::DijkstraRows(topo, {5}).status().IsOutOfRange());
 }
 
+TEST(RoutingTest, CheckedQueriesFlagUnroutedRows) {
+  // Row-table representation: only requested rows are computed, and
+  // querying anything else is a checked error instead of a silent
+  // sentinel read.
+  Topology topo = DiamondTopology();
+  Result<RoutingTables> dj = RoutingTables::DijkstraRows(topo, {0});
+  ASSERT_TRUE(dj.ok());
+  EXPECT_TRUE(dj->HasRow(0));
+  EXPECT_FALSE(dj->HasRow(1));
+
+  Result<sim::SimTime> delay = dj->CheckedDelay(0, 3);
+  ASSERT_TRUE(delay.ok());
+  EXPECT_EQ(*delay, sim::Millis(2));
+  EXPECT_EQ(*delay, dj->Delay(0, 3));
+  Result<uint32_t> hops = dj->CheckedHops(0, 3);
+  ASSERT_TRUE(hops.ok());
+  EXPECT_EQ(*hops, 2u);
+
+  EXPECT_TRUE(dj->CheckedDelay(1, 3).status().IsFailedPrecondition());
+  EXPECT_TRUE(dj->CheckedHops(2, 0).status().IsFailedPrecondition());
+  EXPECT_TRUE(dj->CheckedDelay(9, 0).status().IsOutOfRange());
+  EXPECT_TRUE(dj->CheckedDelay(0, 9).status().IsOutOfRange());
+  EXPECT_TRUE(dj->CheckedHops(0, 9).status().IsOutOfRange());
+}
+
+TEST(RoutingTest, DuplicateDijkstraRowRequestsAreComputedOnce) {
+  Topology topo = DiamondTopology();
+  Result<RoutingTables> dj = RoutingTables::DijkstraRows(topo, {0, 0, 3});
+  ASSERT_TRUE(dj.ok());
+  EXPECT_TRUE(dj->HasRow(0));
+  EXPECT_TRUE(dj->HasRow(3));
+  EXPECT_EQ(dj->Delay(0, 3), dj->Delay(3, 0));
+}
+
+TEST(RoutingTest, StreamingRowMatchesDijkstraTables) {
+  Rng rng(9);
+  TopologyGeneratorOptions options;
+  options.router_count = 30;
+  options.repository_count = 6;
+  Result<Topology> topo = GenerateTopology(options, rng);
+  ASSERT_TRUE(topo.ok());
+  Result<RoutingTables> dj = RoutingTables::DijkstraRows(*topo, {4});
+  ASSERT_TRUE(dj.ok());
+  std::vector<sim::SimTime> delay;
+  std::vector<uint32_t> hops;
+  RoutingTables::ShortestPathsFrom(*topo, 4, delay, hops);
+  ASSERT_EQ(delay.size(), topo->node_count());
+  for (NodeId j = 0; j < topo->node_count(); ++j) {
+    EXPECT_EQ(delay[j], dj->Delay(4, j)) << "col " << j;
+    EXPECT_EQ(hops[j], dj->Hops(4, j)) << "col " << j;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // OverlayDelayModel
 
@@ -267,6 +320,64 @@ TEST(DelayModelTest, ScalingFromZeroFallsBackToUniform) {
   OverlayDelayModel scaled = zero.ScaledToMeanDelay(sim::Millis(5));
   EXPECT_EQ(scaled.Delay(0, 1), sim::Millis(5));
   EXPECT_EQ(scaled.Delay(2, 1), sim::Millis(5));
+}
+
+TEST(DelayModelTest, StreamingBuilderMatchesRoutedExtraction) {
+  // FromTopologyAllSources streams one Dijkstra row per member straight
+  // into the compressed models; it must match the two-step DijkstraRows
+  // + FromRoutingWithSource path pair for pair, and be independent of
+  // the worker thread count.
+  Rng rng(11);
+  TopologyGeneratorOptions options;
+  options.router_count = 40;
+  options.repository_count = 9;
+  options.source_count = 3;
+  Result<Topology> topo = GenerateTopology(options, rng);
+  ASSERT_TRUE(topo.ok());
+
+  std::vector<NodeId> rows = topo->SourceNodes();
+  for (NodeId repo : topo->RepositoryNodes()) rows.push_back(repo);
+  Result<RoutingTables> routing = RoutingTables::DijkstraRows(*topo, rows);
+  ASSERT_TRUE(routing.ok());
+
+  Result<std::vector<OverlayDelayModel>> serial =
+      OverlayDelayModel::FromTopologyAllSources(*topo, 1);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  Result<std::vector<OverlayDelayModel>> pooled =
+      OverlayDelayModel::FromTopologyAllSources(*topo, 4);
+  ASSERT_TRUE(pooled.ok()) << pooled.status().ToString();
+  ASSERT_EQ(serial->size(), topo->SourceNodes().size());
+  ASSERT_EQ(pooled->size(), serial->size());
+
+  for (size_t s = 0; s < serial->size(); ++s) {
+    SCOPED_TRACE("source " + std::to_string(s));
+    Result<OverlayDelayModel> reference =
+        OverlayDelayModel::FromRoutingWithSource(*topo, *routing,
+                                                 topo->SourceNodes()[s]);
+    ASSERT_TRUE(reference.ok());
+    const OverlayDelayModel& streamed = (*serial)[s];
+    const OverlayDelayModel& threaded = (*pooled)[s];
+    ASSERT_EQ(streamed.member_count(), reference->member_count());
+    for (OverlayIndex i = 0; i < reference->member_count(); ++i) {
+      EXPECT_EQ(streamed.PhysicalNode(i), reference->PhysicalNode(i));
+      for (OverlayIndex j = 0; j < reference->member_count(); ++j) {
+        EXPECT_EQ(streamed.Delay(i, j), reference->Delay(i, j));
+        EXPECT_EQ(streamed.Hops(i, j), reference->Hops(i, j));
+        EXPECT_EQ(threaded.Delay(i, j), reference->Delay(i, j));
+        EXPECT_EQ(threaded.Hops(i, j), reference->Hops(i, j));
+      }
+    }
+  }
+}
+
+TEST(DelayModelTest, StreamingBuilderRejectsDisconnectedTopology) {
+  Topology topo(3);
+  ASSERT_TRUE(topo.AddLink(0, 1, 1).ok());
+  topo.set_kind(0, NodeKind::kSource);
+  topo.set_kind(1, NodeKind::kRepository);
+  EXPECT_TRUE(OverlayDelayModel::FromTopologyAllSources(topo)
+                  .status()
+                  .IsFailedPrecondition());
 }
 
 // ---------------------------------------------------------------------------

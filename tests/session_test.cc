@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/disseminator.h"
+#include "core/pull.h"
 #include "exp/experiment.h"
 #include "exp/multi_source.h"
 #include "exp/session.h"
@@ -317,6 +318,109 @@ TEST(SeedPlumbingTest, MultiSourceSpecsCarryExplicitDecorrelatedSeeds) {
       EXPECT_NE(specs[s].seed, specs[t].seed);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// World-cached change timelines
+
+void ExpectSameEngineMetrics(const core::EngineMetrics& a,
+                             const core::EngineMetrics& b) {
+  EXPECT_EQ(a.loss_percent, b.loss_percent);
+  EXPECT_EQ(a.pair_loss_percent, b.pair_loss_percent);
+  EXPECT_EQ(a.per_member_loss, b.per_member_loss);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.checks, b.checks);
+  EXPECT_EQ(a.source_updates, b.source_updates);
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(TimelineCacheTest, WorldCacheEqualsPerRunBuildAcrossSeeds) {
+  // Property: for any generated workload, the timelines cached on the
+  // World at build time equal what BuildChangeTimelines would produce
+  // per run, and engines behave byte-identically with either source.
+  for (uint64_t seed : {7u, 42u, 1234u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Result<SimulationSession> session = SessionBuilder()
+                                            .SetNetwork(SmallNetwork())
+                                            .SetWorkload(SmallWorkload())
+                                            .SetSeed(seed)
+                                            .SetWorkerThreads(1)
+                                            .Build();
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    const World& world = session->world();
+
+    const core::ChangeTimelines rebuilt =
+        core::BuildChangeTimelines(world.traces());
+    const core::ChangeTimelines& cached = world.change_timelines();
+    ASSERT_EQ(cached.size(), rebuilt.size());
+    for (size_t item = 0; item < cached.size(); ++item) {
+      ASSERT_EQ(cached[item].size(), rebuilt[item].size()) << "item " << item;
+      for (size_t k = 0; k < cached[item].size(); ++k) {
+        EXPECT_EQ(cached[item][k].time, rebuilt[item][k].time);
+        EXPECT_EQ(cached[item][k].value, rebuilt[item][k].value);
+      }
+    }
+
+    RunSpec with_cache = SmallSpec();
+    with_cache.seed = seed;
+    RunSpec without_cache = with_cache;
+    without_cache.policy.use_cached_timelines = false;
+    Result<ExperimentResult> a = session->Run(with_cache);
+    Result<ExperimentResult> b = session->Run(without_cache);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    ExpectSameEngineMetrics(a->metrics, b->metrics);
+  }
+}
+
+TEST(TimelineCacheTest, PullEngineMatchesWithAndWithoutCache) {
+  for (uint64_t seed : {7u, 42u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Result<SimulationSession> session = SessionBuilder()
+                                            .SetNetwork(SmallNetwork())
+                                            .SetWorkload(SmallWorkload())
+                                            .SetSeed(seed)
+                                            .SetWorkerThreads(1)
+                                            .Build();
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    const World& world = session->world();
+    core::PullOptions options;
+    options.initial_ttr = sim::Seconds(1);
+    Result<core::PullMetrics> cached =
+        core::PullEngine(world.delays(), world.interests(), world.traces(),
+                         options, &world.change_timelines())
+            .Run();
+    Result<core::PullMetrics> rebuilt =
+        core::PullEngine(world.delays(), world.interests(), world.traces(),
+                         options)
+            .Run();
+    ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+    ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+    EXPECT_EQ(cached->loss_percent, rebuilt->loss_percent);
+    EXPECT_EQ(cached->per_member_loss, rebuilt->per_member_loss);
+    EXPECT_EQ(cached->polls, rebuilt->polls);
+    EXPECT_EQ(cached->wire_messages, rebuilt->wire_messages);
+    EXPECT_EQ(cached->changed_polls, rebuilt->changed_polls);
+  }
+}
+
+TEST(TimelineCacheTest, EngineRejectsMismatchedCache) {
+  Result<SimulationSession> session = BuildSmallSession(1);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  const World& world = session->world();
+  // A cache that does not cover every trace is rejected up front.
+  core::ChangeTimelines truncated(world.change_timelines());
+  truncated.pop_back();
+  core::DistributedDisseminator policy;
+  core::LelaOptions lela;
+  lela.coop_degree = 3;
+  Rng rng(1234);
+  Result<core::LelaResult> built = core::BuildOverlay(
+      world.delays(), world.interests(), world.traces().size(), lela, rng);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  core::Engine engine(built->overlay, world.delays(), world.traces(), policy,
+                      core::EngineOptions{}, &truncated);
+  EXPECT_TRUE(engine.Run().status().IsInvalidArgument());
 }
 
 TEST(ExperimentConfigShimTest, SlicesToDecomposedConfigs) {
