@@ -13,11 +13,14 @@
 
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <chrono>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/table.h"
+#include "exp/scenario.h"
 #include "exp/session.h"
 
 namespace d3t {
@@ -42,6 +45,9 @@ int Main(int argc, char** argv) {
   bench::AddCommonFlags(cli);
   cli.AddFlag("tenk", "false",
               "scale to a 10,000-repository (70,001-node) world");
+  cli.AddFlag("churn", "false",
+              "attach a generated failure-churn scenario to every point "
+              "(repair volume and fidelity cost appear in the table)");
   cli = bench::ParseFlagsOrDie(argc, argv, std::move(cli));
   exp::ExperimentConfig base = bench::ConfigFromFlags(cli);
   base.stringent_fraction = 0.5;
@@ -64,8 +70,17 @@ int Main(int argc, char** argv) {
     repo_counts = {20, 40, 60};
   }
 
-  TablePrinter table({"Repos", "Nodes", "EffDegree", "Diameter", "Loss%",
-                      "Messages", "BuildS", "RunS", "Events/s", "PeakRSS_MiB"});
+  const bool with_churn = cli.GetBool("churn");
+  TablePrinter table(
+      with_churn
+          ? std::vector<std::string>{"Repos", "Nodes", "EffDegree",
+                                     "Diameter", "Loss%", "Messages",
+                                     "Repairs", "Dropped", "BuildS",
+                                     "RunS", "Events/s", "PeakRSS_MiB"}
+          : std::vector<std::string>{"Repos", "Nodes", "EffDegree",
+                                     "Diameter", "Loss%", "Messages",
+                                     "BuildS", "RunS", "Events/s",
+                                     "PeakRSS_MiB"});
   double first_loss = -1.0, last_loss = 0.0;
   for (size_t repos : repo_counts) {
     exp::ExperimentConfig config = base;
@@ -90,7 +105,25 @@ int Main(int argc, char** argv) {
     }
     const double build_seconds = SecondsSince(build_start);
 
-    const exp::RunSpec spec = exp::Workbench::SpecFromConfig(config);
+    exp::RunSpec spec = exp::Workbench::SpecFromConfig(config);
+    if (with_churn) {
+      // Scale the churn with the world: ~5% of the repositories bounce
+      // once each, outages of 5-15% of the horizon.
+      exp::ChurnOptions churn;
+      churn.repositories = repos;
+      churn.failures = std::max<size_t>(2, repos / 20);
+      churn.horizon =
+          session->world().traces().front().ticks().back().time;
+      churn.max_outage_fraction = 0.15;
+      churn.seed = config.seed;
+      Result<core::Scenario> scenario = exp::MakeChurnScenario(churn);
+      if (!scenario.ok()) {
+        std::fprintf(stderr, "churn generation failed: %s\n",
+                     scenario.status().ToString().c_str());
+        return 1;
+      }
+      spec.scenario = std::move(scenario).value();
+    }
     const auto run_start = std::chrono::steady_clock::now();
     Result<exp::ExperimentResult> run = session->Run(spec);
     const double run_seconds = SecondsSince(run_start);
@@ -107,16 +140,21 @@ int Main(int argc, char** argv) {
         run_seconds > 0.0
             ? static_cast<double>(result.metrics.events) / run_seconds
             : 0.0;
-    table.AddRow({TablePrinter::Int(repos),
-                  TablePrinter::Int(repos * 7 + 1),
-                  TablePrinter::Int(result.effective_degree),
-                  TablePrinter::Int(result.shape.diameter),
-                  TablePrinter::Num(result.metrics.loss_percent, 2),
-                  TablePrinter::Int(result.metrics.messages),
-                  TablePrinter::Num(build_seconds, 2),
-                  TablePrinter::Num(run_seconds, 2),
-                  TablePrinter::Num(events_per_sec, 0),
-                  TablePrinter::Num(PeakRssMib(), 1)});
+    std::vector<std::string> row = {
+        TablePrinter::Int(repos), TablePrinter::Int(repos * 7 + 1),
+        TablePrinter::Int(result.effective_degree),
+        TablePrinter::Int(result.shape.diameter),
+        TablePrinter::Num(result.metrics.loss_percent, 2),
+        TablePrinter::Int(result.metrics.messages)};
+    if (with_churn) {
+      row.push_back(TablePrinter::Int(result.metrics.repairs));
+      row.push_back(TablePrinter::Int(result.metrics.dropped_jobs));
+    }
+    row.push_back(TablePrinter::Num(build_seconds, 2));
+    row.push_back(TablePrinter::Num(run_seconds, 2));
+    row.push_back(TablePrinter::Num(events_per_sec, 0));
+    row.push_back(TablePrinter::Num(PeakRssMib(), 1));
+    table.AddRow(row);
   }
   table.Print();
   std::printf(

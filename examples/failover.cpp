@@ -1,0 +1,107 @@
+// Scripted repository failure and recovery on a live dissemination
+// graph — the paper's resilience story (§4): a repository crashes mid-
+// run, its dependents are orphaned, the repair policy re-attaches them
+// to backup parents, and the crashed repository later re-joins and
+// catches back up. The same World runs once statically and once under
+// the scenario, so the fidelity cost of the outage is directly visible.
+//
+//   $ ./build/examples/failover
+//
+// Members are overlay indices: 0 is the source, repository i is member
+// i + 1. The scenario fails a mid-tree relay for 3 of the 10 simulated
+// minutes.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.h"
+#include "exp/session.h"
+
+int main() {
+  // A modest world: 16 repositories watching 6 items for ~10 minutes.
+  d3t::exp::NetworkConfig network;
+  network.repositories = 16;
+  network.routers = 64;
+  d3t::exp::WorkloadConfig workload;
+  workload.items = 6;
+  workload.ticks = 600;
+  d3t::exp::SessionBuilder builder;
+  builder.SetNetwork(network).SetWorkload(workload).SetSeed(1702);
+  auto session = builder.Build();
+  if (!session.ok()) {
+    std::fprintf(stderr, "session: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+
+  // Three repositories crash in a staggered wave at t=2min and recover
+  // at t=5min — with degree-2 trees some of them relay, so their
+  // subtrees orphan and re-attach; meanwhile repository 9 renegotiates
+  // a tighter tolerance on item 0 (needs change with the market, §4).
+  auto scenario =
+      d3t::exp::ScenarioBuilder()
+          .FailRepo(d3t::sim::Seconds(120), 2)
+          .RecoverAt(d3t::sim::Seconds(300))
+          .FailRepo(d3t::sim::Seconds(130), 5)
+          .RecoverAt(d3t::sim::Seconds(310))
+          .FailRepo(d3t::sim::Seconds(140), 12)
+          .RecoverAt(d3t::sim::Seconds(320))
+          .ChangeCoherency(d3t::sim::Seconds(200), 10, 0, 0.02)
+          .Build();
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "scenario: %s\n",
+                 scenario.status().ToString().c_str());
+    return 1;
+  }
+
+  d3t::exp::RunSpec base;
+  base.overlay.coop_degree = 2;  // deep trees: failures orphan subtrees
+  base.policy.comp_delay_ms = 2.0;
+  base.seed = 1702;
+
+  // Before: the static world. After: the same world + the script, one
+  // run per repair policy so the re-attachment strategies compare.
+  std::printf("%-22s %8s %8s %8s %10s %12s\n", "run", "loss%", "repairs",
+              "dropped", "orphTicks", "outageLoss%");
+  d3t::exp::RunSpec before = base;
+  auto baseline = session->Run(before);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "baseline: %s\n",
+                 baseline.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%-22s %8.3f %8llu %8llu %10llu %12.3f\n", "static world",
+              baseline->metrics.loss_percent, 0ull, 0ull, 0ull, 0.0);
+
+  for (const std::string& repair : {std::string("fallback"),
+                                    std::string("lela"),
+                                    std::string("on-recovery")}) {
+    d3t::exp::RunSpec spec = base;
+    spec.scenario = *scenario;
+    spec.policy.repair_policy = repair;
+    // Children take half a second to notice the silence before they
+    // re-attach (except on-recovery, which waits the whole outage out).
+    spec.policy.repair_delay_ms = 500.0;
+    auto run = session->Run(spec);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s: %s\n", repair.c_str(),
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    const auto& m = run->metrics;
+    std::printf("%-22s %8.3f %8llu %8llu %10llu %12.3f\n",
+                ("fail+recover/" + repair).c_str(), m.loss_percent,
+                static_cast<unsigned long long>(m.repairs),
+                static_cast<unsigned long long>(m.dropped_jobs),
+                static_cast<unsigned long long>(m.orphaned_ticks),
+                m.outage_loss_percent);
+  }
+
+  std::printf(
+      "\na 3-minute outage of a relay costs a bounded slice of fidelity:\n"
+      "orphans re-attach to backup parents (repairs column) and the\n"
+      "recovered repository re-joins and resyncs on the next updates.\n"
+      "on-recovery shows the cost of *not* repairing mid-outage.\n");
+  return 0;
+}

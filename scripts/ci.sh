@@ -14,7 +14,11 @@
 # that is the point) and run every bench binary briefly: the
 # google-benchmark drivers with --benchmark_min_time=1x, the paper-
 # figure CLI drivers at a tiny scale. Keeps the perf binaries from
-# bitrotting without turning CI into a benchmarking farm.
+# bitrotting without turning CI into a benchmarking farm. Each
+# google-benchmark driver also emits machine-readable results to
+# bench-results/BENCH_<name>.json (--benchmark_format console output
+# stays on the log); CI uploads the directory as an artifact, so every
+# commit contributes a point to the perf trajectory.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -36,9 +40,13 @@ if [[ -n "${D3T_BENCH_SMOKE:-}" ]]; then
       --benchmark_list_tests=true > /dev/null 2>&1; then
     MIN_TIME_FLAG="--benchmark_min_time=0.01"
   fi
+  RESULTS_DIR=bench-results
+  mkdir -p "$RESULTS_DIR"
   for gbench in event_kernel micro_core session_sweep; do
     echo "== bench smoke: ${gbench} =="
-    "$BUILD_DIR/bench/$gbench" "$MIN_TIME_FLAG"
+    "$BUILD_DIR/bench/$gbench" "$MIN_TIME_FLAG" \
+      --benchmark_out_format=json \
+      --benchmark_out="$RESULTS_DIR/BENCH_${gbench}.json"
   done
   # Paper-figure CLI drivers at a tiny scale (they all take the common
   # flags); scalability also exercises the streaming routing path and
@@ -51,6 +59,12 @@ if [[ -n "${D3T_BENCH_SMOKE:-}" ]]; then
     echo "== bench smoke: ${name} =="
     "$cli_bench" --repositories 8 --items 4 --ticks 120
   done
+  # Churn smoke: the scalability point again with a generated
+  # failure-churn scenario attached, so the dynamics path (detach,
+  # repair, recovery) cannot bitrot either.
+  echo "== bench smoke: scalability --churn =="
+  "$BUILD_DIR/bench/scalability" --repositories 8 --items 4 --ticks 120 \
+    --churn
   exit 0
 fi
 

@@ -1,9 +1,38 @@
 #include "common/cli.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
 namespace d3t {
+
+namespace {
+
+bool ParsesAsInt(const std::string& value) {
+  if (value.empty()) return false;
+  char* end = nullptr;
+  (void)std::strtoll(value.c_str(), &end, 10);
+  return end != value.c_str() && *end == '\0';
+}
+
+bool ParsesAsDouble(const std::string& value) {
+  if (value.empty()) return false;
+  char* end = nullptr;
+  (void)std::strtod(value.c_str(), &end);
+  return end != value.c_str() && *end == '\0';
+}
+
+bool ParsesAsBool(const std::string& value) {
+  return value == "true" || value == "1" || value == "yes" ||
+         value == "on" || value == "false" || value == "0" ||
+         value == "no" || value == "off";
+}
+
+bool TruthyBool(const std::string& value) {
+  return value == "true" || value == "1" || value == "yes" || value == "on";
+}
+
+}  // namespace
 
 void CommandLine::AddFlag(const std::string& name,
                           const std::string& default_value,
@@ -50,18 +79,38 @@ std::string CommandLine::GetString(const std::string& name) const {
   return it == flags_.end() ? std::string() : it->second.value;
 }
 
+const std::string& CommandLine::ValueOrWarn(
+    const std::string& name, unsigned type_bit, const char* type_name,
+    bool (*parses)(const std::string&)) const {
+  static const std::string kEmpty;
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return kEmpty;
+  const Flag& flag = it->second;
+  if (parses(flag.value)) return flag.value;
+  if ((flag.warned_mask & type_bit) == 0) {
+    flag.warned_mask |= type_bit;
+    std::fprintf(stderr,
+                 "warning: --%s value '%s' is not a valid %s; using the "
+                 "default '%s'\n",
+                 name.c_str(), flag.value.c_str(), type_name,
+                 flag.default_value.c_str());
+  }
+  return flag.default_value;
+}
+
 int64_t CommandLine::GetInt(const std::string& name) const {
-  return static_cast<int64_t>(std::strtoll(GetString(name).c_str(),
-                                           nullptr, 10));
+  const std::string& value = ValueOrWarn(name, 1u, "integer", ParsesAsInt);
+  return static_cast<int64_t>(std::strtoll(value.c_str(), nullptr, 10));
 }
 
 double CommandLine::GetDouble(const std::string& name) const {
-  return std::strtod(GetString(name).c_str(), nullptr);
+  const std::string& value =
+      ValueOrWarn(name, 2u, "number", ParsesAsDouble);
+  return std::strtod(value.c_str(), nullptr);
 }
 
 bool CommandLine::GetBool(const std::string& name) const {
-  const std::string v = GetString(name);
-  return v == "true" || v == "1" || v == "yes" || v == "on";
+  return TruthyBool(ValueOrWarn(name, 4u, "boolean", ParsesAsBool));
 }
 
 bool CommandLine::Has(const std::string& name) const {

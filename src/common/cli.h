@@ -24,7 +24,11 @@ class CommandLine {
   /// Parses argv. Returns InvalidArgument on unknown or malformed flags.
   Status Parse(int argc, const char* const* argv);
 
-  /// Typed accessors; fall back to the declared default on parse failure.
+  /// Typed accessors. A value that does not parse as the requested type
+  /// falls back to the *declared* default — and says so on stderr, so a
+  /// typo like `--ticks=12o0` cannot silently reconfigure an experiment
+  /// (historically the fallback was a silent 0/0.0/false, not even the
+  /// declared default). Each flag warns at most once per accessor type.
   std::string GetString(const std::string& name) const;
   int64_t GetInt(const std::string& name) const;
   double GetDouble(const std::string& name) const;
@@ -40,7 +44,16 @@ class CommandLine {
     std::string value;
     std::string default_value;
     std::string help;
+    /// Accessor types that already warned about this flag's unparsable
+    /// value (bitmask; keeps repeated Get* calls from spamming stderr).
+    mutable unsigned warned_mask = 0;
   };
+  /// Returns the flag's value if `parses(value)` accepts it, otherwise
+  /// warns once on stderr and returns the declared default.
+  const std::string& ValueOrWarn(const std::string& name, unsigned type_bit,
+                                 const char* type_name,
+                                 bool (*parses)(const std::string&)) const;
+
   std::map<std::string, Flag> flags_;
 };
 

@@ -12,9 +12,12 @@ namespace {
 
 /// Grows EdgeId-indexed `state` to cover edges created since the last
 /// sync (or Initialize), seeding each new slot from its item's initial
-/// value; existing entries keep their values. Edge ids are monotonic
-/// and never reused, so `state.size()` marks the admitted prefix and
-/// the sync is O(new edges) via Overlay::edge_item.
+/// value; existing entries keep their values. Fresh edge ids are
+/// monotonic, so `state.size()` marks the admitted prefix and the sync
+/// is O(new edges) via Overlay::edge_item. Ids *recycled* across a
+/// structural mutation land below the prefix and are reseeded through
+/// the explicit OnEdgeCreated notification instead (the engine sends
+/// one for every repair/churn edge, recycled or not).
 void SyncEdgeState(const Overlay& overlay,
                    const std::vector<double>& initial_values,
                    std::vector<double>& state) {
@@ -23,6 +26,14 @@ void SyncEdgeState(const Overlay& overlay,
   for (EdgeId id = static_cast<EdgeId>(known); id < state.size(); ++id) {
     state[id] = initial_values[overlay.edge_item(id)];
   }
+}
+
+/// OnEdgeCreated body shared by the last-sent-keeping policies: admit
+/// the id (growing the flat vector if it is fresh) and seed its slot.
+void ResetEdgeSlot(std::vector<double>& state, EdgeId id,
+                   double last_sent_seed) {
+  if (id >= state.size()) state.resize(id + 1, last_sent_seed);
+  state[id] = last_sent_seed;
 }
 
 /// True when the edge was never registered with an Overlay (hand-built
@@ -49,6 +60,12 @@ void DistributedDisseminator::Initialize(
 
 void DistributedDisseminator::SyncToOverlay() {
   SyncEdgeState(*overlay_, initial_values_, last_sent_);
+}
+
+void DistributedDisseminator::OnEdgeCreated(EdgeId id, ItemId /*item*/,
+                                            Coherency /*c*/,
+                                            double last_sent_seed) {
+  ResetEdgeSlot(last_sent_, id, last_sent_seed);
 }
 
 BeginDecision DistributedDisseminator::BeginUpdate(sim::SimTime,
@@ -95,6 +112,12 @@ void Eq3OnlyDisseminator::Initialize(
 
 void Eq3OnlyDisseminator::SyncToOverlay() {
   SyncEdgeState(*overlay_, initial_values_, last_sent_);
+}
+
+void Eq3OnlyDisseminator::OnEdgeCreated(EdgeId id, ItemId /*item*/,
+                                        Coherency /*c*/,
+                                        double last_sent_seed) {
+  ResetEdgeSlot(last_sent_, id, last_sent_seed);
 }
 
 BeginDecision Eq3OnlyDisseminator::BeginUpdate(sim::SimTime, OverlayIndex,
@@ -183,6 +206,44 @@ bool CentralizedDisseminator::ShouldPush(sim::SimTime, OverlayIndex /*node*/,
   return edge.c <= tag;
 }
 
+void CentralizedDisseminator::OnEdgeCreated(EdgeId /*id*/, ItemId item,
+                                            Coherency c,
+                                            double last_sent_seed) {
+  // The centralized source keys its state by tolerance class, not by
+  // edge: seeding the repaired edge's class with `last_sent_seed`
+  // (-infinity on repairs) makes the next source update violate the
+  // class and flow down every edge at or below `c` — the resync reaches
+  // the re-attached child (the other members of the class just see one
+  // redundant refresh).
+  if (item >= per_item_.size()) return;
+  auto& states = per_item_[item];
+  auto it = std::lower_bound(
+      states.begin(), states.end(), c,
+      [](const ToleranceState& s, Coherency value) { return s.c < value; });
+  if (it != states.end() && it->c == c) {
+    it->last_sent = last_sent_seed;
+  } else {
+    // Unknown class (a repair at a renegotiated tolerance): admit it,
+    // already primed to fire.
+    states.insert(it, ToleranceState{c, last_sent_seed});
+  }
+}
+
+void CentralizedDisseminator::OnToleranceAdded(ItemId item, Coherency c,
+                                               double source_value) {
+  if (item >= per_item_.size()) return;
+  auto& states = per_item_[item];
+  auto it = std::lower_bound(
+      states.begin(), states.end(), c,
+      [](const ToleranceState& s, Coherency value) { return s.c < value; });
+  if (it != states.end() && it->c == c) return;  // class already tracked
+  // A renegotiated tolerance joins the source's class table mid-run;
+  // seeding last_sent with the current value means the class starts
+  // violation-free from this instant (the repository renegotiating it
+  // keeps its own stale copy accounted by its tracker).
+  states.insert(it, ToleranceState{c, source_value});
+}
+
 size_t CentralizedDisseminator::UniqueToleranceCount(ItemId item) const {
   return item < per_item_.size() ? per_item_[item].size() : 0;
 }
@@ -235,6 +296,17 @@ bool TemporalDisseminator::ShouldPush(sim::SimTime now,
     return true;
   }
   return false;
+}
+
+void TemporalDisseminator::OnEdgeCreated(EdgeId id, ItemId /*item*/,
+                                         Coherency /*c*/,
+                                         double /*last_sent_seed*/) {
+  // A (re-)created edge starts one full period in the past so its first
+  // update goes out immediately, exactly like an Initialize-time edge.
+  if (id >= last_push_time_.size()) {
+    last_push_time_.resize(id + 1, -period_);
+  }
+  last_push_time_[id] = -period_;
 }
 
 // ---------------------------------------------------------------------------

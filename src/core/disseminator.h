@@ -61,6 +61,35 @@ class Disseminator {
   virtual bool ShouldPush(sim::SimTime now, OverlayIndex node, ItemId item,
                           const ItemEdge& edge, double value,
                           double tag) = 0;
+
+  /// Mid-run structural mutation (scenario repair, churn): edge `id` —
+  /// possibly a *recycled* slot whose previous incarnation carried a
+  /// different edge — now carries `item` at tolerance `c` toward a
+  /// (re-)attached child. Stateful policies must reset whatever state
+  /// covers the edge (per-edge slots, or the tolerance class `c` for
+  /// the centralized source); `last_sent_seed` is the value the new
+  /// edge should treat as last pushed (-infinity forces a resync push
+  /// on the next update the serving node processes). Default: no-op
+  /// (stateless policies).
+  virtual void OnEdgeCreated(EdgeId id, ItemId item, Coherency c,
+                             double last_sent_seed) {
+    (void)id;
+    (void)item;
+    (void)c;
+    (void)last_sent_seed;
+  }
+
+  /// Mid-run coherency renegotiation introduced serving tolerance `c`
+  /// for `item` (kInterestJoin / kCoherencyChange). Policies that key
+  /// state by tolerance class (the centralized source) must admit the
+  /// new class; `source_value` is the source's current value for the
+  /// item. Default: no-op (per-edge policies read edge.c live).
+  virtual void OnToleranceAdded(ItemId item, Coherency c,
+                                double source_value) {
+    (void)item;
+    (void)c;
+    (void)source_value;
+  }
 };
 
 /// The distributed (repository-based) policy of §5.1: push when Eq. (3)
@@ -76,6 +105,8 @@ class DistributedDisseminator : public Disseminator {
                             double value, double incoming_tag) override;
   bool ShouldPush(sim::SimTime now, OverlayIndex node, ItemId item,
                   const ItemEdge& edge, double value, double tag) override;
+  void OnEdgeCreated(EdgeId id, ItemId item, Coherency c,
+                     double last_sent_seed) override;
 
  private:
   void SyncToOverlay();
@@ -101,6 +132,8 @@ class Eq3OnlyDisseminator : public Disseminator {
                             double value, double incoming_tag) override;
   bool ShouldPush(sim::SimTime now, OverlayIndex node, ItemId item,
                   const ItemEdge& edge, double value, double tag) override;
+  void OnEdgeCreated(EdgeId id, ItemId item, Coherency c,
+                     double last_sent_seed) override;
 
  private:
   void SyncToOverlay();
@@ -124,6 +157,10 @@ class CentralizedDisseminator : public Disseminator {
                             double value, double incoming_tag) override;
   bool ShouldPush(sim::SimTime now, OverlayIndex node, ItemId item,
                   const ItemEdge& edge, double value, double tag) override;
+  void OnEdgeCreated(EdgeId id, ItemId item, Coherency c,
+                     double last_sent_seed) override;
+  void OnToleranceAdded(ItemId item, Coherency c,
+                        double source_value) override;
 
   /// Number of unique tolerances tracked for `item` (source state-space
   /// overhead, §5.2).
@@ -167,6 +204,8 @@ class TemporalDisseminator : public Disseminator {
                             double value, double incoming_tag) override;
   bool ShouldPush(sim::SimTime now, OverlayIndex node, ItemId item,
                   const ItemEdge& edge, double value, double tag) override;
+  void OnEdgeCreated(EdgeId id, ItemId item, Coherency c,
+                     double last_sent_seed) override;
 
   sim::SimTime period() const { return period_; }
 

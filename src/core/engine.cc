@@ -4,19 +4,35 @@
 #include <cassert>
 #include <cmath>
 #include <cstddef>
+#include <limits>
+#include <map>
+
+#include "core/coherency.h"
 
 namespace d3t::core {
 
-Engine::Engine(const Overlay& overlay, const net::OverlayDelayModel& delays,
+namespace {
+
+/// Seed for the per-edge state of a repair/churn edge: -infinity makes
+/// the next update the parent processes unconditionally push, modeling
+/// the new parent bringing its fresh dependent up to date.
+constexpr double kForcedResyncSeed =
+    -std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+Engine::Engine(Overlay& overlay, const net::OverlayDelayModel& delays,
                const std::vector<trace::Trace>& traces,
                Disseminator& disseminator, const EngineOptions& options,
-               const ChangeTimelines* change_timelines)
+               const ChangeTimelines* change_timelines,
+               const Scenario* scenario)
     : overlay_(overlay),
       delays_(delays),
       traces_(traces),
       disseminator_(disseminator),
       options_(options),
-      change_timelines_(change_timelines) {
+      change_timelines_(change_timelines),
+      scenario_(scenario) {
   // Pre-reserve the run pools from overlay degree stats so the first run
   // does not pay reallocation churn: a node's steady-state backlog is
   // bounded by its incoming per-item edges (one in-flight update per
@@ -75,6 +91,11 @@ Result<EngineMetrics> Engine::Run() {
   if (!resolved.ok()) return resolved.status();
   const ChangeTimelines* timelines = *resolved;
 
+  if (scenario_ != nullptr && !scenario_->empty()) {
+    D3T_RETURN_IF_ERROR(scenario_->ValidateAgainst(overlay_.member_count(),
+                                                   overlay_.item_count()));
+  }
+
   disseminator_.Initialize(overlay_, initial_values);
   for (NodeState& state : nodes_) {
     state.queue.clear();
@@ -110,6 +131,34 @@ Result<EngineMetrics> Engine::Run() {
     }
   }
 
+  // Scenario runtime state. The liveness bitmap is always allocated (a
+  // single byte test on the delivery path); everything else stays empty
+  // without a scenario.
+  resolved_timelines_ = timelines;
+  failed_.assign(overlay_.member_count(), 0);
+  fail_time_.assign(overlay_.member_count(), 0);
+  captured_needs_.assign(overlay_.member_count(), {});
+  outage_snap_.assign(overlay_.member_count(), {});
+  fail_op_.assign(overlay_.member_count(), kNoFailOp);
+  stranded_orphans_.clear();
+  stranded_needs_.clear();
+  orphaned_pairs_ = 0;
+  scenario_status_ = Status::Ok();
+  scenario_pending_times_ = {};
+  if (scenario_ != nullptr && !scenario_->empty()) {
+    pending_orphans_.assign(scenario_->size(), {});
+    for (size_t i = 0; i < scenario_->size(); ++i) {
+      const ScenarioOp& op = scenario_->op(i);
+      // Ops beyond the horizon can never fire; silently out of window.
+      if (op.at > horizon) continue;
+      simulator_.ScheduleAt(op.at,
+                            sim::Event::Scenario(static_cast<uint32_t>(i)));
+      scenario_pending_times_.push(op.at);
+    }
+  } else {
+    pending_orphans_.clear();
+  }
+
   // Per-trace tick chains (tick 0 is the synchronized initial value).
   for (ItemId item = 0; item < traces_.size(); ++item) {
     if (traces_[item].size() < 2) continue;
@@ -122,6 +171,12 @@ Result<EngineMetrics> Engine::Run() {
   // horizon; the hook fires after every ordinary horizon event.
   simulator_.ScheduleAt(horizon, sim::Event::FinalizeHook());
   simulator_.RunUntil(horizon);
+  if (!scenario_status_.ok()) return scenario_status_;
+  if (metrics_.outage_pair_time > 0) {
+    metrics_.outage_loss_percent =
+        100.0 * static_cast<double>(metrics_.outage_out_of_sync_time) /
+        static_cast<double>(metrics_.outage_pair_time);
+  }
 
   // Aggregate per the paper: repository loss = mean over its items,
   // system loss = mean over repositories that track anything.
@@ -130,6 +185,10 @@ Result<EngineMetrics> Engine::Run() {
   double loss_sum = 0.0;
   double pair_loss_sum = 0.0;
   size_t repos_counted = 0;
+  // Recounted here rather than taken from setup: scenario interest
+  // churn can activate trackers mid-run (equal to the setup count on
+  // scenario-free runs).
+  uint64_t total_pairs = 0;
   for (OverlayIndex m = 1; m < overlay_.member_count(); ++m) {
     double sum = 0.0;
     size_t count = 0;
@@ -145,16 +204,19 @@ Result<EngineMetrics> Engine::Run() {
       loss_sum += loss;
       pair_loss_sum += sum;
       ++repos_counted;
+      total_pairs += count;
     }
   }
+  assert(scenario_ != nullptr || total_pairs == tracked_pairs);
+  (void)tracked_pairs;
   metrics_.loss_percent =
       repos_counted > 0 ? loss_sum / static_cast<double>(repos_counted)
                         : 0.0;
-  metrics_.tracked_pairs = tracked_pairs;
+  metrics_.tracked_pairs = total_pairs;
   metrics_.pair_loss_percent =
-      tracked_pairs == 0
+      total_pairs == 0
           ? 0.0
-          : pair_loss_sum / static_cast<double>(tracked_pairs);
+          : pair_loss_sum / static_cast<double>(total_pairs);
   return metrics_;
 }
 
@@ -174,6 +236,11 @@ void Engine::HandleEvent(sim::SimTime t, const sim::Event& event) {
     case sim::EventKind::kNodeProcess:
       ++metrics_.process_wakeups;
       ProcessWakeup(t, static_cast<OverlayIndex>(event.a));
+      break;
+    case sim::EventKind::kScenario:
+      // Control, not load: scenario ops never count into `events`, so
+      // an empty scenario is byte-identical to no scenario at all.
+      HandleScenario(t, event.a, event.b);
       break;
     case sim::EventKind::kFinalizeHook:
       FinalizeTrackers(t);
@@ -218,6 +285,14 @@ void Engine::HandleDeliveryBatch(sim::SimTime t, uint32_t slot) {
   if (nodes_[node].open_batch == slot) nodes_[node].open_batch = kNoBatch;
   ++metrics_.delivery_batches;
   metrics_.events += 1 + batch.rest.size();
+  // Messages hitting a failed repository are lost (the logical delivery
+  // happened — the host just was not there to take it).
+  if (failed_[node]) {
+    metrics_.dropped_jobs += 1 + batch.rest.size();
+    batch.rest.clear();
+    batch_free_.push_back(slot);
+    return;
+  }
   // Deliver only enqueues jobs and schedules NodeProcess events, so the
   // batch pool cannot be touched (and `batch` cannot dangle) mid-loop.
   Deliver(t, node, batch.first);
@@ -232,6 +307,7 @@ void Engine::HandleSourceTick(sim::SimTime t, ItemId item,
                               uint32_t tick_index) {
   const trace::Tick& tick = traces_[item].ticks()[tick_index];
   assert(tick.time == t);
+  if (orphaned_pairs_ > 0) ++metrics_.orphaned_ticks;
   // A poll that repeats the previous value is not an update: nothing
   // changed at the source, so nothing is checked or disseminated. The
   // true source value changes now independent of dissemination backlog,
@@ -260,19 +336,33 @@ void Engine::Deliver(sim::SimTime t, OverlayIndex node, const Job& job) {
 
 void Engine::ProcessWakeup(sim::SimTime t, OverlayIndex node) {
   NodeState& state = nodes_[node];
-  assert(state.pending() > 0);
+  // A failure can empty the backlog between scheduling and firing;
+  // scenario-free runs never take this branch.
+  if (state.pending() == 0 || failed_[node]) {
+    state.processing_scheduled = false;
+    return;
+  }
   // The span is the backlog snapshot at wake time. Draining it here is
   // exactly the per-job event chain collapsed into one pass: job k of
   // the span starts when job k-1's busy period ends — the very time its
   // own NodeProcess event would have fired — and nothing a job does can
   // append to its own node's queue (pushes go to children, never self),
-  // so the snapshot cannot grow mid-pass.
+  // so the snapshot cannot grow mid-pass. The one thing that CAN change
+  // mid-span is the world itself: a pending scenario op firing inside
+  // the span would, under per-job processing, run before the later
+  // jobs' events. Capping the drain at the earliest pending scenario
+  // time keeps the two processing modes byte-identical under dynamics
+  // — the remaining jobs get their own wakeup after the op.
+  const sim::SimTime barrier = scenario_pending_times_.empty()
+                                   ? sim::kSimTimeMax
+                                   : scenario_pending_times_.top();
   size_t span = options_.drain_process_spans ? state.pending() : 1;
   sim::SimTime busy = t;
   while (span-- > 0) {
     const Job job = state.queue[state.next++];
     ++metrics_.events;
     busy = ProcessOneJob(busy, node, job);
+    if (busy >= barrier) break;  // next job starts after the world mutates
   }
   if (state.next == state.queue.size()) {
     state.queue.clear();
@@ -340,8 +430,450 @@ sim::SimTime Engine::ProcessOneJob(sim::SimTime start, OverlayIndex node,
 }
 
 void Engine::FinalizeTrackers(sim::SimTime t) {
+  // Close the outage windows of members still down at the horizon
+  // before finalizing (SyncTo inside needs live trackers).
+  for (OverlayIndex m = 0; m < failed_.size(); ++m) {
+    if (failed_[m]) CloseOutageWindow(t, m);
+  }
   for (TrackerId tid = 0; tid < trackers_.size(); ++tid) {
     if (tracker_active_[tid]) trackers_[tid].Finalize(t);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario runtime
+
+size_t Engine::CountOrphanedPairs() const {
+  size_t count = 0;
+  for (OverlayIndex m = 1; m < overlay_.member_count(); ++m) {
+    for (ItemId item = 0; item < overlay_.item_count(); ++item) {
+      if (overlay_.Holds(m, item) &&
+          overlay_.Serving(m, item).parent == kInvalidOverlayIndex) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+void Engine::HandleScenario(sim::SimTime t, uint32_t op_index,
+                            uint64_t phase) {
+  // One heap entry per scheduled scenario event; events fire in time
+  // order, so the top is this event's own time.
+  assert(!scenario_pending_times_.empty() &&
+         scenario_pending_times_.top() == t);
+  scenario_pending_times_.pop();
+  if (!scenario_status_.ok()) return;  // first failure wins; drain inert
+  const ScenarioOp& op = scenario_->op(op_index);
+  if (phase == 1) {
+    // Deferred repair of the orphans op `op_index`'s failure produced;
+    // whatever cannot be placed yet joins the stranded pool, retried at
+    // every recovery (any member coming back can open capacity, not
+    // just this op's victim).
+    const std::vector<OrphanEdge> orphans =
+        std::move(pending_orphans_[op_index]);
+    pending_orphans_[op_index].clear();
+    std::vector<OrphanEdge> leftovers = RepairOrphans(t, orphans);
+    stranded_orphans_.insert(stranded_orphans_.end(), leftovers.begin(),
+                             leftovers.end());
+    assert(orphaned_pairs_ == CountOrphanedPairs());
+    return;
+  }
+  ++metrics_.scenario_ops;
+  switch (op.kind) {
+    case ScenarioOpKind::kRepoFail:
+      ApplyFail(t, op_index, op.member);
+      break;
+    case ScenarioOpKind::kRepoRecover:
+      ApplyRecover(t, op.member);
+      break;
+    case ScenarioOpKind::kInterestJoin:
+      ApplyInterestJoin(t, op.member, op.item, op.c);
+      break;
+    case ScenarioOpKind::kInterestLeave:
+      ApplyInterestLeave(t, op.member, op.item);
+      break;
+    case ScenarioOpKind::kCoherencyChange:
+      ApplyCoherencyChange(t, op.member, op.item, op.c);
+      break;
+  }
+  // The census is maintained incrementally (detach adds, repair
+  // subtracts, the leave path recomputes around its GC cascade);
+  // a full recount per op would cost O(members x items) at 10k-world
+  // churn scale.
+  assert(orphaned_pairs_ == CountOrphanedPairs());
+}
+
+void Engine::ApplyFail(sim::SimTime t, uint32_t op_index, OverlayIndex m) {
+  if (failed_[m]) {
+    scenario_status_ = Status::FailedPrecondition(
+        "scenario fail: member " + std::to_string(m) + " already failed");
+    return;
+  }
+  // Pairs of m that were themselves still orphaned vanish with m's
+  // holdings — take them out of the census before the detach.
+  for (ItemId item : overlay_.ItemsHeldBy(m)) {
+    if (overlay_.Serving(m, item).parent == kInvalidOverlayIndex) {
+      --orphaned_pairs_;
+    }
+  }
+  failed_[m] = 1;
+  fail_time_[m] = t;
+  fail_op_[m] = op_index;
+  // The crashed node's backlog is lost; a pending NodeProcess wakeup
+  // finds the queue empty and parks.
+  NodeState& state = nodes_[m];
+  metrics_.dropped_jobs += state.pending();
+  state.queue.clear();
+  state.next = 0;
+  state.open_batch = kNoBatch;
+
+  Result<MemberDetachment> det = overlay_.DetachMember(m);
+  if (!det.ok()) {
+    scenario_status_ = det.status();
+    return;
+  }
+  captured_needs_[m] = std::move(det->needs);
+  // Snapshot each tracked pair's staleness at the failure instant so
+  // the recovery (or the horizon) can attribute the outage's share.
+  outage_snap_[m].clear();
+  outage_snap_[m].reserve(captured_needs_[m].size());
+  for (const MemberNeed& need : captured_needs_[m]) {
+    const TrackerId tid = overlay_.tracker_id(m, need.item);
+    sim::SimTime snap = 0;
+    if (tid != kInvalidTrackerId && tid < trackers_.size() &&
+        tracker_active_[tid]) {
+      trackers_[tid].SyncTo(t);
+      snap = trackers_[tid].out_of_sync_time();
+    }
+    outage_snap_[m].push_back(snap);
+  }
+
+  orphaned_pairs_ += det->orphans.size();
+  if (det->orphans.empty()) return;
+  if (options_.repair_policy == RepairPolicy::kOnRecovery) {
+    // Orphans wait for their parent to come back (ApplyRecover).
+    pending_orphans_[op_index] = std::move(det->orphans);
+  } else if (options_.repair_delay > 0) {
+    pending_orphans_[op_index] = std::move(det->orphans);
+    simulator_.ScheduleAt(t + options_.repair_delay,
+                          sim::Event::Scenario(op_index, 1));
+    scenario_pending_times_.push(t + options_.repair_delay);
+  } else {
+    // Immediate repair; unplaceable orphans go to the stranded pool so
+    // any later recovery can retry them.
+    std::vector<OrphanEdge> leftovers = RepairOrphans(t, det->orphans);
+    stranded_orphans_.insert(stranded_orphans_.end(), leftovers.begin(),
+                             leftovers.end());
+  }
+}
+
+void Engine::CloseOutageWindow(sim::SimTime t, OverlayIndex m) {
+  const sim::SimTime dt = t - fail_time_[m];
+  for (size_t i = 0; i < captured_needs_[m].size(); ++i) {
+    const TrackerId tid =
+        overlay_.tracker_id(m, captured_needs_[m][i].item);
+    if (tid == kInvalidTrackerId || tid >= trackers_.size() ||
+        !tracker_active_[tid]) {
+      continue;
+    }
+    trackers_[tid].SyncTo(t);
+    metrics_.outage_out_of_sync_time +=
+        trackers_[tid].out_of_sync_time() - outage_snap_[m][i];
+    metrics_.outage_pair_time += dt;
+  }
+}
+
+void Engine::ApplyRecover(sim::SimTime t, OverlayIndex m) {
+  if (!failed_[m]) {
+    scenario_status_ = Status::FailedPrecondition(
+        "scenario recover: member " + std::to_string(m) + " is not failed");
+    return;
+  }
+  CloseOutageWindow(t, m);
+  failed_[m] = 0;
+  // Re-attach the member's own needs; anything no live parent can
+  // serve yet (an overlapping outage) parks in the stranded pool.
+  for (const MemberNeed& need : captured_needs_[m]) {
+    if (!TryAttachNeed(m, need)) stranded_needs_.emplace_back(m, need);
+  }
+  captured_needs_[m].clear();
+  outage_snap_[m].clear();
+  // This recovery may be exactly the parent other stranded needs were
+  // waiting for — retry them all.
+  if (!stranded_needs_.empty()) {
+    std::vector<std::pair<OverlayIndex, MemberNeed>> retry_needs =
+        std::move(stranded_needs_);
+    stranded_needs_.clear();
+    for (const auto& entry : retry_needs) {
+      if (!TryAttachNeed(entry.first, entry.second)) {
+        stranded_needs_.push_back(entry);
+      }
+    }
+  }
+  // Orphans that waited for this member (RepairPolicy::kOnRecovery, or
+  // a deferred repair that could not place them) re-join under it;
+  // anything still unplaceable joins the stranded pool, retried at
+  // every subsequent recovery.
+  std::vector<OrphanEdge> retry = std::move(stranded_orphans_);
+  stranded_orphans_.clear();
+  if (fail_op_[m] != kNoFailOp) {
+    const std::vector<OrphanEdge> orphans =
+        std::move(pending_orphans_[fail_op_[m]]);
+    pending_orphans_[fail_op_[m]].clear();
+    fail_op_[m] = kNoFailOp;
+    std::vector<OrphanEdge> leftovers = RepairOrphans(t, orphans, m);
+    retry.insert(retry.end(), leftovers.begin(), leftovers.end());
+  }
+  stranded_orphans_ = RepairOrphans(t, retry);
+}
+
+bool Engine::TryAttachNeed(OverlayIndex m, const MemberNeed& need) {
+  if (failed_[m]) return false;  // owner went down again: keep waiting
+  if (overlay_.Holds(m, need.item)) {
+    // Re-attached meanwhile as a relay (e.g. restored for its waiting
+    // orphans, possibly at a looser tolerance): restate the own need on
+    // the existing holding so the serve chain tightens to c_own and
+    // later renegotiation/leave ops on the pair stay valid.
+    overlay_.JoinOwnInterest(m, need.item, need.c_own);
+    disseminator_.OnToleranceAdded(need.item,
+                                   overlay_.Serving(m, need.item).c_serve,
+                                   source_values_[need.item]);
+    return true;
+  }
+  // Old parent first (the paper's repositories remember their parents),
+  // any live legal holder otherwise. The repaired edge forces a resync
+  // push so the recovered member catches up on the next update its
+  // parent processes.
+  OverlayIndex parent = kInvalidOverlayIndex;
+  if (need.parent != kInvalidOverlayIndex &&
+      IsLegalParent(need.parent, need.item, m, need.c_own)) {
+    parent = need.parent;
+  } else {
+    parent = FindBackupParent(need.item, m, need.c_own);
+  }
+  if (parent == kInvalidOverlayIndex) return false;
+  AttachRepairedEdge(parent, m, need.item, need.c_own);
+  overlay_.JoinOwnInterest(m, need.item, need.c_own);
+  // The re-join serves at c_own, which can be a tolerance class the
+  // source never tracked (the pre-failure serve was tighter when
+  // dependents rode the edge) — admit it.
+  disseminator_.OnToleranceAdded(need.item,
+                                 overlay_.Serving(m, need.item).c_serve,
+                                 source_values_[need.item]);
+  ++metrics_.repairs;
+  return true;
+}
+
+bool Engine::IsLegalParent(OverlayIndex parent, ItemId item,
+                           OverlayIndex child, Coherency c) const {
+  if (parent == kInvalidOverlayIndex || parent == child) return false;
+  if (parent < failed_.size() && failed_[parent]) return false;
+  if (!overlay_.Holds(parent, item)) return false;
+  if (!SatisfiesEq1(overlay_.Serving(parent, item).c_serve, c)) return false;
+  // Walk the candidate's parent chain: it must not pass through `child`
+  // (that would close a cycle) and must reach the source — a candidate
+  // hanging off a still-detached subtree receives no data itself, so
+  // attaching under it would silently starve the orphan.
+  OverlayIndex cursor = parent;
+  size_t steps = 0;
+  while (cursor != kSourceOverlayIndex) {
+    if (cursor == child) return false;
+    if (!overlay_.Holds(cursor, item)) return false;
+    cursor = overlay_.Serving(cursor, item).parent;
+    if (cursor == kInvalidOverlayIndex) return false;  // detached subtree
+    if (++steps > overlay_.member_count()) return false;
+  }
+  return true;
+}
+
+OverlayIndex Engine::FindBackupParent(ItemId item, OverlayIndex child,
+                                      Coherency c) const {
+  // LeLA-style placement, restricted to what a repair can know: among
+  // the live legal holders, the one closest to the orphan (preference
+  // is pure comm delay at repair time; ascending index breaks ties, so
+  // the choice is deterministic).
+  OverlayIndex best = kInvalidOverlayIndex;
+  sim::SimTime best_delay = 0;
+  for (OverlayIndex m = 0; m < overlay_.member_count(); ++m) {
+    if (!IsLegalParent(m, item, child, c)) continue;
+    const sim::SimTime delay = delays_.Delay(m, child);
+    if (best == kInvalidOverlayIndex || delay < best_delay) {
+      best = m;
+      best_delay = delay;
+    }
+  }
+  return best;
+}
+
+void Engine::AttachRepairedEdge(OverlayIndex parent, OverlayIndex child,
+                                ItemId item, Coherency c) {
+  const EdgeId id = overlay_.AddItemEdge(parent, child, item, c);
+  disseminator_.OnEdgeCreated(id, item, c, kForcedResyncSeed);
+}
+
+std::vector<OrphanEdge> Engine::RepairOrphans(
+    sim::SimTime t, const std::vector<OrphanEdge>& orphans,
+    OverlayIndex preferred) {
+  (void)t;
+  // The recovered member may have relayed items it never needed itself
+  // (LeLA's cascading augmentation); those holdings are not captured as
+  // needs, so restore them here — at the tightest tolerance its waiting
+  // orphans require — or its old dependents could never re-join under
+  // it as the on-recovery policy promises.
+  if (preferred != kInvalidOverlayIndex) {
+    std::map<ItemId, Coherency> relay_c;
+    for (const OrphanEdge& orphan : orphans) {
+      if (orphan.child < failed_.size() && failed_[orphan.child]) continue;
+      if (!overlay_.Holds(orphan.child, orphan.item)) continue;
+      const ItemServing& serving =
+          overlay_.Serving(orphan.child, orphan.item);
+      if (serving.parent != kInvalidOverlayIndex) continue;
+      auto [it, inserted] = relay_c.emplace(orphan.item, serving.c_serve);
+      if (!inserted) it->second = std::min(it->second, serving.c_serve);
+    }
+    for (const auto& [item, c] : relay_c) {
+      if (overlay_.Holds(preferred, item)) continue;
+      const OverlayIndex grand = FindBackupParent(item, preferred, c);
+      if (grand == kInvalidOverlayIndex) continue;
+      AttachRepairedEdge(grand, preferred, item, c);
+      ++metrics_.repairs;
+    }
+  }
+  std::vector<OrphanEdge> unplaced;
+  for (const OrphanEdge& orphan : orphans) {
+    // The orphan may itself have failed, left, or been repaired since
+    // it was captured.
+    if (orphan.child < failed_.size() && failed_[orphan.child]) continue;
+    if (!overlay_.Holds(orphan.child, orphan.item)) continue;
+    const ItemServing& serving = overlay_.Serving(orphan.child, orphan.item);
+    if (serving.parent != kInvalidOverlayIndex) continue;
+    // Re-attach at the child's *current* serve tolerance (it may have
+    // renegotiated while orphaned).
+    const Coherency c = serving.c_serve;
+    OverlayIndex parent = kInvalidOverlayIndex;
+    if (preferred != kInvalidOverlayIndex &&
+        IsLegalParent(preferred, orphan.item, orphan.child, c)) {
+      parent = preferred;
+    } else if (options_.repair_policy == RepairPolicy::kFallback &&
+               IsLegalParent(orphan.fallback_parent, orphan.item,
+                             orphan.child, c)) {
+      parent = orphan.fallback_parent;
+    } else {
+      parent = FindBackupParent(orphan.item, orphan.child, c);
+    }
+    if (parent == kInvalidOverlayIndex) {
+      unplaced.push_back(orphan);  // still orphaned; retried on recovery
+      continue;
+    }
+    AttachRepairedEdge(parent, orphan.child, orphan.item, c);
+    ++metrics_.repairs;
+    --orphaned_pairs_;
+  }
+  return unplaced;
+}
+
+void Engine::StartTrackerAt(sim::SimTime t, OverlayIndex m, ItemId item,
+                            Coherency c) {
+  const TrackerId tid = overlay_.tracker_id(m, item);
+  assert(tid != kInvalidTrackerId);
+  if (tid >= trackers_.size()) {
+    trackers_.resize(tid + 1);
+    tracker_active_.resize(tid + 1, 0);
+  }
+  trackers_[tid] =
+      FidelityTracker(c, &(*resolved_timelines_)[item], t);
+  tracker_active_[tid] = 1;
+}
+
+void Engine::ApplyInterestJoin(sim::SimTime t, OverlayIndex m, ItemId item,
+                               Coherency c) {
+  if (failed_[m]) {
+    scenario_status_ = Status::FailedPrecondition(
+        "scenario join: member " + std::to_string(m) + " is failed");
+    return;
+  }
+  const bool holds = overlay_.Holds(m, item);
+  if (holds && overlay_.Serving(m, item).own_interest) {
+    scenario_status_ = Status::FailedPrecondition(
+        "scenario join: member " + std::to_string(m) +
+        " already has own interest in item " + std::to_string(item));
+    return;
+  }
+  if (!holds) {
+    const OverlayIndex parent = FindBackupParent(item, m, c);
+    if (parent == kInvalidOverlayIndex) {
+      scenario_status_ = Status::FailedPrecondition(
+          "scenario join: no live parent can serve member " +
+          std::to_string(m) + " item " + std::to_string(item));
+      return;
+    }
+    AttachRepairedEdge(parent, m, item, c);
+  }
+  // Own-interest flag + tracker id + serve-chain propagation (a
+  // relaying member taking on a tighter own need renegotiates upward).
+  overlay_.JoinOwnInterest(m, item, c);
+  disseminator_.OnToleranceAdded(item, overlay_.Serving(m, item).c_serve,
+                                 source_values_[item]);
+  // The pair's fidelity window opens at the join (a join-time fetch
+  // leaves the new copy synchronized); a re-join after a leave restarts
+  // the pair's accounting window.
+  StartTrackerAt(t, m, item, c);
+}
+
+void Engine::ApplyInterestLeave(sim::SimTime t, OverlayIndex m,
+                                ItemId item) {
+  if (failed_[m]) {
+    scenario_status_ = Status::FailedPrecondition(
+        "scenario leave: member " + std::to_string(m) + " is failed");
+    return;
+  }
+  if (!overlay_.Holds(m, item) ||
+      !overlay_.Serving(m, item).own_interest) {
+    scenario_status_ = Status::FailedPrecondition(
+        "scenario leave: member " + std::to_string(m) +
+        " has no own interest in item " + std::to_string(item));
+    return;
+  }
+  // Close the pair's fidelity window at the leave instant; the
+  // truncated window still aggregates.
+  const TrackerId tid = overlay_.tracker_id(m, item);
+  if (tid != kInvalidTrackerId && tid < trackers_.size() &&
+      tracker_active_[tid]) {
+    trackers_[tid].SyncTo(t);
+    trackers_[tid].Finalize(t);
+  }
+  const Status status = overlay_.DropOwnInterest(m, item);
+  if (!status.ok()) {
+    scenario_status_ = status;
+    return;
+  }
+  // The drop's garbage-collection cascade can remove orphaned holdings
+  // no incremental counter sees; leaves are the one op that recounts.
+  orphaned_pairs_ = CountOrphanedPairs();
+}
+
+void Engine::ApplyCoherencyChange(sim::SimTime t, OverlayIndex m,
+                                  ItemId item, Coherency c) {
+  if (failed_[m]) {
+    scenario_status_ = Status::FailedPrecondition(
+        "scenario coherency change: member " + std::to_string(m) +
+        " is failed");
+    return;
+  }
+  const Status status = overlay_.UpdateOwnCoherency(m, item, c);
+  if (!status.ok()) {
+    scenario_status_ = status;
+    return;
+  }
+  disseminator_.OnToleranceAdded(item, overlay_.Serving(m, item).c_serve,
+                                 source_values_[item]);
+  const TrackerId tid = overlay_.tracker_id(m, item);
+  if (tid != kInvalidTrackerId && tid < trackers_.size() &&
+      tracker_active_[tid]) {
+    // Old tolerance covers [.., t), the renegotiated one applies onward.
+    trackers_[tid].SyncTo(t);
+    trackers_[tid].set_coherency(c);
   }
 }
 

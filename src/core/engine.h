@@ -2,12 +2,15 @@
 #define D3T_CORE_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
+#include <queue>
 #include <vector>
 
 #include "common/result.h"
 #include "core/disseminator.h"
 #include "core/fidelity.h"
 #include "core/overlay.h"
+#include "core/scenario.h"
 #include "net/delay_model.h"
 #include "sim/simulator.h"
 #include "trace/trace.h"
@@ -44,6 +47,13 @@ struct EngineOptions {
   /// continuous delays make such cross-parent ties vanishingly rare,
   /// and DeterminismTest pins byte-identity on the golden fixtures.)
   bool drain_process_spans = true;
+  /// How orphaned subtrees re-attach when a scripted Scenario fails a
+  /// repository mid-run (no effect without a scenario).
+  RepairPolicy repair_policy = RepairPolicy::kFallback;
+  /// Silence-detection window: orphans stay detached (integrating
+  /// staleness) for this long after their parent fails before the
+  /// repair policy re-attaches them. 0 repairs at the failure instant.
+  sim::SimTime repair_delay = 0;
 };
 
 /// Results of one simulation run.
@@ -86,6 +96,27 @@ struct EngineMetrics {
   /// Physical NodeProcess events dispatched (== jobs processed when span
   /// draining is off; smaller when a wakeup drains a multi-job span).
   uint64_t process_wakeups = 0;
+  /// Scenario ops applied (0 without a scenario; repair phases are part
+  /// of their op, not counted separately).
+  uint64_t scenario_ops = 0;
+  /// Orphaned (child, item) attachments restored by the repair policy —
+  /// subtree re-attachments plus recovered members' own re-joins.
+  uint64_t repairs = 0;
+  /// Source-tick events that fired while at least one (member, item)
+  /// pair sat orphaned (detached from its item tree awaiting repair).
+  uint64_t orphaned_ticks = 0;
+  /// Update messages that arrived at (or were queued on) a failed
+  /// repository and were dropped.
+  uint64_t dropped_jobs = 0;
+  /// Failure-aware fidelity accounting: total outage time summed over
+  /// the tracked pairs of failed members (microseconds), the
+  /// out-of-tolerance time those pairs accumulated *within* their
+  /// outages, and the ratio as a percentage. Measures how gracefully
+  /// fidelity degrades while repositories are down (0 / 0 / 0 without
+  /// failures).
+  sim::SimTime outage_pair_time = 0;
+  sim::SimTime outage_out_of_sync_time = 0;
+  double outage_loss_percent = 0.0;
   /// Observation window length (microseconds).
   sim::SimTime horizon = 0;
 };
@@ -112,10 +143,18 @@ class Engine : public sim::EventHandler {
   /// timelines of exactly `traces` (BuildChangeTimelines output, e.g.
   /// the World-cached copy a sweep shares) and lets Run() skip its own
   /// trace pass; null rebuilds them per run.
-  Engine(const Overlay& overlay, const net::OverlayDelayModel& delays,
+  ///
+  /// `scenario`, when non-null and non-empty, scripts mid-run world
+  /// dynamics (failures, churn, coherency renegotiation) delivered as
+  /// kScenario POD events; the overlay is taken by mutable reference
+  /// because scenario ops repair it in place (detach, re-attach,
+  /// renegotiate). A null or empty scenario never mutates the overlay
+  /// and is byte-identical to the historical scenario-free engine.
+  Engine(Overlay& overlay, const net::OverlayDelayModel& delays,
          const std::vector<trace::Trace>& traces,
          Disseminator& disseminator, const EngineOptions& options,
-         const ChangeTimelines* change_timelines = nullptr);
+         const ChangeTimelines* change_timelines = nullptr,
+         const Scenario* scenario = nullptr);
 
   /// Runs the full simulation once and returns the metrics.
   Result<EngineMetrics> Run();
@@ -177,7 +216,60 @@ class Engine : public sim::EventHandler {
                         const Job& job);
   void FinalizeTrackers(sim::SimTime t);
 
-  const Overlay& overlay_;
+  // -- Scenario runtime (inert without a scenario) --------------------
+
+  /// Decodes one kScenario event: phase 0 applies scenario op
+  /// `op_index`, phase 1 runs the deferred repair of the orphans that
+  /// op's failure produced (repair_delay > 0).
+  void HandleScenario(sim::SimTime t, uint32_t op_index, uint64_t phase);
+  void ApplyFail(sim::SimTime t, uint32_t op_index, OverlayIndex m);
+  void ApplyRecover(sim::SimTime t, OverlayIndex m);
+  void ApplyInterestJoin(sim::SimTime t, OverlayIndex m, ItemId item,
+                         Coherency c);
+  void ApplyInterestLeave(sim::SimTime t, OverlayIndex m, ItemId item);
+  void ApplyCoherencyChange(sim::SimTime t, OverlayIndex m, ItemId item,
+                            Coherency c);
+  /// Re-attaches every still-orphaned edge in `orphans` per the repair
+  /// policy; `preferred` (when valid) is tried first for each (the
+  /// recovered member on the on-recovery path). Returns the orphans no
+  /// live parent could take, so callers can park them for a later
+  /// recovery to retry.
+  std::vector<OrphanEdge> RepairOrphans(
+      sim::SimTime t, const std::vector<OrphanEdge>& orphans,
+      OverlayIndex preferred = kInvalidOverlayIndex);
+  /// True when `parent` is a live holder of `item` that may serve
+  /// `child` at tolerance `c` without violating Eq. (1) or creating a
+  /// cycle.
+  bool IsLegalParent(OverlayIndex parent, ItemId item, OverlayIndex child,
+                     Coherency c) const;
+  /// LeLA-style backup-parent search: the minimum-delay legal parent
+  /// for (child, item, c); kInvalidOverlayIndex when none is live.
+  OverlayIndex FindBackupParent(ItemId item, OverlayIndex child,
+                                Coherency c) const;
+  /// Creates (or recycles) the repair edge parent->child and tells the
+  /// policy about the new incarnation (forced-resync seed).
+  void AttachRepairedEdge(OverlayIndex parent, OverlayIndex child,
+                          ItemId item, Coherency c);
+  /// Re-attaches one captured own need of (live) member `m`: old parent
+  /// first, any legal live holder otherwise. False when the need cannot
+  /// be served yet (owner down again, or no live parent) — the caller
+  /// parks it for the next recovery.
+  bool TryAttachNeed(OverlayIndex m, const MemberNeed& need);
+  /// Activates (or restarts) the lazy tracker of (m, item) with an
+  /// observation window starting at `t`.
+  void StartTrackerAt(sim::SimTime t, OverlayIndex m, ItemId item,
+                      Coherency c);
+  /// Closes the outage-accounting window of failed member `m` at `t`,
+  /// folding its tracked pairs' staleness into the outage metrics.
+  void CloseOutageWindow(sim::SimTime t, OverlayIndex m);
+  /// (member, item) pairs currently detached from their item tree —
+  /// the ground truth the incrementally-maintained `orphaned_pairs_`
+  /// must match (debug-asserted after every scenario event). Called for
+  /// real only on the interest-leave path, whose garbage-collection
+  /// cascade can remove orphans no incremental counter would see.
+  size_t CountOrphanedPairs() const;
+
+  Overlay& overlay_;
   const net::OverlayDelayModel& delays_;
   const std::vector<trace::Trace>& traces_;
   Disseminator& disseminator_;
@@ -206,6 +298,43 @@ class Engine : public sim::EventHandler {
   std::vector<FidelityTracker> trackers_;
   std::vector<uint8_t> tracker_active_;
   EngineMetrics metrics_;
+
+  /// Scripted mid-run dynamics; null or empty leaves every scenario
+  /// structure below untouched.
+  const Scenario* scenario_ = nullptr;
+  /// Timelines resolved by Run(), kept for mid-run tracker (re)starts.
+  const ChangeTimelines* resolved_timelines_ = nullptr;
+  /// Member liveness (failed repositories neither receive nor push).
+  std::vector<uint8_t> failed_;
+  std::vector<sim::SimTime> fail_time_;
+  /// Per failed member: its own needs at detach time and each need's
+  /// out-of-sync snapshot (outage accounting).
+  std::vector<std::vector<MemberNeed>> captured_needs_;
+  std::vector<std::vector<sim::SimTime>> outage_snap_;
+  /// Orphans awaiting a deferred repair, per scenario op index; and the
+  /// fail op currently outstanding per member (kNoFailOp when live).
+  std::vector<std::vector<OrphanEdge>> pending_orphans_;
+  static constexpr uint32_t kNoFailOp = UINT32_MAX;
+  std::vector<uint32_t> fail_op_;
+  /// Firing times of scenario events not yet handled (min-heap).
+  /// ProcessWakeup caps each drained span at the earliest of these, so
+  /// jobs that would start at or after a world mutation wait for their
+  /// own wakeup — keeping drain_process_spans byte-identical to
+  /// per-job processing even when a failure lands inside a busy span.
+  std::priority_queue<sim::SimTime, std::vector<sim::SimTime>,
+                      std::greater<sim::SimTime>>
+      scenario_pending_times_;
+  /// Orphans no live parent could take yet; retried at every recovery.
+  std::vector<OrphanEdge> stranded_orphans_;
+  /// Recovered members' own needs no live parent could serve yet;
+  /// retried at every later recovery (overlapping outages can leave a
+  /// member's only legal parent down at its own recovery instant).
+  std::vector<std::pair<OverlayIndex, MemberNeed>> stranded_needs_;
+  /// Incrementally maintained CountOrphanedPairs() value; gates the
+  /// per-source-tick orphaned_ticks increment.
+  size_t orphaned_pairs_ = 0;
+  /// First scenario-op failure; Run() surfaces it after the event loop.
+  Status scenario_status_;
 };
 
 }  // namespace d3t::core

@@ -48,9 +48,29 @@ class FidelityTracker {
   FidelityTracker(Coherency c,
                   const std::vector<trace::Tick>* source_timeline);
 
+  /// Lazy mode with a mid-run observation start (a repository that
+  /// joins at `start`, e.g. scenario interest churn): both processes
+  /// begin at the timeline's value at `start` (a join-time fetch) and
+  /// the loss window is [start, end].
+  FidelityTracker(Coherency c,
+                  const std::vector<trace::Tick>* source_timeline,
+                  sim::SimTime start);
+
   /// Eager mode only.
   void OnSourceValue(sim::SimTime t, double value);
   void OnRepositoryValue(sim::SimTime t, double value);
+
+  /// Integrates both processes up to `t` without closing the window, so
+  /// out_of_sync_time() is exact through `t`. Scenario accounting uses
+  /// this to snapshot staleness at failure/recovery instants. No-op
+  /// after Finalize.
+  void SyncTo(sim::SimTime t);
+
+  /// Coherency renegotiation: the requirement becomes `c` from the last
+  /// synced instant onward (callers SyncTo(t) first so the old `c`
+  /// covers exactly [start, t)).
+  void set_coherency(Coherency c);
+  Coherency coherency() const { return c_; }
 
   /// Closes the observation window at `end`, first integrating any
   /// remaining source-trace segment in lazy mode. Idempotent; later
@@ -61,8 +81,8 @@ class FidelityTracker {
   /// Finalize()).
   sim::SimTime out_of_sync_time() const { return out_of_sync_time_; }
 
-  /// Loss of fidelity in percent of the window [0, end]; Finalize() must
-  /// have been called.
+  /// Loss of fidelity in percent of the window [start, end]; Finalize()
+  /// must have been called.
   double LossPercent() const;
 
   bool violated() const { return violated_; }
@@ -77,6 +97,8 @@ class FidelityTracker {
   Coherency c_ = 0.0;
   double source_value_ = 0.0;
   double repo_value_ = 0.0;
+  /// Observation-window start (0 except for mid-run joins).
+  sim::SimTime start_ = 0;
   sim::SimTime last_event_ = 0;
   sim::SimTime out_of_sync_time_ = 0;
   sim::SimTime window_ = 0;

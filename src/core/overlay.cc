@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 #include "common/stats.h"
 #include "core/coherency.h"
@@ -60,37 +61,109 @@ void Overlay::EnsureConnection(OverlayIndex parent, OverlayIndex child) {
   }
 }
 
-void Overlay::AddItemEdge(OverlayIndex parent, OverlayIndex child,
-                          ItemId item, Coherency c) {
+EdgeId Overlay::MintEdgeId(ItemId item) {
+  if (!edge_free_.empty()) {
+    const EdgeId id = edge_free_.back();
+    edge_free_.pop_back();
+    edge_items_[id] = item;
+    return id;
+  }
+  edge_items_.push_back(item);
+  return next_edge_id_++;
+}
+
+void Overlay::EraseEdgeRecord(OverlayIndex parent, OverlayIndex child,
+                              ItemId item) {
+  ItemServing* ps = FindSlot(parent, item);
+  if (ps == nullptr) return;
+  for (auto it = ps->children.begin(); it != ps->children.end(); ++it) {
+    if (it->child == child) {
+      edge_free_.push_back(it->id);
+      ps->children.erase(it);
+      return;
+    }
+  }
+}
+
+void Overlay::PruneConnection(OverlayIndex parent, OverlayIndex child) {
+  for (ItemId item = 0; item < item_count_; ++item) {
+    const ItemServing* s = FindSlot(parent, item);
+    if (s == nullptr) continue;
+    for (const ItemEdge& e : s->children) {
+      if (e.child == child) return;  // some item still rides the channel
+    }
+  }
+  auto& children = connection_children_[parent];
+  children.erase(std::remove(children.begin(), children.end(), child),
+                 children.end());
+  auto& up = connection_parents_[child];
+  up.erase(std::remove(up.begin(), up.end(), parent), up.end());
+}
+
+void Overlay::PropagateServe(OverlayIndex m, ItemId item) {
+  OverlayIndex cursor = m;
+  size_t steps = 0;
+  while (cursor != kSourceOverlayIndex) {
+    ItemServing* s = FindSlot(cursor, item);
+    if (s == nullptr) return;
+    Coherency target = s->own_interest
+                           ? s->c_own
+                           : std::numeric_limits<Coherency>::infinity();
+    for (const ItemEdge& e : s->children) target = std::min(target, e.c);
+    const OverlayIndex parent = s->parent;
+    if (target == std::numeric_limits<Coherency>::infinity()) {
+      // Neither an own need nor a dependent constrains the serve:
+      // garbage-collect the dangling holding (otherwise the parent
+      // keeps pushing updates nobody wants) and let the parent
+      // recompute — it may itself have become unconstrained.
+      if (parent != kInvalidOverlayIndex) {
+        EraseEdgeRecord(parent, cursor, item);
+        PruneConnection(parent, cursor);
+      }
+      held_[SlotIndex(cursor, item)] = 0;
+      *s = ItemServing{};
+      if (parent == kInvalidOverlayIndex) return;
+    } else {
+      if (target == s->c_serve) return;
+      s->c_serve = target;
+      if (parent == kInvalidOverlayIndex) return;  // orphan: fixed at repair
+      TightenItemEdge(parent, cursor, item, target);
+    }
+    cursor = parent;
+    if (++steps > member_count_) {
+      assert(false && "cycle while propagating serve tolerance");
+      return;
+    }
+  }
+}
+
+EdgeId Overlay::AddItemEdge(OverlayIndex parent, OverlayIndex child,
+                            ItemId item, Coherency c) {
   assert(parent != child);
   EnsureConnection(parent, child);
   ItemServing* ps = FindSlot(parent, item);
   assert(ps != nullptr && "parent must hold the item before serving it");
+  EdgeId id;
   auto it = std::find_if(ps->children.begin(), ps->children.end(),
                          [child](const ItemEdge& e) {
                            return e.child == child;
                          });
   if (it == ps->children.end()) {
-    ps->children.push_back(ItemEdge{child, c, next_edge_id_++});
-    edge_items_.push_back(item);
+    id = MintEdgeId(item);
+    ps->children.push_back(ItemEdge{child, c, id});
   } else {
     it->c = c;
+    id = it->id;
   }
   // Record / retarget the child's per-item parent.
   const size_t idx = SlotIndex(child, item);
   ItemServing& cs = servings_[idx];
   if (held_[idx] && cs.parent != kInvalidOverlayIndex &&
       cs.parent != parent) {
-    // Retargeting: remove the edge from the old parent.
-    ItemServing* old = FindSlot(cs.parent, item);
-    if (old != nullptr) {
-      old->children.erase(
-          std::remove_if(old->children.begin(), old->children.end(),
-                         [child](const ItemEdge& e) {
-                           return e.child == child;
-                         }),
-          old->children.end());
-    }
+    // Retargeting: remove the edge from the old parent and recycle its
+    // id (the new edge minted above already has its own id, so a
+    // retarget always hands out a fresh incarnation).
+    EraseEdgeRecord(cs.parent, child, item);
   }
   cs.parent = parent;
   if (!held_[idx]) {
@@ -99,6 +172,7 @@ void Overlay::AddItemEdge(OverlayIndex parent, OverlayIndex child,
     cs.c_serve = c;
     held_[idx] = 1;
   }
+  return id;
 }
 
 void Overlay::TightenItemEdge(OverlayIndex parent, OverlayIndex child,
@@ -146,18 +220,17 @@ Status Overlay::RemoveMember(OverlayIndex m) {
     for (const ItemEdge& edge : dependents) {
       AddItemEdge(parent, edge.child, item, edge.c);
     }
-    // Drop m's holding and detach it from its parent's edge list.
-    ItemServing* ps = FindSlot(parent, item);
-    if (ps != nullptr) {
-      ps->children.erase(
-          std::remove_if(ps->children.begin(), ps->children.end(),
-                         [m](const ItemEdge& e) { return e.child == m; }),
-          ps->children.end());
-    }
+    // Drop m's holding and detach it from its parent's edge list (the
+    // erased edge's id goes back to the free list).
+    if (parent != kInvalidOverlayIndex) EraseEdgeRecord(parent, m, item);
     held_[SlotIndex(m, item)] = 0;
     *s = ItemServing{};
   }
-  // Erase the connection bookkeeping in both directions.
+  EraseMemberConnections(m);
+  return Status::Ok();
+}
+
+void Overlay::EraseMemberConnections(OverlayIndex m) {
   for (OverlayIndex parent : connection_parents_[m]) {
     auto& siblings = connection_children_[parent];
     siblings.erase(std::remove(siblings.begin(), siblings.end(), m),
@@ -170,6 +243,95 @@ Status Overlay::RemoveMember(OverlayIndex m) {
   connection_parents_[m].clear();
   connection_children_[m].clear();
   level_[m] = kInvalidLevel;
+}
+
+Result<MemberDetachment> Overlay::DetachMember(OverlayIndex m) {
+  if (m >= member_count_) return Status::OutOfRange("unknown member");
+  if (m == kSourceOverlayIndex) {
+    return Status::InvalidArgument("cannot detach the source");
+  }
+  MemberDetachment out;
+  for (ItemId item = 0; item < item_count_; ++item) {
+    ItemServing* s = FindSlot(m, item);
+    if (s == nullptr) continue;
+    if (s->own_interest) {
+      out.needs.push_back(MemberNeed{item, s->c_own, s->parent});
+    }
+    // Orphan every dependent: it keeps its holding, c_serve and its own
+    // subtree, but loses its per-item parent until a repair re-attaches
+    // it. The dead edge's id is recycled.
+    for (const ItemEdge& e : s->children) {
+      out.orphans.push_back(OrphanEdge{item, e.child, e.c, s->parent});
+      servings_[SlotIndex(e.child, item)].parent = kInvalidOverlayIndex;
+      edge_free_.push_back(e.id);
+    }
+    if (s->parent != kInvalidOverlayIndex) EraseEdgeRecord(s->parent, m, item);
+    held_[SlotIndex(m, item)] = 0;
+    *s = ItemServing{};
+  }
+  EraseMemberConnections(m);
+  return out;
+}
+
+Status Overlay::JoinOwnInterest(OverlayIndex m, ItemId item, Coherency c) {
+  if (m >= member_count_ || item >= item_count_) {
+    return Status::OutOfRange("unknown member or item");
+  }
+  if (m == kSourceOverlayIndex) {
+    return Status::InvalidArgument("the source needs no own interest");
+  }
+  if (!(c > 0.0)) return Status::InvalidArgument("tolerance must be > 0");
+  const size_t idx = SlotIndex(m, item);
+  if (!held_[idx]) {
+    return Status::FailedPrecondition(
+        "member must hold the item before declaring own interest");
+  }
+  ItemServing& s = servings_[idx];
+  s.own_interest = true;
+  s.c_own = c;
+  if (tracker_ids_[idx] == kInvalidTrackerId) {
+    tracker_ids_[idx] = next_tracker_id_++;
+  }
+  PropagateServe(m, item);
+  return Status::Ok();
+}
+
+Status Overlay::DropOwnInterest(OverlayIndex m, ItemId item) {
+  if (m >= member_count_ || item >= item_count_) {
+    return Status::OutOfRange("unknown member or item");
+  }
+  if (m == kSourceOverlayIndex) {
+    return Status::InvalidArgument("the source has no droppable interest");
+  }
+  ItemServing* s = FindSlot(m, item);
+  if (s == nullptr || !s->own_interest) return Status::Ok();
+  s->own_interest = false;
+  s->c_own = 0.0;
+  // PropagateServe handles both shapes: a relaying member's serve
+  // loosens to the dependents' minimum, while a now-unconstrained
+  // childless holding is garbage-collected (edge id recycled,
+  // connection pruned) — and either effect cascades up the chain,
+  // collecting ancestors that only held the item for this member.
+  PropagateServe(m, item);
+  return Status::Ok();
+}
+
+Status Overlay::UpdateOwnCoherency(OverlayIndex m, ItemId item,
+                                   Coherency c) {
+  if (m >= member_count_ || item >= item_count_) {
+    return Status::OutOfRange("unknown member or item");
+  }
+  if (m == kSourceOverlayIndex) {
+    return Status::InvalidArgument("the source's tolerance is fixed at 0");
+  }
+  if (!(c > 0.0)) return Status::InvalidArgument("tolerance must be > 0");
+  ItemServing* s = FindSlot(m, item);
+  if (s == nullptr || !s->own_interest) {
+    return Status::FailedPrecondition(
+        "member has no own interest in the item");
+  }
+  s->c_own = c;
+  PropagateServe(m, item);
   return Status::Ok();
 }
 

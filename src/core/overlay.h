@@ -37,6 +37,35 @@ struct ItemServing {
   std::vector<ItemEdge> children;
 };
 
+/// One per-item edge orphaned by a member's departure or failure: the
+/// dependent `child` was receiving `item` at tolerance `c` and must be
+/// re-attached somewhere. `fallback_parent` is the departed member's own
+/// per-item parent — always a legal re-attachment target by Eq. (1)
+/// transitivity when it is itself still alive.
+struct OrphanEdge {
+  ItemId item = kInvalidItem;
+  OverlayIndex child = kInvalidOverlayIndex;
+  Coherency c = 0.0;
+  OverlayIndex fallback_parent = kInvalidOverlayIndex;
+};
+
+/// One own-interest need of a departing member, captured so a later
+/// recovery can re-attach it: the member wanted `item` at `c_own` and
+/// was last served by `parent`.
+struct MemberNeed {
+  ItemId item = kInvalidItem;
+  Coherency c_own = 0.0;
+  OverlayIndex parent = kInvalidOverlayIndex;
+};
+
+/// Everything DetachMember captures about a failed/departing member:
+/// the dependents left without a parent (ordered by item, then tree
+/// order — deterministic) and the member's own needs at detach time.
+struct MemberDetachment {
+  std::vector<OrphanEdge> orphans;
+  std::vector<MemberNeed> needs;
+};
+
 /// Summary shape metrics of the d3g (paper §6.3.1 reports diameter and
 /// average depth of the repository layout).
 struct OverlayShape {
@@ -77,9 +106,11 @@ class Overlay {
                   OverlayIndex parent);
 
   /// Adds (or retargets) the per-item edge parent->child at tolerance c.
-  /// Creates the connection parent->child if absent.
-  void AddItemEdge(OverlayIndex parent, OverlayIndex child, ItemId item,
-                   Coherency c);
+  /// Creates the connection parent->child if absent. Returns the edge's
+  /// EdgeId — freshly minted, recycled from a removed edge, or the
+  /// existing id when the edge was already present (tolerance updated).
+  EdgeId AddItemEdge(OverlayIndex parent, OverlayIndex child, ItemId item,
+                     Coherency c);
 
   /// Updates the tolerance of the existing per-item edge parent->child.
   /// No-op if the edge does not exist.
@@ -105,12 +136,16 @@ class Overlay {
   }
 
   /// One past the largest EdgeId handed out so far. Dense per-edge state
-  /// vectors are sized by this; ids of removed or retargeted edges are
-  /// retired, never reused, so stale slots are simply never indexed.
+  /// vectors are sized by this. Ids of removed or retargeted edges are
+  /// recycled through a free list, so long-lived dynamic overlays keep
+  /// their flat per-edge vectors bounded by the number of *live* edges;
+  /// a policy that caches per-edge state across a structural mutation
+  /// must be told about the recycled ids (Disseminator::OnEdgeCreated).
   EdgeId edge_id_limit() const { return next_edge_id_; }
   /// Item the edge with this id carries (valid for every id ever handed
-  /// out, including retired ones). Lets policies seed per-edge state for
-  /// ids in [known, edge_id_limit()) without rescanning the overlay.
+  /// out; recycled ids report the item of their current incarnation).
+  /// Lets policies seed per-edge state for ids in [known,
+  /// edge_id_limit()) without rescanning the overlay.
   ItemId edge_item(EdgeId id) const { return edge_items_[id]; }
 
   /// Dense tracker id of the (m, item) own-interest pair, assigned by
@@ -139,6 +174,41 @@ class Overlay {
   /// unknown member fails.
   Status RemoveMember(OverlayIndex m);
 
+  /// Crash-style removal (a *failed* node, paper §4's resilience
+  /// discussion): unlike RemoveMember, dependents are NOT silently
+  /// re-parented — they keep their holdings and subtrees but are left
+  /// orphaned (per-item parent = kInvalidOverlayIndex) and returned,
+  /// together with the member's own needs, so the caller's repair
+  /// policy decides where (and when) each orphan re-attaches. All of
+  /// the member's edge ids are recycled. The overlay does not Validate
+  /// while orphans exist (their item trees are not rooted); repair
+  /// restores validity. Removing the source or an unknown member fails.
+  Result<MemberDetachment> DetachMember(OverlayIndex m);
+
+  /// Declares (mid-run interest churn) that `m` — which must already
+  /// hold `item` — now has an own need for it at tolerance `c`: sets
+  /// the own-interest flag (minting the pair's TrackerId if it never
+  /// had one) and renegotiates the serve chain (c_serve may tighten,
+  /// propagating up to the source). Unlike SetOwnInterest this keeps
+  /// every parent edge's tolerance consistent with its child's c_serve.
+  Status JoinOwnInterest(OverlayIndex m, ItemId item, Coherency c);
+
+  /// Drops `m`'s own interest in `item` (interest churn). A childless
+  /// holding is removed outright: the edge from its parent is erased
+  /// and its id recycled — and ancestors that only held the item for
+  /// this member are garbage-collected the same way, cascading toward
+  /// the source. A relaying member keeps the holding; its c_serve
+  /// loosens to the dependents' minimum and the change propagates up
+  /// the serving chain. No-op Ok if `m` has no own interest in `item`.
+  Status DropOwnInterest(OverlayIndex m, ItemId item);
+
+  /// Coherency renegotiation: `m`'s own tolerance for `item` becomes
+  /// `c` (m must hold the item with own interest). Tightening and
+  /// loosening both recompute c_serve = min(c_own, dependents) at every
+  /// hop up the serving chain and keep each parent edge's tolerance
+  /// equal to its child's c_serve, so Eq. (1) holds throughout.
+  Status UpdateOwnCoherency(OverlayIndex m, ItemId item, Coherency c);
+
   /// Structural validation:
   ///  * every per-item parent/children record is mutually consistent;
   ///  * every item tree is rooted at the source and acyclic;
@@ -159,6 +229,23 @@ class Overlay {
   ItemServing* FindSlot(OverlayIndex m, ItemId item);
   const ItemServing* FindSlot(OverlayIndex m, ItemId item) const;
   void EnsureConnection(OverlayIndex parent, OverlayIndex child);
+  /// Mints a fresh EdgeId or recycles one from the free list, recording
+  /// the item the id now carries.
+  EdgeId MintEdgeId(ItemId item);
+  /// Erases the per-item edge parent->child (which must exist) and
+  /// recycles its id. Does not touch the child's serving record.
+  void EraseEdgeRecord(OverlayIndex parent, OverlayIndex child, ItemId item);
+  /// Drops the parent->child connection when no item edge rides on it
+  /// any longer (keeps ConnectionChildren in sync with the d3g).
+  void PruneConnection(OverlayIndex parent, OverlayIndex child);
+  /// Recomputes c_serve(m, item) = min(c_own if own, dependents' edge
+  /// tolerances) and, when it changed, updates the parent's edge
+  /// tolerance and recurses upward. Stops at the source or at the first
+  /// unchanged hop.
+  void PropagateServe(OverlayIndex m, ItemId item);
+  /// Erases `m` from every connection list in both directions and
+  /// resets its level (the shared tail of RemoveMember/DetachMember).
+  void EraseMemberConnections(OverlayIndex m);
 
   size_t member_count_ = 0;
   size_t item_count_ = 0;
@@ -172,6 +259,8 @@ class Overlay {
   std::vector<std::vector<OverlayIndex>> connection_children_;
   std::vector<std::vector<OverlayIndex>> connection_parents_;
   std::vector<uint32_t> level_;
+  /// Retired edge ids awaiting reuse (LIFO).
+  std::vector<EdgeId> edge_free_;
   EdgeId next_edge_id_ = 0;
   TrackerId next_tracker_id_ = 0;
 };

@@ -12,12 +12,14 @@ PullEngine::PullEngine(const net::OverlayDelayModel& delays,
                        const std::vector<InterestSet>& interests,
                        const std::vector<trace::Trace>& traces,
                        const PullOptions& options,
-                       const ChangeTimelines* change_timelines)
+                       const ChangeTimelines* change_timelines,
+                       const Scenario* scenario)
     : delays_(delays),
       interests_(interests),
       traces_(traces),
       options_(options),
-      change_timelines_(change_timelines) {}
+      change_timelines_(change_timelines),
+      scenario_(scenario) {}
 
 Result<PullMetrics> PullEngine::Run() {
   if (interests_.size() + 1 != delays_.member_count()) {
@@ -54,6 +56,7 @@ Result<PullMetrics> PullEngine::Run() {
       ResolveChangeTimelines(change_timelines_, traces_, owned_timelines_);
   if (!resolved.ok()) return resolved.status();
   const ChangeTimelines* timelines = *resolved;
+  resolved_timelines_ = timelines;
   states_.clear();
   trackers_.clear();
   for (size_t i = 0; i < interests_.size(); ++i) {
@@ -73,6 +76,27 @@ Result<PullMetrics> PullEngine::Run() {
     }
   }
 
+  // Scenario runtime state; the per-member index lets fail/recover ops
+  // find their loops without scanning every state.
+  const size_t member_count = interests_.size() + 1;
+  failed_.assign(member_count, 0);
+  fail_time_.assign(member_count, 0);
+  outage_snap_.assign(states_.size(), 0);
+  member_states_.assign(member_count, {});
+  scenario_status_ = Status::Ok();
+  if (scenario_ != nullptr && !scenario_->empty()) {
+    D3T_RETURN_IF_ERROR(
+        scenario_->ValidateAgainst(member_count, traces_.size()));
+    for (size_t i = 0; i < states_.size(); ++i) {
+      member_states_[states_[i].member].push_back(i);
+    }
+    for (size_t i = 0; i < scenario_->size(); ++i) {
+      if (scenario_->op(i).at > horizon) continue;
+      simulator_.ScheduleAt(scenario_->op(i).at,
+                            sim::Event::Scenario(static_cast<uint32_t>(i)));
+    }
+  }
+
   // Kick off the poll loops, staggered inside the first TTR so the
   // source is not hit by a synchronized thundering herd at t=0.
   Rng stagger(states_.size() * 0x9E3779B97F4A7C15ULL + 1);
@@ -85,12 +109,19 @@ Result<PullMetrics> PullEngine::Run() {
   simulator_.RunUntil(horizon);
   simulator_.ScheduleAt(horizon, sim::Event::FinalizeHook());
   simulator_.RunUntil(horizon);
+  if (!scenario_status_.ok()) return scenario_status_;
+  if (metrics_.outage_pair_time > 0) {
+    metrics_.outage_loss_percent =
+        100.0 * static_cast<double>(metrics_.outage_out_of_sync_time) /
+        static_cast<double>(metrics_.outage_pair_time);
+  }
 
   metrics_.per_member_loss.assign(interests_.size() + 1, -1.0);
   metrics_.per_member_loss[kSourceOverlayIndex] = 0.0;
   std::vector<double> sums(interests_.size() + 1, 0.0);
   std::vector<size_t> counts(interests_.size() + 1, 0);
   for (const PollState& state : states_) {
+    if (state.superseded) continue;  // re-joined pair: newer window only
     sums[state.member] += trackers_[state.tracker].LossPercent();
     ++counts[state.member];
   }
@@ -115,19 +146,29 @@ Result<PullMetrics> PullEngine::Run() {
 
 void PullEngine::HandleEvent(sim::SimTime t, const sim::Event& event) {
   if (event.kind == sim::EventKind::kFinalizeHook) {
+    // Close the outage windows of members still down at the horizon.
+    for (OverlayIndex m = 0; m < failed_.size(); ++m) {
+      if (failed_[m]) CloseOutageWindow(t, m);
+    }
     for (FidelityTracker& tracker : trackers_) tracker.Finalize(t);
+    return;
+  }
+  if (event.kind == sim::EventKind::kScenario) {
+    HandleScenario(t, event.a);
     return;
   }
   assert(event.kind == sim::EventKind::kPullPoll);
   const size_t state_index = event.a;
   switch (event.b) {
     case kPollRequest:
+      if (SuppressPhase(state_index)) break;
       HandleRequestAtSource(t, state_index);
       break;
     case kPollServiced:
       HandleServiced(t, state_index);
       break;
     case kPollResponse:
+      if (SuppressPhase(state_index)) break;
       HandleResponse(t, state_index);
       break;
     default:
@@ -198,6 +239,170 @@ void PullEngine::AdaptTtr(PollState& state, sim::SimTime now,
   }
   state.last_value = value;
   state.last_response_time = now;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario runtime
+
+bool PullEngine::SuppressPhase(size_t state_index) {
+  PollState& state = states_[state_index];
+  if (state.status == LoopStatus::kLeft) {
+    ++metrics_.suppressed_polls;
+    return true;
+  }
+  if (failed_[state.member]) {
+    // The owner is down: swallow the phase and suspend the loop until
+    // the repository recovers.
+    state.status = LoopStatus::kSuspended;
+    ++metrics_.suppressed_polls;
+    return true;
+  }
+  return false;
+}
+
+size_t PullEngine::FindActiveState(OverlayIndex member, ItemId item) const {
+  for (size_t index : member_states_[member]) {
+    if (states_[index].item == item &&
+        states_[index].status != LoopStatus::kLeft) {
+      return index;
+    }
+  }
+  return SIZE_MAX;
+}
+
+void PullEngine::CloseOutageWindow(sim::SimTime t, OverlayIndex m) {
+  const sim::SimTime dt = t - fail_time_[m];
+  for (size_t index : member_states_[m]) {
+    PollState& state = states_[index];
+    if (state.status == LoopStatus::kLeft) continue;
+    FidelityTracker& tracker = trackers_[state.tracker];
+    tracker.SyncTo(t);
+    metrics_.outage_out_of_sync_time +=
+        tracker.out_of_sync_time() - outage_snap_[index];
+    metrics_.outage_pair_time += dt;
+  }
+}
+
+void PullEngine::HandleScenario(sim::SimTime t, uint32_t op_index) {
+  if (!scenario_status_.ok()) return;
+  const ScenarioOp& op = scenario_->op(op_index);
+  const OverlayIndex m = op.member;
+  ++metrics_.scenario_ops;
+  switch (op.kind) {
+    case ScenarioOpKind::kRepoFail: {
+      if (failed_[m]) {
+        scenario_status_ = Status::FailedPrecondition(
+            "scenario fail: member " + std::to_string(m) +
+            " already failed");
+        return;
+      }
+      failed_[m] = 1;
+      fail_time_[m] = t;
+      // Snapshot each pair's staleness at the failure instant; loops
+      // suspend lazily when their next phase fires.
+      for (size_t index : member_states_[m]) {
+        if (states_[index].status == LoopStatus::kLeft) continue;
+        FidelityTracker& tracker = trackers_[states_[index].tracker];
+        tracker.SyncTo(t);
+        outage_snap_[index] = tracker.out_of_sync_time();
+      }
+      break;
+    }
+    case ScenarioOpKind::kRepoRecover: {
+      if (!failed_[m]) {
+        scenario_status_ = Status::FailedPrecondition(
+            "scenario recover: member " + std::to_string(m) +
+            " is not failed");
+        return;
+      }
+      CloseOutageWindow(t, m);
+      failed_[m] = 0;
+      // Suspended loops restart immediately; loops whose in-flight
+      // round trip happened to span the whole outage just continue.
+      for (size_t index : member_states_[m]) {
+        PollState& state = states_[index];
+        if (state.status != LoopStatus::kSuspended) continue;
+        state.status = LoopStatus::kRunning;
+        state.ttr = options_.initial_ttr;  // stale rate estimate
+        SchedulePoll(state, t);
+      }
+      break;
+    }
+    case ScenarioOpKind::kInterestJoin: {
+      if (failed_[m]) {
+        scenario_status_ = Status::FailedPrecondition(
+            "scenario join: member " + std::to_string(m) + " is failed");
+        return;
+      }
+      if (FindActiveState(m, op.item) != SIZE_MAX) {
+        scenario_status_ = Status::FailedPrecondition(
+            "scenario join: member " + std::to_string(m) +
+            " already polls item " + std::to_string(op.item));
+        return;
+      }
+      // A re-join after a leave restarts the pair's accounting window;
+      // the left loop's truncated window no longer aggregates (same
+      // semantics as the push engine's tracker restart).
+      for (size_t index : member_states_[m]) {
+        if (states_[index].item == op.item) {
+          states_[index].superseded = true;
+        }
+      }
+      PollState state;
+      state.member = m;
+      state.item = op.item;
+      state.c = op.c;
+      state.ttr = options_.initial_ttr;
+      state.last_response_time = t;
+      state.last_value = traces_[op.item].ValueAt(t);
+      state.tracker = trackers_.size();
+      trackers_.emplace_back(op.c, &(*resolved_timelines_)[op.item], t);
+      member_states_[m].push_back(states_.size());
+      outage_snap_.push_back(0);
+      states_.push_back(state);
+      SchedulePoll(states_.back(), t);
+      break;
+    }
+    case ScenarioOpKind::kInterestLeave: {
+      if (failed_[m]) {
+        scenario_status_ = Status::FailedPrecondition(
+            "scenario leave: member " + std::to_string(m) + " is failed");
+        return;
+      }
+      const size_t index = FindActiveState(m, op.item);
+      if (index == SIZE_MAX) {
+        scenario_status_ = Status::FailedPrecondition(
+            "scenario leave: member " + std::to_string(m) +
+            " does not poll item " + std::to_string(op.item));
+        return;
+      }
+      states_[index].status = LoopStatus::kLeft;
+      FidelityTracker& tracker = trackers_[states_[index].tracker];
+      tracker.SyncTo(t);
+      tracker.Finalize(t);
+      break;
+    }
+    case ScenarioOpKind::kCoherencyChange: {
+      if (failed_[m]) {
+        scenario_status_ = Status::FailedPrecondition(
+            "scenario coherency change: member " + std::to_string(m) +
+            " is failed");
+        return;
+      }
+      const size_t index = FindActiveState(m, op.item);
+      if (index == SIZE_MAX) {
+        scenario_status_ = Status::FailedPrecondition(
+            "scenario coherency change: member " + std::to_string(m) +
+            " does not poll item " + std::to_string(op.item));
+        return;
+      }
+      states_[index].c = op.c;
+      FidelityTracker& tracker = trackers_[states_[index].tracker];
+      tracker.SyncTo(t);
+      tracker.set_coherency(op.c);
+      break;
+    }
+  }
 }
 
 }  // namespace d3t::core

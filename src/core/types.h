@@ -26,8 +26,10 @@ using Coherency = double;
 /// Dense identifier of one (node, item, child) dissemination edge,
 /// assigned by the Overlay when the edge is created. Dissemination
 /// policies index flat per-edge state by it instead of hashing packed
-/// 64-bit keys. Ids are never reused; retired ids (removed or
-/// retargeted edges) leave unused slots behind.
+/// 64-bit keys. Retired ids (removed or retargeted edges) are recycled
+/// through a free list, so long-lived dynamic overlays keep the id
+/// space bounded by the number of live edges; policies are told about
+/// each recycled incarnation (Disseminator::OnEdgeCreated).
 using EdgeId = uint32_t;
 
 inline constexpr EdgeId kInvalidEdgeId = UINT32_MAX;

@@ -93,14 +93,29 @@ struct PolicyConfig {
   bool coalesce_deliveries = true;
   /// See core::EngineOptions::drain_process_spans. Off = the
   /// one-event-per-job processing baseline; metrics are byte-identical
-  /// either way on routed topologies (see the caveat there about exact
-  /// same-instant cross-parent arrivals on synthetic delay models).
+  /// either way on routed topologies — including under a Scenario,
+  /// where drained spans stop at the next pending scenario event so a
+  /// mid-span failure sees the same backlog in both modes (see the
+  /// caveat there about exact same-instant cross-parent arrivals on
+  /// synthetic delay models; a scenario op landing on the exact
+  /// microsecond a job chain ticks shares that caveat).
   bool drain_process_spans = true;
   /// Bind this run's lazy fidelity trackers to the World's change-
   /// timeline cache (built once at SessionBuilder::Build) instead of
   /// re-tracing the library per run. Results are identical either way;
   /// off exists for the rebuild baseline (bench/session_sweep.cc).
   bool use_cached_timelines = true;
+  /// How orphaned subtrees re-attach when the run's Scenario fails a
+  /// repository: "fallback" (the failed member's own parent, LeLA-style
+  /// search when it is down too), "lela" (minimum-delay live holder) or
+  /// "on-recovery" (wait for the original parent to come back). See
+  /// core::ParseRepairPolicy; no effect without a scenario.
+  std::string repair_policy = "fallback";
+  /// Silence-detection window in milliseconds: how long orphans stay
+  /// detached (integrating staleness) after their parent fails before
+  /// the repair policy re-attaches them. 0 repairs at the failure
+  /// instant.
+  double repair_delay_ms = 0.0;
 };
 
 /// Legacy flat description of one simulation run, defaulted to the

@@ -26,6 +26,14 @@ Status ValidateRunSpec(const World& world, const RunSpec& spec) {
         " out of range: the world has " +
         std::to_string(world.source_count()) + " source(s)");
   }
+  D3T_RETURN_IF_ERROR(
+      core::ParseRepairPolicy(spec.policy.repair_policy).status());
+  if (spec.policy.repair_delay_ms < 0.0) {
+    return Status::InvalidArgument("repair_delay_ms must be >= 0");
+  }
+  // Member 0 is the source; repositories are members 1..N.
+  D3T_RETURN_IF_ERROR(spec.scenario.ValidateAgainst(
+      world.network().repositories + 1, world.workload().items));
   return Status::Ok();
 }
 
@@ -279,10 +287,16 @@ Result<ExperimentResult> SimulationSession::Run(const RunSpec& spec) const {
   engine_options.tag_check_cost_factor = spec.policy.tag_check_cost_factor;
   engine_options.coalesce_deliveries = spec.policy.coalesce_deliveries;
   engine_options.drain_process_spans = spec.policy.drain_process_spans;
+  // Already validated by ValidateRunSpec above.
+  engine_options.repair_policy =
+      *core::ParseRepairPolicy(spec.policy.repair_policy);
+  engine_options.repair_delay = sim::Millis(spec.policy.repair_delay_ms);
   const core::ChangeTimelines* timelines =
       spec.policy.use_cached_timelines ? &world.change_timelines() : nullptr;
+  const core::Scenario* scenario =
+      spec.scenario.empty() ? nullptr : &spec.scenario;
   core::Engine engine(built->overlay, delays, world.traces(), *policy,
-                      engine_options, timelines);
+                      engine_options, timelines, scenario);
   Result<core::EngineMetrics> metrics = engine.Run();
   if (!metrics.ok()) return metrics.status();
   result.metrics = std::move(metrics).value();

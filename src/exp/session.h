@@ -12,6 +12,7 @@
 #include "core/engine.h"
 #include "core/interest.h"
 #include "core/lela.h"
+#include "core/scenario.h"
 #include "exp/config.h"
 #include "net/delay_model.h"
 #include "trace/trace.h"
@@ -38,6 +39,13 @@ struct ExperimentResult {
 struct RunSpec {
   OverlayConfig overlay;
   PolicyConfig policy;
+  /// Scripted mid-run dynamics (repository failures/recoveries,
+  /// interest churn, coherency renegotiation), applied to this run's
+  /// overlay through the typed event kernel. Empty (the default) is the
+  /// static-world baseline and reproduces scenario-free metrics
+  /// byte-identically. Build one with exp::ScenarioBuilder or
+  /// exp::MakeChurnScenario (exp/scenario.h).
+  core::Scenario scenario;
   /// Explicit per-run RNG seed. Runs of a sweep may share it (vary one
   /// knob, hold the randomness fixed); sharded multi-source runs must
   /// not (see PerSourceSeed).

@@ -31,6 +31,14 @@ enum class EventKind : uint32_t {
   kPullPoll,
   /// End-of-run hook (e.g. lazy fidelity finalization at the horizon).
   kFinalizeHook,
+  /// One scripted world-mutation op of the run's Scenario (repository
+  /// failure/recovery, interest churn, coherency renegotiation): `a` =
+  /// index into the per-run scenario op table, `b` = phase (0 applies
+  /// the op; 1 is the deferred orphan repair a failure schedules after
+  /// its silence-detection window). Carrying an index keeps the event a
+  /// POD — the op payload lives in the immutable Scenario, never in a
+  /// closure.
+  kScenario,
 };
 
 /// A 16-byte POD event: a kind tag plus two untyped payload words whose
@@ -56,6 +64,9 @@ struct Event {
   }
   static Event FinalizeHook() {
     return Event{EventKind::kFinalizeHook, 0, 0};
+  }
+  static Event Scenario(uint32_t op_index, uint64_t phase = 0) {
+    return Event{EventKind::kScenario, op_index, phase};
   }
 };
 static_assert(sizeof(Event) == 16, "hot-path events must stay 16 bytes");

@@ -320,6 +320,37 @@ TEST(CliTest, NonFlagRejected) {
   EXPECT_FALSE(cli.Parse(2, argv).ok());
 }
 
+TEST(CliTest, MalformedTypedValueFallsBackToDeclaredDefault) {
+  // A typo like `--ticks=12o0` must not silently reconfigure the
+  // experiment: the typed accessors warn (stderr) and return the
+  // *declared* default — historically they returned strtoll/strtod's
+  // silent 0, which is not even the default.
+  CommandLine cli;
+  cli.AddFlag("ticks", "600", "trace length");
+  cli.AddFlag("t", "0.5", "stringency");
+  cli.AddFlag("full", "false", "paper-scale run");
+  const char* argv[] = {"prog", "--ticks=12o0", "--t=zero", "--full",
+                        "maybe"};
+  ASSERT_TRUE(cli.Parse(5, argv).ok());
+  EXPECT_EQ(cli.GetInt("ticks"), 600);
+  EXPECT_DOUBLE_EQ(cli.GetDouble("t"), 0.5);
+  EXPECT_FALSE(cli.GetBool("full"));
+  // The raw string stays available for callers that want it verbatim.
+  EXPECT_EQ(cli.GetString("ticks"), "12o0");
+}
+
+TEST(CliTest, WellFormedValuesNeverFallBack) {
+  CommandLine cli;
+  cli.AddFlag("count", "7", "n");
+  cli.AddFlag("ratio", "0.25", "r");
+  cli.AddFlag("on", "false", "b");
+  const char* argv[] = {"prog", "--count=-3", "--ratio=1e-2", "--on=yes"};
+  ASSERT_TRUE(cli.Parse(4, argv).ok());
+  EXPECT_EQ(cli.GetInt("count"), -3);
+  EXPECT_DOUBLE_EQ(cli.GetDouble("ratio"), 0.01);
+  EXPECT_TRUE(cli.GetBool("on"));
+}
+
 TEST(CliTest, HelpListsFlags) {
   CommandLine cli;
   cli.AddFlag("alpha", "1", "first");

@@ -7,8 +7,10 @@
 #include <cstdint>
 #include <string>
 
+#include "core/pull.h"
 #include "exp/experiment.h"
 #include "exp/multi_source.h"
+#include "exp/scenario.h"
 #include "gtest/gtest.h"
 
 namespace d3t::exp {
@@ -199,6 +201,116 @@ TEST(DeterminismTest, DispatchAndProcessingModesAreByteIdenticalInAllCombos) {
       Result<ExperimentResult> run = bench->session().Run(spec);
       ASSERT_TRUE(run.ok()) << run.status().ToString();
       ExpectIdenticalMetrics(reference->metrics, run->metrics);
+    }
+  }
+}
+
+TEST(DeterminismTest, EmptyScenarioIsByteIdenticalToNoScenario) {
+  // The Scenario subsystem's safety invariant: attaching an *empty*
+  // scenario to a run must reproduce the scenario-free metrics byte for
+  // byte, for every policy — that is what makes the dynamics API a
+  // redesign of the run path rather than a fork of it. (Repair knobs
+  // are inert without scenario ops; set them anyway to prove it.)
+  Result<core::Scenario> empty = exp::ScenarioBuilder().Build();
+  ASSERT_TRUE(empty.ok());
+  for (const char* policy : {"distributed", "centralized", "eq3-only",
+                             "all-updates", "temporal"}) {
+    SCOPED_TRACE(policy);
+    ExperimentConfig config = GoldenConfig();
+    config.policy = policy;
+    Result<Workbench> bench = Workbench::Create(config);
+    ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+    const RunSpec baseline = Workbench::SpecFromConfig(config);
+    RunSpec scripted = baseline;
+    scripted.scenario = *empty;
+    scripted.policy.repair_policy = "lela";
+    scripted.policy.repair_delay_ms = 250.0;
+    Result<ExperimentResult> a = bench->session().Run(baseline);
+    Result<ExperimentResult> b = bench->session().Run(scripted);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    ExpectIdenticalMetrics(a->metrics, b->metrics);
+    EXPECT_EQ(b->metrics.scenario_ops, 0u);
+    EXPECT_EQ(b->metrics.repairs, 0u);
+    EXPECT_EQ(b->metrics.dropped_jobs, 0u);
+    EXPECT_EQ(b->metrics.outage_pair_time, 0);
+  }
+}
+
+TEST(DeterminismTest, EmptyScenarioIsByteIdenticalOnPullEngine) {
+  // Same invariant for the pull baseline: the scenario hook points on
+  // the poll path must be invisible when the script is empty.
+  const ExperimentConfig config = GoldenConfig();
+  Result<Workbench> bench = Workbench::Create(config);
+  ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+  core::PullOptions options;
+  core::PullEngine plain(bench->delays(), bench->interests(),
+                         bench->traces(), options);
+  Result<core::PullMetrics> a = plain.Run();
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  Result<core::Scenario> empty = exp::ScenarioBuilder().Build();
+  ASSERT_TRUE(empty.ok());
+  core::PullEngine scripted(bench->delays(), bench->interests(),
+                            bench->traces(), options, nullptr, &*empty);
+  Result<core::PullMetrics> b = scripted.Run();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a->loss_percent, b->loss_percent);
+  EXPECT_EQ(a->per_member_loss, b->per_member_loss);
+  EXPECT_EQ(a->polls, b->polls);
+  EXPECT_EQ(a->wire_messages, b->wire_messages);
+  EXPECT_EQ(a->changed_polls, b->changed_polls);
+  EXPECT_EQ(a->source_utilization, b->source_utilization);
+  EXPECT_EQ(b->scenario_ops, 0u);
+  EXPECT_EQ(b->suppressed_polls, 0u);
+}
+
+TEST(DeterminismTest, KernelTogglesStayByteIdenticalUnderScenario) {
+  // Dispatch coalescing and span draining are pure kernel concerns even
+  // when a Scenario mutates the world mid-run: a drained span stops at
+  // the next pending scenario event, so a failure landing inside a busy
+  // span sees the same backlog (and drops the same jobs) in both
+  // processing modes. All four combos must agree on the golden fixture
+  // with a failure + recovery + renegotiation script attached.
+  // Fail/recover ops only: they are valid against any generated world
+  // (interest ops would need a pair the workload RNG happened to deal).
+  Result<core::Scenario> scenario = exp::ScenarioBuilder()
+                                        .FailRepo(sim::Seconds(30), 3)
+                                        .RecoverAt(sim::Seconds(200))
+                                        .FailRepo(sim::Seconds(90), 11)
+                                        .RecoverAt(sim::Seconds(260))
+                                        .Build();
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  for (const char* policy :
+       {"distributed", "centralized", "eq3-only", "all-updates"}) {
+    SCOPED_TRACE(policy);
+    ExperimentConfig config = GoldenConfig();
+    config.policy = policy;
+    Result<Workbench> bench = Workbench::Create(config);
+    ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+    RunSpec base = Workbench::SpecFromConfig(config);
+    base.scenario = *scenario;
+    base.policy.repair_delay_ms = 750.0;
+    Result<ExperimentResult> reference = bench->session().Run(base);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    EXPECT_EQ(reference->metrics.scenario_ops, 4u);
+    for (bool coalesce : {true, false}) {
+      for (bool drain : {true, false}) {
+        SCOPED_TRACE(std::string("coalesce=") + (coalesce ? "on" : "off") +
+                     " drain=" + (drain ? "on" : "off"));
+        RunSpec spec = base;
+        spec.policy.coalesce_deliveries = coalesce;
+        spec.policy.drain_process_spans = drain;
+        Result<ExperimentResult> run = bench->session().Run(spec);
+        ASSERT_TRUE(run.ok()) << run.status().ToString();
+        ExpectIdenticalMetrics(reference->metrics, run->metrics);
+        EXPECT_EQ(reference->metrics.repairs, run->metrics.repairs);
+        EXPECT_EQ(reference->metrics.dropped_jobs,
+                  run->metrics.dropped_jobs);
+        EXPECT_EQ(reference->metrics.orphaned_ticks,
+                  run->metrics.orphaned_ticks);
+        EXPECT_EQ(reference->metrics.outage_out_of_sync_time,
+                  run->metrics.outage_out_of_sync_time);
+      }
     }
   }
 }

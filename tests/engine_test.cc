@@ -54,7 +54,7 @@ Scenario BuildRandomScenario(uint64_t seed, size_t repos, size_t items,
   return s;
 }
 
-EngineMetrics RunScenario(const Scenario& s, const std::string& policy_name,
+EngineMetrics RunScenario(Scenario& s, const std::string& policy_name,
                           sim::SimTime comp_delay = 0) {
   std::unique_ptr<Disseminator> policy = MakeDisseminator(policy_name);
   EXPECT_NE(policy, nullptr);
@@ -218,7 +218,7 @@ TEST(EngineTest, PoliciesSendComparableMessageCounts) {
 // ---------------------------------------------------------------------------
 // Batched delivery dispatch
 
-EngineMetrics RunScenarioWithOptions(const Scenario& s,
+EngineMetrics RunScenarioWithOptions(Scenario& s,
                                      const std::string& policy_name,
                                      const EngineOptions& options) {
   std::unique_ptr<Disseminator> policy = MakeDisseminator(policy_name);

@@ -207,18 +207,27 @@ TEST(OverlayTest, EdgeIdsAreDenseAndUnique) {
   EXPECT_TRUE(overlay.Validate().ok());
 }
 
-TEST(OverlayTest, RetargetedEdgeGetsFreshIdAndRetiresOldOne) {
+TEST(OverlayTest, RetargetedEdgeGetsFreshIdAndRecyclesOldOne) {
   Overlay overlay = MakeOverlay(3, 1);
   overlay.SetOwnInterest(1, 0, 0.2);
   overlay.AddItemEdge(0, 1, 0, 0.2);
   overlay.SetOwnInterest(2, 0, 0.5);
   overlay.AddItemEdge(1, 2, 0, 0.5);  // id 1
-  // Retarget r2 directly under the source: the old P->Q edge (id 1)
-  // disappears; the new edge gets a fresh id, never a recycled one.
+  // Retarget r2 directly under the source: the new incarnation mints
+  // its id before the old 1->2 edge (id 1) retires, so a retarget never
+  // hands the same id straight back...
   overlay.AddItemEdge(0, 2, 0, 0.5);
   EXPECT_EQ(overlay.Serving(1, 0).children.size(), 0u);
   EXPECT_EQ(overlay.Serving(0, 0).children[1].id, 2u);
   EXPECT_EQ(overlay.edge_id_limit(), 3u);
+  EXPECT_TRUE(overlay.Validate().ok());
+  // ...but the retired id goes to the free list: the next edge created
+  // recycles id 1 instead of growing the dense id space (long-lived
+  // dynamic overlays stay bounded by their live edge count).
+  const EdgeId recycled = overlay.AddItemEdge(1, 2, 0, 0.5);
+  EXPECT_EQ(recycled, 1u);
+  EXPECT_EQ(overlay.edge_id_limit(), 3u);
+  EXPECT_EQ(overlay.edge_item(recycled), 0u);
   EXPECT_TRUE(overlay.Validate().ok());
 }
 
