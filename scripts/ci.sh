@@ -19,9 +19,21 @@
 # bench-results/BENCH_<name>.json (--benchmark_format console output
 # stays on the log); CI uploads the directory as an artifact, so every
 # commit contributes a point to the perf trajectory.
+#
+# Lint: set D3T_LINT=1 to instead run the d3t-lint static-analysis
+# suite (tools/lint/d3t_lint.py) — fixture selftest first, then a
+# clean pass over src/. No toolchain needed beyond python3.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+if [[ -n "${D3T_LINT:-}" ]]; then
+  echo "== d3t-lint: fixture selftest =="
+  python3 tools/lint/d3t_lint.py --selftest
+  echo "== d3t-lint: src/ =="
+  python3 tools/lint/d3t_lint.py src/
+  exit 0
+fi
 
 if [[ -n "${D3T_BENCH_SMOKE:-}" ]]; then
   BUILD_DIR=build-bench-smoke

@@ -12,8 +12,10 @@ namespace d3t {
 /// A value-or-error holder in the spirit of absl::StatusOr. A `Result<T>`
 /// holds either a `T` or a non-OK `Status`. Accessing the value of an
 /// errored result is a programming error (asserted in debug builds).
+/// Class-level [[nodiscard]]: dropping a returned Result loses both the
+/// value and the error; cast to (void) to discard deliberately.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a result holding `value`.
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)

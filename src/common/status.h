@@ -8,8 +8,10 @@ namespace d3t {
 
 /// RocksDB-style status object used for error handling throughout the
 /// library. The public API never throws; fallible operations return a
-/// `Status` (or a `Result<T>`, see result.h).
-class Status {
+/// `Status` (or a `Result<T>`, see result.h). The class-level
+/// [[nodiscard]] makes silently dropping a returned Status a compile
+/// warning; cast to (void) to discard deliberately.
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,

@@ -74,6 +74,7 @@ BeginDecision DistributedDisseminator::BeginUpdate(sim::SimTime,
   return BeginDecision{};
 }
 
+// d3t-lint: hot
 bool DistributedDisseminator::ShouldPush(sim::SimTime, OverlayIndex node,
                                          ItemId item, const ItemEdge& edge,
                                          double value, double /*tag*/) {
@@ -125,6 +126,7 @@ BeginDecision Eq3OnlyDisseminator::BeginUpdate(sim::SimTime, OverlayIndex,
   return BeginDecision{};
 }
 
+// d3t-lint: hot
 bool Eq3OnlyDisseminator::ShouldPush(sim::SimTime, OverlayIndex /*node*/,
                                      ItemId /*item*/, const ItemEdge& edge,
                                      double value, double /*tag*/) {
@@ -278,6 +280,7 @@ BeginDecision TemporalDisseminator::BeginUpdate(sim::SimTime, OverlayIndex,
   return BeginDecision{};
 }
 
+// d3t-lint: hot
 bool TemporalDisseminator::ShouldPush(sim::SimTime now,
                                       OverlayIndex /*node*/,
                                       ItemId /*item*/, const ItemEdge& edge,

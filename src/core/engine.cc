@@ -220,6 +220,7 @@ Result<EngineMetrics> Engine::Run() {
   return metrics_;
 }
 
+// d3t-lint: hot
 void Engine::HandleEvent(sim::SimTime t, const sim::Event& event) {
   // metrics_.events counts *logical* events: one per source tick, per
   // delivered message and per processing step, regardless of how the
@@ -334,6 +335,7 @@ void Engine::Deliver(sim::SimTime t, OverlayIndex node, const Job& job) {
   }
 }
 
+// d3t-lint: hot
 void Engine::ProcessWakeup(sim::SimTime t, OverlayIndex node) {
   NodeState& state = nodes_[node];
   // A failure can empty the backlog between scheduling and firing;
@@ -635,7 +637,9 @@ bool Engine::TryAttachNeed(OverlayIndex m, const MemberNeed& need) {
     // orphans, possibly at a looser tolerance): restate the own need on
     // the existing holding so the serve chain tightens to c_own and
     // later renegotiation/leave ops on the pair stay valid.
-    overlay_.JoinOwnInterest(m, need.item, need.c_own);
+    const Status join = overlay_.JoinOwnInterest(m, need.item, need.c_own);
+    assert(join.ok());  // Holds() was checked above
+    (void)join;
     disseminator_.OnToleranceAdded(need.item,
                                    overlay_.Serving(m, need.item).c_serve,
                                    source_values_[need.item]);
@@ -654,7 +658,9 @@ bool Engine::TryAttachNeed(OverlayIndex m, const MemberNeed& need) {
   }
   if (parent == kInvalidOverlayIndex) return false;
   AttachRepairedEdge(parent, m, need.item, need.c_own);
-  overlay_.JoinOwnInterest(m, need.item, need.c_own);
+  const Status join = overlay_.JoinOwnInterest(m, need.item, need.c_own);
+  assert(join.ok());  // AttachRepairedEdge just created the holding
+  (void)join;
   // The re-join serves at c_own, which can be a tolerance class the
   // source never tracked (the pre-failure serve was tighter when
   // dependents rode the edge) — admit it.
@@ -812,7 +818,11 @@ void Engine::ApplyInterestJoin(sim::SimTime t, OverlayIndex m, ItemId item,
   }
   // Own-interest flag + tracker id + serve-chain propagation (a
   // relaying member taking on a tighter own need renegotiates upward).
-  overlay_.JoinOwnInterest(m, item, c);
+  const Status join = overlay_.JoinOwnInterest(m, item, c);
+  if (!join.ok()) {
+    scenario_status_ = join;
+    return;
+  }
   disseminator_.OnToleranceAdded(item, overlay_.Serving(m, item).c_serve,
                                  source_values_[item]);
   // The pair's fidelity window opens at the join (a join-time fetch

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <type_traits>
 #include <vector>
 
 #include "common/result.h"
@@ -134,7 +135,7 @@ struct EngineMetrics {
 /// lazy: they integrate the source process straight from the trace
 /// timeline on repository-value changes and at the FinalizeHook, so a
 /// source tick costs O(1) instead of O(holders of the item).
-class Engine : public sim::EventHandler {
+class Engine final : public sim::EventHandler {
  public:
   /// All referenced objects must outlive the engine. `traces[i]` is the
   /// value process of item i; `traces.size()` must equal
@@ -160,11 +161,21 @@ class Engine : public sim::EventHandler {
   Result<EngineMetrics> Run();
 
  private:
+  // d3t-lint: pod-event
   struct Job {
     ItemId item = kInvalidItem;
     double value = 0.0;
     double tag = 0.0;
   };
+  // DeliveryBatch slots carry spans of these across the event kernel
+  // (and, once the event loop shards, across worker threads): the same
+  // POD discipline as the 16-byte sim::Event, pinned the same way.
+  static_assert(sizeof(Job) == 24,
+                "delivery-batch job slots are 24-byte PODs; growing "
+                "them grows every node backlog and batch pool");
+  static_assert(std::is_trivially_copyable_v<Job>,
+                "delivery-batch job slots must stay trivially copyable "
+                "— they are memcpy'd through pooled batch spans");
   static constexpr uint32_t kNoBatch = UINT32_MAX;
   /// One scheduled delivery event: every job arriving at `node` at
   /// `arrival`. The first job is stored inline so the common singleton

@@ -172,7 +172,7 @@ class Overlay {
   /// original cooperation degree afterwards; callers that care should
   /// re-run LeLA for the affected subtree. Removing the source or an
   /// unknown member fails.
-  Status RemoveMember(OverlayIndex m);
+  [[nodiscard]] Status RemoveMember(OverlayIndex m);
 
   /// Crash-style removal (a *failed* node, paper §4's resilience
   /// discussion): unlike RemoveMember, dependents are NOT silently
@@ -183,7 +183,7 @@ class Overlay {
   /// the member's edge ids are recycled. The overlay does not Validate
   /// while orphans exist (their item trees are not rooted); repair
   /// restores validity. Removing the source or an unknown member fails.
-  Result<MemberDetachment> DetachMember(OverlayIndex m);
+  [[nodiscard]] Result<MemberDetachment> DetachMember(OverlayIndex m);
 
   /// Declares (mid-run interest churn) that `m` — which must already
   /// hold `item` — now has an own need for it at tolerance `c`: sets
@@ -191,7 +191,7 @@ class Overlay {
   /// had one) and renegotiates the serve chain (c_serve may tighten,
   /// propagating up to the source). Unlike SetOwnInterest this keeps
   /// every parent edge's tolerance consistent with its child's c_serve.
-  Status JoinOwnInterest(OverlayIndex m, ItemId item, Coherency c);
+  [[nodiscard]] Status JoinOwnInterest(OverlayIndex m, ItemId item, Coherency c);
 
   /// Drops `m`'s own interest in `item` (interest churn). A childless
   /// holding is removed outright: the edge from its parent is erased
@@ -200,14 +200,14 @@ class Overlay {
   /// the source. A relaying member keeps the holding; its c_serve
   /// loosens to the dependents' minimum and the change propagates up
   /// the serving chain. No-op Ok if `m` has no own interest in `item`.
-  Status DropOwnInterest(OverlayIndex m, ItemId item);
+  [[nodiscard]] Status DropOwnInterest(OverlayIndex m, ItemId item);
 
   /// Coherency renegotiation: `m`'s own tolerance for `item` becomes
   /// `c` (m must hold the item with own interest). Tightening and
   /// loosening both recompute c_serve = min(c_own, dependents) at every
   /// hop up the serving chain and keep each parent edge's tolerance
   /// equal to its child's c_serve, so Eq. (1) holds throughout.
-  Status UpdateOwnCoherency(OverlayIndex m, ItemId item, Coherency c);
+  [[nodiscard]] Status UpdateOwnCoherency(OverlayIndex m, ItemId item, Coherency c);
 
   /// Structural validation:
   ///  * every per-item parent/children record is mutually consistent;
@@ -218,7 +218,7 @@ class Overlay {
   ///  * connection fan-out respects `max_degree` if nonzero;
   ///  * every edge carries a valid EdgeId below edge_id_limit(), unique
   ///    across the whole d3g.
-  Status Validate(size_t max_degree = 0) const;
+  [[nodiscard]] Status Validate(size_t max_degree = 0) const;
 
   OverlayShape ComputeShape() const;
 

@@ -144,6 +144,7 @@ Result<PullMetrics> PullEngine::Run() {
   return metrics_;
 }
 
+// d3t-lint: hot
 void PullEngine::HandleEvent(sim::SimTime t, const sim::Event& event) {
   if (event.kind == sim::EventKind::kFinalizeHook) {
     // Close the outage windows of members still down at the horizon.

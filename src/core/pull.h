@@ -81,7 +81,7 @@ struct PullMetrics {
 /// request arrival, service completion, response arrival); fidelity
 /// trackers are trace-bound and integrate the source process lazily, so
 /// no per-tick source events exist at all.
-class PullEngine : public sim::EventHandler {
+class PullEngine final : public sim::EventHandler {
  public:
   /// `change_timelines`, when non-null, must be the compacted per-item
   /// timelines of exactly `traces` (BuildChangeTimelines output, e.g. a

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/result.h"
@@ -50,6 +51,7 @@ const char* ScenarioOpKindName(ScenarioOpKind kind);
 /// table; the event kernel carries only an index into that table
 /// (sim::EventKind::kScenario), so nothing on the hot path allocates or
 /// type-erases.
+// d3t-lint: pod-event
 struct ScenarioOp {
   sim::SimTime at = 0;
   ScenarioOpKind kind = ScenarioOpKind::kRepoFail;
@@ -61,6 +63,13 @@ struct ScenarioOp {
   /// Tolerance of a join/coherency op; ignored by the others.
   Coherency c = 0.0;
 };
+static_assert(sizeof(ScenarioOp) == 32,
+              "scenario ops are 32-byte table rows; growing them grows "
+              "every script and the event kernel's cache footprint");
+static_assert(std::is_trivially_copyable_v<ScenarioOp>,
+              "scenario ops must stay PODs — the event kernel carries "
+              "indexes into the op table across (future) thread "
+              "boundaries");
 
 /// An immutable, time-sorted script of world-mutation ops, attached to
 /// a run (exp::RunSpec::scenario) and delivered through the typed event

@@ -4,6 +4,7 @@
 
 namespace d3t::sim {
 
+// d3t-lint: hot
 uint64_t EventQueue::Schedule(SimTime when, Event event) {
   // Callback slots are queue-internal: an externally built kCallback
   // event would index (or corrupt) the closure side table.
@@ -84,6 +85,7 @@ SimTime EventQueue::PeekTime() const {
   return heap_.top().when;
 }
 
+// d3t-lint: hot
 SimTime EventQueue::RunNext(EventHandler* handler) {
   DropDeadTop();
   assert(!heap_.empty());
@@ -97,6 +99,7 @@ SimTime EventQueue::RunNext(EventHandler* handler) {
   free_list_.push_back(top.index);
   --live_;
   if (event.kind == EventKind::kCallback) {
+    // d3t-lint: allow(hot-alloc) kCallback cold path moves the stored closure out of the side table; nothing is constructed or captured
     EventFn fn = std::move(callbacks_[static_cast<uint32_t>(event.b)]);
     ReleaseCallback(event);
     fn(when);

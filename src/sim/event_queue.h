@@ -45,6 +45,7 @@ enum class EventKind : uint32_t {
 /// meaning is fixed by the kind (see EventKind). Handlers decode with
 /// the named accessors of the scheduling layer; the queue never looks
 /// inside the payload except for kCallback.
+// d3t-lint: pod-event
 struct Event {
   EventKind kind = EventKind::kCallback;
   uint32_t a = 0;

@@ -1,0 +1,35 @@
+// Fixture: every discard shape the discarded-status check must catch.
+namespace d3t::common {
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+}  // namespace d3t::common
+
+namespace d3t::core {
+
+class Registry {
+ public:
+  common::Status Mutate(int id);
+  common::Status Validate() const;
+};
+
+void Run(Registry& r, int n) {
+  // BAD: bare statement discard.
+  r.Mutate(1);
+  // BAD: discard as the body of an if.
+  if (n > 0) r.Mutate(2);
+  switch (n) {
+    case 0:
+      // BAD: discard right after a case label.
+      r.Validate();
+      break;
+    default:
+      // BAD: discard right after a default label.
+      r.Mutate(3);
+  }
+  // BAD: discard as a loop body.
+  for (int i = 0; i < n; ++i) r.Mutate(i);
+}
+
+}  // namespace d3t::core

@@ -1,0 +1,40 @@
+// Fixture: consumed, explicitly-discarded, and ambiguous uses that the
+// discarded-status check must NOT flag.
+namespace d3t::common {
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+}  // namespace d3t::common
+
+namespace d3t::core {
+
+class Registry {
+ public:
+  common::Status Mutate(int id);
+  common::Status Validate() const;
+  common::Status status() const;
+  void Initialize();
+};
+
+// Same name also exists with a void return somewhere in the tree: the
+// scanner cannot resolve overloads, so the name is dropped and the
+// [[nodiscard]] attribute remains the precise compile-time guard.
+common::Status Initialize(Registry& r);
+
+common::Status Use(Registry& r, int n) {
+  common::Status s = r.Mutate(1);
+  if (!r.Validate().ok()) return s;
+  // Explicit discard via (void) cast is accepted.
+  (void)r.Mutate(2);
+  // Void-collision name: not flagged (see comment above).
+  Initialize(r);
+  // Ternary arm consumes the value.
+  return n > 0 ? s : r.Mutate(3);
+}
+
+void FireAndForget(Registry& r) {
+  r.Mutate(9);  // d3t-lint: allow(discarded-status) best-effort cleanup; shutdown re-validates
+}
+
+}  // namespace d3t::core

@@ -1,0 +1,23 @@
+// Fixture: every ambient-entropy source the entropy check must catch.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace d3t::core {
+
+long Nondeterministic() {
+  // BAD: wall-clock read on a simulation path.
+  const auto t0 = std::chrono::steady_clock::now();
+  // BAD: second clock family.
+  const auto t1 = std::chrono::system_clock::now();
+  // BAD: C rand() draws from ambient global state.
+  long x = rand();
+  // BAD: hardware entropy.
+  std::random_device rd;
+  x += static_cast<long>(rd());
+  // BAD: environment reads make runs host-dependent.
+  if (getenv("D3T_DEBUG") != nullptr) ++x;
+  return x + t0.time_since_epoch().count() + t1.time_since_epoch().count();
+}
+
+}  // namespace d3t::core

@@ -1,0 +1,13 @@
+// Fixture: the allowlisted seeding translation unit (path suffix
+// common/random.cc) may touch ambient entropy — it is where explicit
+// seeds come from when the user asks for one.
+#include <random>
+
+namespace d3t {
+
+unsigned FreshSeed() {
+  std::random_device rd;  // allowlisted: this file IS the entropy edge
+  return rd();
+}
+
+}  // namespace d3t

@@ -1,0 +1,28 @@
+// Fixture: seeded, simulation-time-based code the entropy check must
+// NOT flag. Mentions of banned names in comments and strings are fine:
+// steady_clock::now, rand(), getenv("HOME").
+#include <cstdint>
+
+namespace d3t::core {
+
+/// SplitMix64 step: all randomness flows from the run's explicit seed.
+uint64_t NextRandom(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+const char* Describe() {
+  // Banned identifiers inside string literals are not findings.
+  return "never call rand() or steady_clock::now() in simulation code";
+}
+
+// A member call that happens to be named like a banned function is not
+// the global one. Sampler's seeded rand() member lives elsewhere.
+struct Sampler;
+
+uint64_t Draw(Sampler& s) { return s.rand(); }
+
+}  // namespace d3t::core

@@ -1,0 +1,31 @@
+// Fixture: allocation, string building, and type erasure inside
+// functions tagged hot — every form the hot-alloc check must catch.
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace d3t::core {
+
+struct Slot {
+  int* scratch = nullptr;
+};
+
+using EventFn = std::function<void()>;
+
+// d3t-lint: hot
+void ProcessSlot(Slot& slot) {
+  // BAD: operator new on a hot path.
+  slot.scratch = new int[64];
+  // BAD: smart-pointer factory allocates.
+  auto owned = std::make_unique<int>(7);
+  // BAD: string building allocates.
+  std::string label = "slot-" + std::to_string(*owned);
+  // BAD: type erasure allocates and indirects.
+  std::function<void()> thunk = [&slot] { slot.scratch = nullptr; };
+  // BAD: project-local std::function alias, same hazard.
+  EventFn fn = thunk;
+  fn();
+  (void)label;
+}
+
+}  // namespace d3t::core

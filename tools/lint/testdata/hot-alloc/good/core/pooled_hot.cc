@@ -1,0 +1,31 @@
+// Fixture: a hot-tagged function that recycles pool slots (no finding),
+// next to an untagged function that allocates freely (out of scope).
+#include <cstdint>
+#include <vector>
+
+namespace d3t::core {
+
+struct Pool {
+  std::vector<uint32_t> free_list;
+  std::vector<double> slots;
+};
+
+// d3t-lint: hot
+double RecycleSlot(Pool& pool, double value) {
+  // Pop a recycled index; no allocation ever happens here because the
+  // cold path below pre-grows the backing store.
+  const uint32_t idx = pool.free_list.back();
+  pool.free_list.pop_back();
+  pool.slots[idx] = value;
+  return pool.slots[idx];
+}
+
+// Untagged cold path: growing the pool may allocate, and that is fine.
+void GrowPool(Pool& pool, uint32_t extra) {
+  for (uint32_t i = 0; i < extra; ++i) {
+    pool.free_list.push_back(static_cast<uint32_t>(pool.slots.size()));
+    pool.slots.push_back(0.0);
+  }
+}
+
+}  // namespace d3t::core

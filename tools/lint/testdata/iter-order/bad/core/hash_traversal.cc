@@ -1,0 +1,52 @@
+// Fixture: every traversal form of an unordered container that the
+// iter-order check must catch, plus a pointer-keyed ordered container.
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace d3t::core {
+
+struct Node {
+  int id = 0;
+};
+
+struct State {
+  std::unordered_map<int, double> backlog;
+  std::unordered_set<int> members;
+  // BAD: ordered by pointer value — address-dependent iteration order.
+  std::map<Node*, double> weights;
+  // BAD: same problem for sets.
+  std::set<const Node*> visited;
+};
+
+double SumBacklog(State& s) {
+  double total = 0.0;
+  // BAD: range-for over a hash map.
+  for (const auto& entry : s.backlog) {
+    total += entry.second;
+  }
+  return total;
+}
+
+int CountMembers(State& s) {
+  int n = 0;
+  // BAD: iterator traversal of a hash set.
+  for (auto it = s.members.begin(); it != s.members.end(); ++it) {
+    ++n;
+  }
+  return n;
+}
+
+using Index = std::unordered_map<int, int>;
+
+int SumAliased(Index index) {
+  int total = 0;
+  // BAD: traversal through a using-alias of an unordered container.
+  for (const auto& entry : index) {
+    total += entry.second;
+  }
+  return total;
+}
+
+}  // namespace d3t::core

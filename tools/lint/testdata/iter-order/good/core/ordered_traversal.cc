@@ -1,0 +1,41 @@
+// Fixture: deterministic traversals and lookup-only unordered use that
+// the iter-order check must NOT flag.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace d3t::core {
+
+struct State {
+  // Lookup-only hash map: fine as long as nobody iterates it.
+  std::unordered_map<int, double> cache;
+  // Value-keyed ordered map: iteration order is the key order.
+  std::map<int, double> by_id;
+  std::vector<double> dense;
+};
+
+double Lookup(State& s, int key) {
+  // Lookup, count and insert never observe iteration order.
+  auto it = s.cache.find(key);
+  if (it != s.cache.end()) return it->second;
+  s.cache[key] = 0.0;
+  return s.cache.count(key) ? 0.0 : -1.0;
+}
+
+double SumOrdered(const State& s) {
+  double total = 0.0;
+  for (const auto& entry : s.by_id) total += entry.second;
+  for (double v : s.dense) total += v;
+  return total;
+}
+
+double SumSuppressed(State& s) {
+  double total = 0.0;
+  // The aggregate is order-independent, and the suppression says so:
+  // d3t-lint: allow(iter-order) summation is commutative; order never escapes
+  for (const auto& entry : s.cache) total += entry.second;
+  return total;
+}
+
+}  // namespace d3t::core

@@ -1,0 +1,4 @@
+// Fixture: common/ is the leaf layer — it may include nothing but
+// itself, certainly not sim/.
+#pragma once
+#include "sim/time.h"

@@ -1,0 +1,9 @@
+// Fixture: net/ including trace/ — siblings in the DAG must not
+// depend on each other.
+#include "trace/workload.h"
+
+namespace d3t::net {
+
+void Touch() {}
+
+}  // namespace d3t::net

@@ -1,0 +1,9 @@
+// Fixture: sim/ reaching UP into core/ — inverts the include DAG.
+#include "core/engine.h"
+#include "sim/event_queue.h"
+
+namespace d3t::sim {
+
+void Touch() {}
+
+}  // namespace d3t::sim

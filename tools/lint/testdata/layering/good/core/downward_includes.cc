@@ -1,0 +1,16 @@
+// Fixture: core/ may include every lower layer; system headers and
+// same-layer includes are always fine.
+#include "core/overlay.h"
+
+#include <vector>
+
+#include "common/status.h"
+#include "net/topology.h"
+#include "sim/event_queue.h"
+#include "trace/workload.h"
+
+namespace d3t::core {
+
+void Touch() {}
+
+}  // namespace d3t::core

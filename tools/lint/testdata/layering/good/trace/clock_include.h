@@ -1,0 +1,4 @@
+// Fixture: trace/ may use the shared clock vocabulary from sim/.
+#pragma once
+#include "common/status.h"
+#include "sim/time.h"

@@ -1,0 +1,16 @@
+// Fixture: the canonical event header WITHOUT the pod-event tag on its
+// Event struct — retiring the tag is itself a finding, so the
+// discipline cannot be silently dropped.
+#pragma once
+
+#include <cstdint>
+
+namespace d3t::sim {
+
+struct Event {
+  double at = 0.0;
+  uint32_t a = 0;
+  uint32_t b = 0;
+};
+
+}  // namespace d3t::sim

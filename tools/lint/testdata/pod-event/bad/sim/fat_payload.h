@@ -1,0 +1,21 @@
+// Fixture: tagged payload structs that violate the POD discipline.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace d3t::sim {
+
+// d3t-lint: pod-event
+struct FatPayload {
+  // BAD: heap-owning members make the payload non-trivially-copyable.
+  std::string label;
+  std::vector<int> targets;
+  std::unique_ptr<int> owner;
+  // BAD: a vtable pointer makes the layout address-dependent.
+  virtual void Apply();
+};
+// (also BAD: no sizeof/is_trivially_copyable static_assert pins follow.)
+
+}  // namespace d3t::sim

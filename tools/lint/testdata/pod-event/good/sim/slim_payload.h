@@ -1,0 +1,25 @@
+// Fixture: a correctly disciplined pod-event struct — fixed-width
+// scalar members only, with both compile-time pins present.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace d3t::sim {
+
+// d3t-lint: pod-event
+struct SlimPayload {
+  double at = 0.0;
+  uint32_t kind = 0;
+  uint32_t node = 0;
+  // Member functions are fine as long as they add no vtable and the
+  // fields stay trivially copyable.
+  bool IsWakeup() const { return kind == 0; }
+};
+
+static_assert(sizeof(SlimPayload) == 16,
+              "payload slots are packed 16-byte rows");
+static_assert(std::is_trivially_copyable_v<SlimPayload>,
+              "payloads cross thread boundaries by memcpy");
+
+}  // namespace d3t::sim
