@@ -1,0 +1,100 @@
+// Wire-layer microbenchmarks: frame encode/decode throughput and the
+// cost of moving frames through the two transports. The engines'
+// byte-identity pins guarantee wire routing changes nothing about the
+// simulation's results (DeterminismTest.WireTransportIsByteIdentical*);
+// these benchmarks measure what it costs per message.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "net/transport.h"
+#include "net/wire.h"
+
+namespace d3t {
+namespace {
+
+net::wire::Frame BenchFrame(uint32_t i) {
+  return net::wire::Frame::Update(/*src=*/i % 32, /*dst=*/(i + 1) % 32,
+                                  /*arrival_us=*/1000 * i, /*item=*/i % 8,
+                                  /*value=*/static_cast<double>(i),
+                                  /*tag=*/0.25);
+}
+
+void BM_EncodeUpdate(benchmark::State& state) {
+  uint8_t buf[net::wire::kMaxFrameSize];
+  uint32_t i = 0;
+  for (auto _ : state) {
+    const net::wire::Frame frame = BenchFrame(i++);
+    benchmark::DoNotOptimize(
+        net::wire::Encode(frame, buf, sizeof(buf)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(
+          net::wire::EncodedSize(net::wire::FrameType::kUpdate)));
+}
+BENCHMARK(BM_EncodeUpdate);
+
+void BM_EncodeDecodeRoundTrip(benchmark::State& state) {
+  uint8_t buf[net::wire::kMaxFrameSize];
+  uint32_t i = 0;
+  for (auto _ : state) {
+    const net::wire::Frame frame = BenchFrame(i++);
+    const size_t encoded = net::wire::Encode(frame, buf, sizeof(buf));
+    Result<net::wire::Frame> decoded = net::wire::Decode(buf, encoded);
+    benchmark::DoNotOptimize(decoded.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(
+          net::wire::EncodedSize(net::wire::FrameType::kUpdate)));
+}
+BENCHMARK(BM_EncodeDecodeRoundTrip);
+
+// One engine-shaped hop: Send encodes into the destination ring, Poll
+// decodes back out — the per-message cost wire mode adds to a push.
+void BM_InProcSendPoll(benchmark::State& state) {
+  net::InProcTransport bus(/*peer_count=*/32, /*per_peer_capacity=*/64);
+  net::wire::Frame out;
+  uint32_t i = 0;
+  for (auto _ : state) {
+    const net::wire::Frame frame = BenchFrame(i);
+    benchmark::DoNotOptimize(
+        bus.Send(frame.u.update.src, frame.u.update.dst, frame).ok());
+    benchmark::DoNotOptimize(bus.Poll(frame.u.update.dst, &out, nullptr));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_InProcSendPoll);
+
+// The byte-stream path adds header-driven deframing (PeekFrameSize +
+// resync scan) on top of the same encode/decode.
+void BM_StreamSendPoll(benchmark::State& state) {
+  net::StreamTransport stream(/*peer_count=*/2,
+                              /*per_channel_bytes=*/4096);
+  if (!stream.Connect(0, 1).ok()) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  net::wire::Frame out;
+  uint32_t i = 0;
+  for (auto _ : state) {
+    const net::wire::Frame frame = net::wire::Frame::Update(
+        0, 1, 1000 * i, i % 8, static_cast<double>(i), 0.25);
+    benchmark::DoNotOptimize(stream.Send(0, 1, frame).ok());
+    benchmark::DoNotOptimize(stream.Poll(1, &out, nullptr));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StreamSendPoll);
+
+}  // namespace
+}  // namespace d3t
+
+BENCHMARK_MAIN();

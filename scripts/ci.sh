@@ -54,7 +54,7 @@ if [[ -n "${D3T_BENCH_SMOKE:-}" ]]; then
   fi
   RESULTS_DIR=bench-results
   mkdir -p "$RESULTS_DIR"
-  for gbench in event_kernel micro_core session_sweep; do
+  for gbench in event_kernel micro_core session_sweep wire; do
     echo "== bench smoke: ${gbench} =="
     "$BUILD_DIR/bench/$gbench" "$MIN_TIME_FLAG" \
       --benchmark_out_format=json \
@@ -66,7 +66,7 @@ if [[ -n "${D3T_BENCH_SMOKE:-}" ]]; then
   for cli_bench in "$BUILD_DIR"/bench/*; do
     name=$(basename "$cli_bench")
     case "$name" in
-      event_kernel|micro_core|session_sweep) continue ;;
+      event_kernel|micro_core|session_sweep|wire) continue ;;
     esac
     echo "== bench smoke: ${name} =="
     "$cli_bench" --repositories 8 --items 4 --ticks 120

@@ -72,6 +72,11 @@ Result<EngineMetrics> Engine::Run() {
   if (options_.comp_delay < 0) {
     return Status::InvalidArgument("negative computational delay");
   }
+  if (options_.wire_transport != nullptr &&
+      options_.wire_transport->peer_count() < overlay_.member_count()) {
+    return Status::InvalidArgument(
+        "wire transport must address every overlay member");
+  }
   std::vector<double> initial_values(traces_.size());
   sim::SimTime horizon = 0;
   for (size_t i = 0; i < traces_.size(); ++i) {
@@ -144,6 +149,7 @@ Result<EngineMetrics> Engine::Run() {
   stranded_needs_.clear();
   orphaned_pairs_ = 0;
   scenario_status_ = Status::Ok();
+  wire_status_ = Status::Ok();
   scenario_pending_times_ = {};
   if (scenario_ != nullptr && !scenario_->empty()) {
     pending_orphans_.assign(scenario_->size(), {});
@@ -172,6 +178,7 @@ Result<EngineMetrics> Engine::Run() {
   simulator_.ScheduleAt(horizon, sim::Event::FinalizeHook());
   simulator_.RunUntil(horizon);
   if (!scenario_status_.ok()) return scenario_status_;
+  if (!wire_status_.ok()) return wire_status_;
   if (metrics_.outage_pair_time > 0) {
     metrics_.outage_loss_percent =
         100.0 * static_cast<double>(metrics_.outage_out_of_sync_time) /
@@ -423,12 +430,64 @@ sim::SimTime Engine::ProcessOneJob(sim::SimTime start, OverlayIndex node,
         ++metrics_.messages;
         if (node == kSourceOverlayIndex) ++metrics_.source_messages;
         const sim::SimTime arrival = busy + delays_.Delay(node, edge.child);
-        ScheduleDelivery(arrival, edge.child,
-                         Job{job.item, job.value, decision.tag});
+        if (options_.wire_transport == nullptr) {
+          ScheduleDelivery(arrival, edge.child,
+                           Job{job.item, job.value, decision.tag});
+        } else {
+          SendFramedUpdate(node, edge.child, arrival,
+                           Job{job.item, job.value, decision.tag});
+        }
       }
     }
   }
   return busy;
+}
+
+// d3t-lint: hot
+void Engine::SendFramedUpdate(OverlayIndex from, OverlayIndex to,
+                              sim::SimTime arrival, const Job& job) {
+  if (!wire_status_.ok()) return;  // first failure wins; push path inert
+  net::Transport& transport = *options_.wire_transport;
+  const net::wire::Frame frame =
+      net::wire::Frame::Update(from, to, arrival, job.item, job.value,
+                               job.tag);
+  Status sent = transport.Send(from, to, frame);
+  if (sent.IsCapacityExhausted()) {
+    // Backpressure: the destination ring is full of frames we have not
+    // yet turned into events. Drain it (a counted stall, no growth)
+    // and retry once — after a drain the ring cannot still be full.
+    DrainWireFrames(to);
+    sent = transport.Send(from, to, frame);
+  }
+  if (!sent.ok()) {
+    wire_status_ = sent;
+    return;
+  }
+  // Drain immediately so the delivery lands on the event queue at this
+  // exact call point: the queue breaks time ties by insertion sequence,
+  // and deferring the drain would reorder same-instant deliveries
+  // relative to the direct path.
+  DrainWireFrames(to);
+}
+
+// d3t-lint: hot
+void Engine::DrainWireFrames(OverlayIndex to) {
+  net::Transport& transport = *options_.wire_transport;
+  net::wire::Frame frame;
+  net::PeerId from = net::kInvalidPeerId;
+  while (transport.Poll(to, &frame, &from)) {
+    if (frame.type != net::wire::FrameType::kUpdate) {
+      wire_status_ = Status::Internal("unexpected frame type on data ring");
+      continue;
+    }
+    const net::wire::UpdatePayload& p = frame.u.update;
+    if (p.dst != to || p.src != from) {
+      wire_status_ = Status::Internal("misaddressed update frame");
+      continue;
+    }
+    ScheduleDelivery(p.arrival_us, static_cast<OverlayIndex>(p.dst),
+                     Job{static_cast<ItemId>(p.item), p.value, p.tag});
+  }
 }
 
 void Engine::FinalizeTrackers(sim::SimTime t) {

@@ -13,6 +13,7 @@
 #include "core/overlay.h"
 #include "core/scenario.h"
 #include "net/delay_model.h"
+#include "net/transport.h"
 #include "sim/simulator.h"
 #include "trace/trace.h"
 
@@ -55,6 +56,17 @@ struct EngineOptions {
   /// staleness) for this long after their parent fails before the
   /// repair policy re-attaches them. 0 repairs at the failure instant.
   sim::SimTime repair_delay = 0;
+  /// When non-null, every inter-node update push is serialized through
+  /// the wire format over this transport (peer ids = overlay indices,
+  /// so peer_count() must cover member_count()): the sender encodes a
+  /// kUpdate frame, Send moves the bytes, and the receiver's drain
+  /// decodes and schedules the delivery — at the same instant and in
+  /// the same order a direct ScheduleDelivery call would, so metrics
+  /// are byte-identical either way (pinned by DeterminismTest) while
+  /// every message genuinely round-trips wire::Encode/Decode. Null
+  /// keeps the historical direct path. The transport must outlive the
+  /// engine.
+  net::Transport* wire_transport = nullptr;
 };
 
 /// Results of one simulation run.
@@ -225,6 +237,18 @@ class Engine final : public sim::EventHandler {
   /// scheduling one POD Delivery event referencing the slot.
   void ScheduleDelivery(sim::SimTime when, OverlayIndex node,
                         const Job& job);
+  /// Wire-mode twin of ScheduleDelivery: encodes the push as a kUpdate
+  /// frame, sends it to `to`, and immediately drains `to`'s ring so
+  /// the delivery lands on the event queue at this exact call point
+  /// (preserving insertion order on time ties — the byte-identity
+  /// invariant). A full ring is drained and retried once; persistent
+  /// failure is recorded in `wire_status_`.
+  void SendFramedUpdate(OverlayIndex from, OverlayIndex to,
+                        sim::SimTime arrival, const Job& job);
+  /// Decodes every frame pending for `to` and schedules the deliveries
+  /// they carry. Malformed or misaddressed frames poison
+  /// `wire_status_`.
+  void DrainWireFrames(OverlayIndex to);
   void FinalizeTrackers(sim::SimTime t);
 
   // -- Scenario runtime (inert without a scenario) --------------------
@@ -346,6 +370,10 @@ class Engine final : public sim::EventHandler {
   size_t orphaned_pairs_ = 0;
   /// First scenario-op failure; Run() surfaces it after the event loop.
   Status scenario_status_;
+  /// First wire-transport failure (unsendable or undecodable frame);
+  /// Run() surfaces it after the event loop. Always Ok without a
+  /// transport.
+  Status wire_status_;
 };
 
 }  // namespace d3t::core

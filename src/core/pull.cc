@@ -36,6 +36,11 @@ Result<PullMetrics> PullEngine::Run() {
   if (options_.grow_factor < 1.0 || options_.safety <= 0.0) {
     return Status::InvalidArgument("need grow_factor >= 1 and safety > 0");
   }
+  if (options_.wire_transport != nullptr &&
+      options_.wire_transport->peer_count() < interests_.size() + 1) {
+    return Status::InvalidArgument(
+        "wire transport must address source + all repositories");
+  }
   sim::SimTime horizon = 0;
   for (const trace::Trace& trace : traces_) {
     if (trace.empty()) return Status::InvalidArgument("empty trace");
@@ -84,6 +89,7 @@ Result<PullMetrics> PullEngine::Run() {
   outage_snap_.assign(states_.size(), 0);
   member_states_.assign(member_count, {});
   scenario_status_ = Status::Ok();
+  wire_status_ = Status::Ok();
   if (scenario_ != nullptr && !scenario_->empty()) {
     D3T_RETURN_IF_ERROR(
         scenario_->ValidateAgainst(member_count, traces_.size()));
@@ -110,6 +116,7 @@ Result<PullMetrics> PullEngine::Run() {
   simulator_.ScheduleAt(horizon, sim::Event::FinalizeHook());
   simulator_.RunUntil(horizon);
   if (!scenario_status_.ok()) return scenario_status_;
+  if (!wire_status_.ok()) return wire_status_;
   if (metrics_.outage_pair_time > 0) {
     metrics_.outage_loss_percent =
         100.0 * static_cast<double>(metrics_.outage_out_of_sync_time) /
@@ -183,9 +190,68 @@ void PullEngine::SchedulePoll(PollState& state, sim::SimTime when) {
   // Request travels repository -> source.
   const sim::SimTime arrival =
       when + delays_.Delay(state.member, kSourceOverlayIndex);
-  simulator_.ScheduleAt(
-      arrival, sim::Event::PullPoll(static_cast<uint32_t>(index),
-                                    kPollRequest));
+  if (options_.wire_transport == nullptr) {
+    simulator_.ScheduleAt(
+        arrival, sim::Event::PullPoll(static_cast<uint32_t>(index),
+                                      kPollRequest));
+  } else {
+    SendFramedPoll(state.member, kSourceOverlayIndex, arrival, index,
+                   kPollRequest, 0.0);
+  }
+}
+
+// d3t-lint: hot
+void PullEngine::SendFramedPoll(OverlayIndex from, OverlayIndex to,
+                                sim::SimTime at, size_t state_index,
+                                uint64_t phase, double value) {
+  if (!wire_status_.ok()) return;  // first failure wins; poll path inert
+  net::Transport& transport = *options_.wire_transport;
+  const net::wire::Frame frame = net::wire::Frame::Poll(
+      from, to, at, static_cast<uint32_t>(state_index),
+      static_cast<uint32_t>(phase), value);
+  Status sent = transport.Send(from, to, frame);
+  if (sent.IsCapacityExhausted()) {
+    // Backpressure: drain the destination ring (counted stall) and
+    // retry once — a drained ring cannot still be full.
+    DrainWireFrames(to);
+    sent = transport.Send(from, to, frame);
+  }
+  if (!sent.ok()) {
+    wire_status_ = sent;
+    return;
+  }
+  // Drain immediately so the poll event is inserted at this exact call
+  // point — the queue breaks time ties by insertion sequence, and a
+  // deferred drain would reorder same-instant polls against the direct
+  // path.
+  DrainWireFrames(to);
+}
+
+// d3t-lint: hot
+void PullEngine::DrainWireFrames(OverlayIndex to) {
+  net::Transport& transport = *options_.wire_transport;
+  net::wire::Frame frame;
+  net::PeerId from = net::kInvalidPeerId;
+  while (transport.Poll(to, &frame, &from)) {
+    if (frame.type != net::wire::FrameType::kPoll) {
+      wire_status_ = Status::Internal("unexpected frame type on poll ring");
+      continue;
+    }
+    const net::wire::PollPayload& p = frame.u.poll;
+    if (p.dst != to || p.src != from || p.state_index >= states_.size() ||
+        (p.phase != kPollRequest && p.phase != kPollResponse)) {
+      wire_status_ = Status::Internal("malformed poll frame");
+      continue;
+    }
+    if (p.phase == kPollResponse) {
+      // The sampled value rides the frame; it lands in the one in-
+      // flight slot of the loop at the service instant, exactly when
+      // the direct path writes it.
+      states_[p.state_index].inflight_value = p.value;
+    }
+    simulator_.ScheduleAt(p.at_us,
+                          sim::Event::PullPoll(p.state_index, p.phase));
+  }
 }
 
 void PullEngine::HandleRequestAtSource(sim::SimTime t, size_t state_index) {
@@ -204,12 +270,21 @@ void PullEngine::HandleRequestAtSource(sim::SimTime t, size_t state_index) {
 void PullEngine::HandleServiced(sim::SimTime t, size_t state_index) {
   // The response carries the source value at service time.
   PollState& state = states_[state_index];
-  state.inflight_value = traces_[state.item].ValueAt(t);
+  const double value = traces_[state.item].ValueAt(t);
   const sim::SimTime back =
       t + delays_.Delay(kSourceOverlayIndex, state.member);
-  simulator_.ScheduleAt(
-      back, sim::Event::PullPoll(static_cast<uint32_t>(state_index),
-                                 kPollResponse));
+  if (options_.wire_transport == nullptr) {
+    state.inflight_value = value;
+    simulator_.ScheduleAt(
+        back, sim::Event::PullPoll(static_cast<uint32_t>(state_index),
+                                   kPollResponse));
+  } else {
+    // The sample travels inside the frame instead of being written
+    // locally; the receiver-side drain stores it (at this same
+    // instant) before scheduling the response arrival.
+    SendFramedPoll(kSourceOverlayIndex, state.member, back, state_index,
+                   kPollResponse, value);
+  }
 }
 
 void PullEngine::HandleResponse(sim::SimTime t, size_t state_index) {

@@ -9,6 +9,7 @@
 #include "core/interest.h"
 #include "core/scenario.h"
 #include "net/delay_model.h"
+#include "net/transport.h"
 #include "sim/simulator.h"
 #include "trace/trace.h"
 
@@ -42,6 +43,16 @@ struct PullOptions {
   /// Server cost to produce one poll response (busy-server model, like
   /// the push engine's per-dependent cost).
   sim::SimTime comp_delay = sim::Millis(12.5);
+  /// When non-null, both inter-node legs of every poll round trip
+  /// (request toward the source, response back) are serialized through
+  /// the wire format over this transport (peer ids = overlay indices;
+  /// peer_count() must cover source + repositories). Send is followed
+  /// by an immediate receiver-side drain, so events land on the queue
+  /// at the same instant and in the same insertion order as the direct
+  /// path — metrics are byte-identical either way (pinned by
+  /// DeterminismTest). The source-internal service phase never crosses
+  /// the wire. The transport must outlive the engine.
+  net::Transport* wire_transport = nullptr;
 };
 
 /// Results of a pull simulation. Poll traffic counts two messages per
@@ -141,6 +152,17 @@ class PullEngine final : public sim::EventHandler {
   void HandleEvent(sim::SimTime t, const sim::Event& event) override;
 
   void SchedulePoll(PollState& state, sim::SimTime when);
+  /// Wire-mode leg transfer: encodes a kPoll frame (`phase` is the
+  /// PollPhase the leg lands in, `value` the in-flight sample on
+  /// responses), sends it to `to`, and immediately drains `to`'s ring
+  /// so the event is inserted at this exact call point. A full ring is
+  /// drained and retried once; persistent failure poisons
+  /// `wire_status_`.
+  void SendFramedPoll(OverlayIndex from, OverlayIndex to, sim::SimTime at,
+                      size_t state_index, uint64_t phase, double value);
+  /// Decodes every frame pending for `to`, applying response payloads
+  /// and scheduling the poll events they carry.
+  void DrainWireFrames(OverlayIndex to);
   void HandleRequestAtSource(sim::SimTime t, size_t state_index);
   void HandleServiced(sim::SimTime t, size_t state_index);
   void HandleResponse(sim::SimTime t, size_t state_index);
@@ -179,6 +201,9 @@ class PullEngine final : public sim::EventHandler {
   /// Out-of-sync snapshot per state at its member's failure instant.
   std::vector<sim::SimTime> outage_snap_;
   Status scenario_status_;
+  /// First wire-transport failure; Run() surfaces it after the event
+  /// loop. Always Ok without a transport.
+  Status wire_status_;
   sim::SimTime source_busy_until_ = 0;
   sim::SimTime source_busy_total_ = 0;
   PullMetrics metrics_;

@@ -105,6 +105,12 @@ struct PolicyConfig {
   /// re-tracing the library per run. Results are identical either way;
   /// off exists for the rebuild baseline (bench/session_sweep.cc).
   bool use_cached_timelines = true;
+  /// Serialize every inter-node update through the wire format over an
+  /// in-process transport (see core::EngineOptions::wire_transport).
+  /// Metrics are byte-identical either way, pinned by DeterminismTest;
+  /// on = every message round-trips wire::Encode/Decode and the run's
+  /// ExperimentResult carries the transport counters.
+  bool route_through_wire = false;
   /// How orphaned subtrees re-attach when the run's Scenario fails a
   /// repository: "fallback" (the failed member's own parent, LeLA-style
   /// search when it is down too), "lela" (minimum-delay live holder) or

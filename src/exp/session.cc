@@ -295,11 +295,20 @@ Result<ExperimentResult> SimulationSession::Run(const RunSpec& spec) const {
       spec.policy.use_cached_timelines ? &world.change_timelines() : nullptr;
   const core::Scenario* scenario =
       spec.scenario.empty() ? nullptr : &spec.scenario;
+  // Wire mode: a per-run in-process bus whose rings the engine's
+  // send-then-drain discipline keeps at depth <= 1, so a small fixed
+  // capacity suffices for any world size.
+  std::optional<net::InProcTransport> wire_bus;
+  if (spec.policy.route_through_wire) {
+    wire_bus.emplace(built->overlay.member_count(), 64);
+    engine_options.wire_transport = &*wire_bus;
+  }
   core::Engine engine(built->overlay, delays, world.traces(), *policy,
                       engine_options, timelines, scenario);
   Result<core::EngineMetrics> metrics = engine.Run();
   if (!metrics.ok()) return metrics.status();
   result.metrics = std::move(metrics).value();
+  if (wire_bus.has_value()) result.wire = wire_bus->metrics();
   return result;
 }
 

@@ -15,6 +15,7 @@
 #include "core/scenario.h"
 #include "exp/config.h"
 #include "net/delay_model.h"
+#include "net/transport.h"
 #include "trace/trace.h"
 
 namespace d3t::exp {
@@ -30,6 +31,10 @@ struct ExperimentResult {
   /// delay model, in ms, and the mean physical hop count.
   double mean_pair_delay_ms = 0.0;
   double mean_pair_hops = 0.0;
+  /// Wire-transport counters of the run (all zero unless
+  /// PolicyConfig::route_through_wire was set; then frames_tx equals
+  /// the engine's message count — every push crossed the wire).
+  net::TransportMetrics wire;
 };
 
 /// One run against a prebuilt World: which source roots the overlay, how

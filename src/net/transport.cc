@@ -1,0 +1,211 @@
+#include "net/transport.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace d3t::net {
+
+// ---------------------------------------------------------------------------
+// InProcTransport
+
+InProcTransport::InProcTransport(size_t peer_count, size_t per_peer_capacity)
+    : capacity_(per_peer_capacity == 0 ? 1 : per_peer_capacity),
+      slots_(peer_count * capacity_),
+      rings_(peer_count),
+      per_peer_(peer_count) {}
+
+// d3t-lint: hot
+Status InProcTransport::Send(PeerId from, PeerId to,
+                             const wire::Frame& frame) {
+  if (from >= rings_.size() || to >= rings_.size()) {
+    return Status::InvalidArgument("peer out of range");
+  }
+  Ring& ring = rings_[to];
+  if (ring.count == capacity_) {
+    ++per_peer_[from].backpressure_stalls;
+    ++totals_.backpressure_stalls;
+    return Status::CapacityExhausted("ring full");
+  }
+  Slot& slot = slots_[to * capacity_ + (ring.head + ring.count) % capacity_];
+  const size_t encoded = wire::Encode(frame, slot.bytes, sizeof(slot.bytes));
+  if (encoded == 0) {
+    return Status::InvalidArgument("unencodable frame");
+  }
+  slot.from = from;
+  slot.size = static_cast<uint32_t>(encoded);
+  ++ring.count;
+  ++per_peer_[from].frames_tx;
+  per_peer_[from].bytes_tx += encoded;
+  ++totals_.frames_tx;
+  totals_.bytes_tx += encoded;
+  return Status::Ok();
+}
+
+// d3t-lint: hot
+bool InProcTransport::Poll(PeerId self, wire::Frame* out, PeerId* from) {
+  if (self >= rings_.size()) return false;
+  Ring& ring = rings_[self];
+  while (ring.count > 0) {
+    const Slot& slot = slots_[self * capacity_ + ring.head];
+    ring.head = (ring.head + 1) % capacity_;
+    --ring.count;
+    Result<wire::Frame> decoded = wire::Decode(slot.bytes, slot.size);
+    if (!decoded.ok()) {
+      // A slot was encoded by Send and can only fail to decode if its
+      // bytes were corrupted in place; count and keep draining.
+      ++per_peer_[self].decode_errors;
+      ++totals_.decode_errors;
+      continue;
+    }
+    ++per_peer_[self].frames_rx;
+    per_peer_[self].bytes_rx += slot.size;
+    ++totals_.frames_rx;
+    totals_.bytes_rx += slot.size;
+    *out = *decoded;
+    if (from != nullptr) *from = slot.from;
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// StreamTransport
+
+StreamTransport::StreamTransport(size_t peer_count, size_t per_channel_bytes)
+    : channel_bytes_(std::max<size_t>(per_channel_bytes, wire::kMaxFrameSize)),
+      inbound_(peer_count),
+      per_peer_(peer_count) {}
+
+Status StreamTransport::Connect(PeerId from, PeerId to) {
+  if (from >= inbound_.size() || to >= inbound_.size()) {
+    return Status::InvalidArgument("peer out of range");
+  }
+  std::vector<Channel>& channels = inbound_[to];
+  for (const Channel& ch : channels) {
+    if (ch.from == from) {
+      return Status::FailedPrecondition("channel already connected");
+    }
+  }
+  Channel ch;
+  ch.from = from;
+  ch.ring.resize(channel_bytes_);
+  // Ascending sender order keeps Poll's scan deterministic regardless
+  // of Connect call order.
+  auto pos = std::find_if(
+      channels.begin(), channels.end(),
+      [from](const Channel& existing) { return existing.from > from; });
+  channels.insert(pos, std::move(ch));
+  return Status::Ok();
+}
+
+StreamTransport::Channel* StreamTransport::FindChannel(PeerId from,
+                                                       PeerId to) {
+  if (to >= inbound_.size()) return nullptr;
+  for (Channel& ch : inbound_[to]) {
+    if (ch.from == from) return &ch;
+  }
+  return nullptr;
+}
+
+// d3t-lint: hot
+Status StreamTransport::Append(Channel& ch, PeerId from, const uint8_t* data,
+                               size_t size) {
+  if (ch.ring.size() - ch.count < size) {
+    ++per_peer_[from].backpressure_stalls;
+    ++totals_.backpressure_stalls;
+    return Status::CapacityExhausted("channel ring full");
+  }
+  const size_t tail = (ch.head + ch.count) % ch.ring.size();
+  const size_t first = std::min(size, ch.ring.size() - tail);
+  std::memcpy(ch.ring.data() + tail, data, first);
+  std::memcpy(ch.ring.data(), data + first, size - first);
+  ch.count += size;
+  return Status::Ok();
+}
+
+// d3t-lint: hot
+Status StreamTransport::Send(PeerId from, PeerId to,
+                             const wire::Frame& frame) {
+  if (from >= inbound_.size() || to >= inbound_.size()) {
+    return Status::InvalidArgument("peer out of range");
+  }
+  Channel* ch = FindChannel(from, to);
+  if (ch == nullptr) {
+    return Status::FailedPrecondition("channel not connected");
+  }
+  uint8_t scratch[wire::kMaxFrameSize];
+  const size_t encoded = wire::Encode(frame, scratch, sizeof(scratch));
+  if (encoded == 0) {
+    return Status::InvalidArgument("unencodable frame");
+  }
+  Status appended = Append(*ch, from, scratch, encoded);
+  if (!appended.ok()) return appended;
+  ++per_peer_[from].frames_tx;
+  per_peer_[from].bytes_tx += encoded;
+  ++totals_.frames_tx;
+  totals_.bytes_tx += encoded;
+  return Status::Ok();
+}
+
+Status StreamTransport::SendRaw(PeerId from, PeerId to, const uint8_t* data,
+                                size_t size) {
+  if (from >= inbound_.size() || to >= inbound_.size()) {
+    return Status::InvalidArgument("peer out of range");
+  }
+  Channel* ch = FindChannel(from, to);
+  if (ch == nullptr) {
+    return Status::FailedPrecondition("channel not connected");
+  }
+  return Append(*ch, from, data, size);
+}
+
+// d3t-lint: hot
+bool StreamTransport::Poll(PeerId self, wire::Frame* out, PeerId* from) {
+  if (self >= inbound_.size()) return false;
+  for (Channel& ch : inbound_[self]) {
+    while (ch.count >= wire::kHeaderSize) {
+      // Linearize up to one frame's worth of the ring into scratch so
+      // the decoder sees contiguous bytes even across the wrap.
+      uint8_t scratch[wire::kMaxFrameSize];
+      const size_t avail = std::min<size_t>(ch.count, sizeof(scratch));
+      const size_t first = std::min(avail, ch.ring.size() - ch.head);
+      std::memcpy(scratch, ch.ring.data() + ch.head, first);
+      std::memcpy(scratch + first, ch.ring.data(), avail - first);
+
+      Result<size_t> frame_size = wire::PeekFrameSize(scratch, avail);
+      if (!frame_size.ok()) {
+        // Garbage header: count it, slide one byte, try to resync on
+        // the next magic. A TCP reader recovering from a corrupt
+        // stream does exactly this.
+        ++per_peer_[self].decode_errors;
+        ++totals_.decode_errors;
+        ch.head = (ch.head + 1) % ch.ring.size();
+        --ch.count;
+        continue;
+      }
+      if (ch.count < *frame_size) break;  // partial frame: wait for more
+
+      Result<wire::Frame> decoded = wire::Decode(scratch, avail);
+      if (!decoded.ok()) {
+        // Valid header, corrupt payload (checksum): resync as above.
+        ++per_peer_[self].decode_errors;
+        ++totals_.decode_errors;
+        ch.head = (ch.head + 1) % ch.ring.size();
+        --ch.count;
+        continue;
+      }
+      ch.head = (ch.head + *frame_size) % ch.ring.size();
+      ch.count -= *frame_size;
+      ++per_peer_[self].frames_rx;
+      per_peer_[self].bytes_rx += *frame_size;
+      ++totals_.frames_rx;
+      totals_.bytes_rx += *frame_size;
+      *out = *decoded;
+      if (from != nullptr) *from = ch.from;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace d3t::net

@@ -1,0 +1,159 @@
+#ifndef D3T_NET_TRANSPORT_H_
+#define D3T_NET_TRANSPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace d3t::net {
+
+/// Peer address on a transport: dense indices [0, peer_count). Engine
+/// wire mode maps them 1:1 onto OverlayIndex (also uint32_t, source =
+/// 0); serving worlds add extra peers (e.g. the feed publisher) past
+/// the overlay range.
+using PeerId = uint32_t;
+inline constexpr PeerId kInvalidPeerId = UINT32_MAX;
+
+/// Transport counters. Backpressure and corruption are recorded here
+/// instead of being turned into allocations or exceptions — the Mu2e
+/// DMA idiom: a full ring is a counted stall the caller retries, not a
+/// growing queue.
+struct TransportMetrics {
+  uint64_t frames_tx = 0;
+  uint64_t frames_rx = 0;
+  uint64_t bytes_tx = 0;
+  uint64_t bytes_rx = 0;
+  /// Sends refused because the destination ring was full.
+  uint64_t backpressure_stalls = 0;
+  /// Received bytes that failed wire::Decode (or header resync steps).
+  uint64_t decode_errors = 0;
+};
+
+/// Boundary between the engines and the medium their frames cross.
+/// All buffers are pre-registered at construction (fixed-size rings,
+/// bounded per-peer queues); Send/Poll never allocate. Attribution:
+/// tx bytes/frames and stalls are charged to the sender, rx bytes/
+/// frames and decode errors to the receiver.
+///
+/// Implementations are single-threaded by contract — one engine loop
+/// owns a transport, the way it owns its EventQueue.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Number of addressable peers.
+  virtual size_t peer_count() const = 0;
+
+  /// Serializes `frame` toward `to`. CapacityExhausted when the
+  /// destination's ring is full (a counted stall — drain and retry);
+  /// InvalidArgument for out-of-range peers or unencodable frames.
+  virtual Status Send(PeerId from, PeerId to, const wire::Frame& frame) = 0;
+
+  /// Delivers the next frame addressed to `self`, FIFO per source.
+  /// Returns false when nothing is pending. `from` (when non-null)
+  /// receives the sender. Corrupt queued bytes are counted and
+  /// skipped, never returned.
+  virtual bool Poll(PeerId self, wire::Frame* out, PeerId* from) = 0;
+
+  /// Aggregate counters across all peers.
+  virtual const TransportMetrics& metrics() const = 0;
+
+  /// Counters attributed to one peer (tx/stalls as sender, rx/decode
+  /// errors as receiver).
+  virtual const TransportMetrics& peer_metrics(PeerId peer) const = 0;
+};
+
+/// Deterministic in-process bus: one fixed-capacity ring of encoded
+/// frame slots per destination. Every frame genuinely round-trips the
+/// wire format — Send encodes into the slot, Poll decodes out of it —
+/// so a simulator run routed through this transport exercises the
+/// exact serialization a socket transport would, with delivery order
+/// (FIFO per destination, across senders) fully deterministic. This is
+/// the transport the byte-identity pin runs over.
+class InProcTransport : public Transport {
+ public:
+  /// `per_peer_capacity` frames of ring per destination, pre-allocated
+  /// here — the hot Send/Poll paths never touch the allocator.
+  InProcTransport(size_t peer_count, size_t per_peer_capacity);
+
+  size_t peer_count() const override { return rings_.size(); }
+  Status Send(PeerId from, PeerId to, const wire::Frame& frame) override;
+  bool Poll(PeerId self, wire::Frame* out, PeerId* from) override;
+  const TransportMetrics& metrics() const override { return totals_; }
+  const TransportMetrics& peer_metrics(PeerId peer) const override {
+    return per_peer_[peer];
+  }
+
+ private:
+  struct Slot {
+    PeerId from = kInvalidPeerId;
+    uint32_t size = 0;
+    uint8_t bytes[wire::kMaxFrameSize] = {};
+  };
+  struct Ring {
+    size_t head = 0;
+    size_t count = 0;
+  };
+
+  size_t capacity_;
+  /// Slot storage, rings_[to] laid out contiguously: slot i of ring r
+  /// lives at slots_[r * capacity_ + i].
+  std::vector<Slot> slots_;
+  std::vector<Ring> rings_;
+  std::vector<TransportMetrics> per_peer_;
+  TransportMetrics totals_;
+};
+
+/// Loopback byte-stream transport: frames cross directed byte rings
+/// with no slot structure — the receiver recovers frame boundaries
+/// from the wire header alone (PeekFrameSize), exactly as a TCP reader
+/// would. Channels are pre-registered via Connect (from → to) so the
+/// sender of every byte is known without in-band addressing; Poll
+/// scans a peer's inbound channels in ascending sender order and
+/// resyncs byte-by-byte past corrupt headers.
+class StreamTransport : public Transport {
+ public:
+  /// `per_channel_bytes` of ring per registered channel.
+  StreamTransport(size_t peer_count, size_t per_channel_bytes);
+
+  /// Registers the directed channel `from` → `to`, allocating its byte
+  /// ring. Sending on an unregistered channel is FailedPrecondition.
+  Status Connect(PeerId from, PeerId to);
+
+  size_t peer_count() const override { return inbound_.size(); }
+  Status Send(PeerId from, PeerId to, const wire::Frame& frame) override;
+  bool Poll(PeerId self, wire::Frame* out, PeerId* from) override;
+  const TransportMetrics& metrics() const override { return totals_; }
+  const TransportMetrics& peer_metrics(PeerId peer) const override {
+    return per_peer_[peer];
+  }
+
+  /// Appends raw bytes to the `from` → `to` channel without encoding —
+  /// the adversarial seam: tests inject truncated or corrupt byte
+  /// sequences and watch Poll resync past them.
+  Status SendRaw(PeerId from, PeerId to, const uint8_t* data, size_t size);
+
+ private:
+  struct Channel {
+    PeerId from = kInvalidPeerId;
+    size_t head = 0;  // read offset into ring
+    size_t count = 0;  // readable bytes
+    std::vector<uint8_t> ring;
+  };
+
+  Channel* FindChannel(PeerId from, PeerId to);
+  Status Append(Channel& ch, PeerId from, const uint8_t* data, size_t size);
+
+  size_t channel_bytes_;
+  /// inbound_[to] = channels addressed to `to`, ascending by sender.
+  std::vector<std::vector<Channel>> inbound_;
+  std::vector<TransportMetrics> per_peer_;
+  TransportMetrics totals_;
+};
+
+}  // namespace d3t::net
+
+#endif  // D3T_NET_TRANSPORT_H_

@@ -1,0 +1,269 @@
+#ifndef D3T_NET_WIRE_H_
+#define D3T_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "sim/time.h"
+
+namespace d3t::net::wire {
+
+/// Versioned packed frame format for inter-repository traffic: every
+/// message the engines move between overlay members (update pushes,
+/// poll round trips), plus the control vocabulary a serving node needs
+/// (feed ticks, scenario ops, metrics reports, shutdown). A frame is an
+/// 8-byte header followed by one fixed-size POD payload whose shape is
+/// selected by the header's type byte:
+///
+///   offset  size  field
+///        0     2  magic     (0xD37A)
+///        2     1  version   (1)
+///        3     1  type      (FrameType)
+///        4     2  length    (payload bytes; must match the type)
+///        6     2  checksum  (Fletcher-16 over header bytes 0..5 + payload)
+///
+/// Payloads mirror the engine's POD event vocabulary (sim::Event, the
+/// delivery Job, core::ScenarioOp) with raw fixed-width fields — the
+/// wire layer sits below core/ in the include DAG, so it re-states the
+/// field shapes instead of including them. Byte order is host order:
+/// frames currently cross ring buffers and loopback streams on one
+/// machine; a cross-machine socket transport would pin little-endian
+/// here and swap on big-endian hosts.
+///
+/// Decode() is the only entry point for untrusted bytes. It never reads
+/// past `size`, and it rejects truncated, over-length, wrong-version,
+/// wrong-type and checksum-corrupt input with a precise Status.
+
+inline constexpr uint16_t kMagic = 0xD37A;
+inline constexpr uint8_t kVersion = 1;
+inline constexpr size_t kHeaderSize = 8;
+
+/// Discriminator of the payload variant. Values are wire contract:
+/// renumbering is a version bump.
+enum class FrameType : uint8_t {
+  kInvalid = 0,
+  /// Feed handshake: world fingerprint the consumer validates before
+  /// ingesting anything else.
+  kHello = 1,
+  /// One source trace tick (the live ingest feed).
+  kSourceTick = 2,
+  /// One update message pushed along an overlay edge (push engine).
+  kUpdate = 3,
+  /// One inter-node leg of a pull round trip (request or response).
+  kPoll = 4,
+  /// One scripted world-mutation op (mirrors core::ScenarioOp).
+  kScenarioOp = 5,
+  /// A node's transport counters, reported upstream.
+  kMetricsReport = 6,
+  /// End of feed.
+  kShutdown = 7,
+};
+
+/// Human-readable type name for diagnostics ("invalid" for unknowns).
+const char* FrameTypeName(FrameType type);
+
+// d3t-lint: pod-event
+struct FrameHeader {
+  uint16_t magic = kMagic;
+  uint8_t version = kVersion;
+  uint8_t type = 0;
+  uint16_t length = 0;
+  uint16_t checksum = 0;
+};
+static_assert(sizeof(FrameHeader) == kHeaderSize,
+              "the wire header is an 8-byte contract; growing it breaks "
+              "every peer");
+static_assert(std::is_trivially_copyable_v<FrameHeader>,
+              "headers are memcpy'd straight off byte streams");
+static_assert(offsetof(FrameHeader, checksum) == 6,
+              "the checksum covers header bytes [0, 6); its own offset "
+              "is part of the wire contract");
+
+// d3t-lint: pod-event
+struct HelloPayload {
+  /// Peer id the feed is addressed to.
+  uint32_t node;
+  /// Overlay member count (source included) of the world being fed.
+  uint32_t member_count;
+  /// Item count of the world being fed.
+  uint32_t item_count;
+  uint32_t reserved;
+  /// World seed, echoed for diagnostics; consumers need not check it.
+  uint64_t world_seed;
+};
+static_assert(sizeof(HelloPayload) == 24, "hello frames are 24-byte PODs");
+static_assert(std::is_trivially_copyable_v<HelloPayload>,
+              "wire payloads must stay trivially copyable");
+
+// d3t-lint: pod-event
+struct SourceTickPayload {
+  uint32_t item;
+  /// Index of this tick within the item's trace (0 = initial value).
+  uint32_t tick_index;
+  int64_t at_us;
+  double value;
+};
+static_assert(sizeof(SourceTickPayload) == 24,
+              "source-tick frames are 24-byte PODs");
+static_assert(std::is_trivially_copyable_v<SourceTickPayload>,
+              "wire payloads must stay trivially copyable");
+
+// d3t-lint: pod-event
+struct UpdatePayload {
+  /// Overlay member pushing the update.
+  uint32_t src;
+  /// Overlay member the update is addressed to.
+  uint32_t dst;
+  /// Arrival instant at `dst` (send time + edge delay), microseconds.
+  int64_t arrival_us;
+  uint32_t item;
+  uint32_t reserved;
+  double value;
+  /// Policy tag riding the update (the centralized policy's tolerance
+  /// tag; 0 under policies that do not tag).
+  double tag;
+};
+static_assert(sizeof(UpdatePayload) == 40,
+              "update frames mirror the engine's 24-byte Job plus "
+              "addressing; 40-byte PODs");
+static_assert(std::is_trivially_copyable_v<UpdatePayload>,
+              "wire payloads must stay trivially copyable");
+
+// d3t-lint: pod-event
+struct PollPayload {
+  uint32_t src;
+  uint32_t dst;
+  /// Arrival instant of this leg at `dst`, microseconds.
+  int64_t at_us;
+  /// Poll-loop (state) index the legs of one round trip share.
+  uint32_t state_index;
+  /// PullEngine poll phase (request arrival / response arrival).
+  uint32_t phase;
+  /// Sampled source value (responses; 0 on requests).
+  double value;
+};
+static_assert(sizeof(PollPayload) == 32, "poll frames are 32-byte PODs");
+static_assert(std::is_trivially_copyable_v<PollPayload>,
+              "wire payloads must stay trivially copyable");
+
+// d3t-lint: pod-event
+struct ScenarioOpPayload {
+  int64_t at_us;
+  /// core::ScenarioOpKind as a raw value; consumers range-check before
+  /// casting (the wire layer sits below core/ and cannot name the enum).
+  uint32_t kind;
+  uint32_t member;
+  uint32_t item;
+  uint32_t reserved;
+  double c;
+};
+static_assert(sizeof(ScenarioOpPayload) == 32,
+              "scenario-op frames mirror the 32-byte core::ScenarioOp");
+static_assert(std::is_trivially_copyable_v<ScenarioOpPayload>,
+              "wire payloads must stay trivially copyable");
+
+// d3t-lint: pod-event
+struct MetricsReportPayload {
+  uint32_t node;
+  uint32_t reserved;
+  uint64_t frames_tx;
+  uint64_t frames_rx;
+  uint64_t bytes_tx;
+  uint64_t bytes_rx;
+  uint64_t backpressure_stalls;
+  uint64_t decode_errors;
+};
+static_assert(sizeof(MetricsReportPayload) == 56,
+              "metrics-report frames are 56-byte PODs");
+static_assert(std::is_trivially_copyable_v<MetricsReportPayload>,
+              "wire payloads must stay trivially copyable");
+
+// d3t-lint: pod-event
+struct ShutdownPayload {
+  uint32_t node;
+  uint32_t reserved;
+};
+static_assert(sizeof(ShutdownPayload) == 8,
+              "shutdown frames are 8-byte PODs");
+static_assert(std::is_trivially_copyable_v<ShutdownPayload>,
+              "wire payloads must stay trivially copyable");
+
+/// A decoded frame: the type tag plus the payload variant it selects.
+/// Only the member matching `type` is meaningful; factories below are
+/// the one way frames are built, and they aggregate-initialize every
+/// field of the active member (payload structs deliberately have no
+/// default member initializers — a union member must stay trivially
+/// default-constructible — and are padding-free by construction, so the
+/// encoder's checksum covers only initialized bytes).
+// d3t-lint: pod-event
+struct Frame {
+  union Payload {
+    HelloPayload hello;
+    SourceTickPayload source_tick;
+    UpdatePayload update;
+    PollPayload poll;
+    ScenarioOpPayload scenario;
+    MetricsReportPayload metrics;
+    ShutdownPayload shutdown;
+  };
+
+  FrameType type = FrameType::kInvalid;
+  Payload u;
+
+  static Frame Hello(uint32_t node, uint32_t member_count,
+                     uint32_t item_count, uint64_t world_seed);
+  static Frame SourceTick(uint32_t item, uint32_t tick_index, int64_t at_us,
+                          double value);
+  static Frame Update(uint32_t src, uint32_t dst, int64_t arrival_us,
+                      uint32_t item, double value, double tag);
+  static Frame Poll(uint32_t src, uint32_t dst, int64_t at_us,
+                    uint32_t state_index, uint32_t phase, double value);
+  static Frame ScenarioOp(int64_t at_us, uint32_t kind, uint32_t member,
+                          uint32_t item, double c);
+  static Frame MetricsReport(uint32_t node, uint64_t frames_tx,
+                             uint64_t frames_rx, uint64_t bytes_tx,
+                             uint64_t bytes_rx, uint64_t backpressure_stalls,
+                             uint64_t decode_errors);
+  static Frame Shutdown(uint32_t node);
+};
+static_assert(sizeof(Frame) == 64,
+              "decoded frames are 64-byte slots (8-byte-aligned tag + "
+              "56-byte payload union) — transport rings size to this");
+static_assert(std::is_trivially_copyable_v<Frame>,
+              "frames cross ring buffers by memcpy");
+
+inline constexpr size_t kMaxPayloadSize = sizeof(Frame::Payload);
+inline constexpr size_t kMaxFrameSize = kHeaderSize + kMaxPayloadSize;
+
+/// Payload bytes of a frame of `type`; 0 for kInvalid/unknown values.
+size_t PayloadSize(FrameType type);
+
+/// Total encoded size (header + payload) of a frame of `type`; just
+/// kHeaderSize for unknown types (which cannot be encoded).
+size_t EncodedSize(FrameType type);
+
+/// Serializes `frame` into `out` (capacity `cap` bytes) and returns the
+/// bytes written — 0 when the type is unknown or `cap` is too small.
+/// A kMaxFrameSize buffer always fits any frame.
+size_t Encode(const Frame& frame, uint8_t* out, size_t cap);
+
+/// Validates the header prefix of a byte stream and returns the full
+/// size of the frame it announces, without touching the payload.
+/// `size` >= kHeaderSize is required (IoError "truncated" otherwise) —
+/// stream deframers call this to learn how many bytes to wait for.
+Result<size_t> PeekFrameSize(const uint8_t* data, size_t size);
+
+/// Decodes one frame from the front of `data`. Never reads beyond
+/// `size`. On success `*consumed` (when non-null) is set to the bytes
+/// the frame occupied; trailing bytes are ignored (they belong to the
+/// next frame). Errors: IoError for truncation and checksum mismatch,
+/// InvalidArgument for bad magic/version/type/length.
+Result<Frame> Decode(const uint8_t* data, size_t size,
+                     size_t* consumed = nullptr);
+
+}  // namespace d3t::net::wire
+
+#endif  // D3T_NET_WIRE_H_

@@ -1,0 +1,276 @@
+#include "serve/node.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "core/disseminator.h"
+
+namespace d3t::serve {
+
+// ---------------------------------------------------------------------------
+// Node
+
+Node::Node(core::Overlay& overlay, const net::OverlayDelayModel& delays,
+           net::Transport& feed, net::Transport& data, NodeOptions options)
+    : overlay_(overlay),
+      delays_(delays),
+      feed_(feed),
+      data_(data),
+      options_(std::move(options)),
+      feed_status_(Status::Ok()) {}
+
+Result<size_t> Node::PollFeed() {
+  if (!feed_status_.ok()) return feed_status_;
+  size_t consumed = 0;
+  net::wire::Frame frame;
+  while (feed_.Poll(options_.feed_self, &frame, nullptr)) {
+    ++consumed;
+    ++feed_frames_;
+    feed_status_ = Ingest(frame);
+    if (!feed_status_.ok()) return feed_status_;
+  }
+  return consumed;
+}
+
+Status Node::Ingest(const net::wire::Frame& frame) {
+  if (feed_complete_) {
+    return Status::FailedPrecondition("frame after feed shutdown");
+  }
+  switch (frame.type) {
+    case net::wire::FrameType::kHello: {
+      if (hello_seen_) {
+        return Status::FailedPrecondition("duplicate hello frame");
+      }
+      const net::wire::HelloPayload& p = frame.u.hello;
+      if (p.member_count != overlay_.member_count()) {
+        return Status::InvalidArgument(
+            "hello member count does not match this node's overlay");
+      }
+      if (p.item_count != overlay_.item_count() || p.item_count == 0) {
+        return Status::InvalidArgument(
+            "hello item count does not match this node's overlay");
+      }
+      hello_seen_ = true;
+      world_seed_ = p.world_seed;
+      ticks_.assign(p.item_count, {});
+      return Status::Ok();
+    }
+    case net::wire::FrameType::kSourceTick: {
+      if (!hello_seen_) {
+        return Status::FailedPrecondition("source tick before hello");
+      }
+      const net::wire::SourceTickPayload& p = frame.u.source_tick;
+      if (p.item >= ticks_.size()) {
+        return Status::OutOfRange("source tick for unknown item");
+      }
+      std::vector<trace::Tick>& ticks = ticks_[p.item];
+      if (p.tick_index != ticks.size()) {
+        return Status::InvalidArgument(
+            "source tick out of sequence (dropped or duplicated frame)");
+      }
+      if (!ticks.empty() && p.at_us <= ticks.back().time) {
+        return Status::InvalidArgument(
+            "source tick times must be strictly increasing");
+      }
+      ++tick_frames_;
+      ticks.push_back(trace::Tick{p.at_us, p.value});
+      return Status::Ok();
+    }
+    case net::wire::FrameType::kScenarioOp: {
+      if (!hello_seen_) {
+        return Status::FailedPrecondition("scenario op before hello");
+      }
+      const net::wire::ScenarioOpPayload& p = frame.u.scenario;
+      if (p.kind > static_cast<uint32_t>(
+                       core::ScenarioOpKind::kCoherencyChange)) {
+        return Status::InvalidArgument("unknown scenario op kind");
+      }
+      ++scenario_frames_;
+      core::ScenarioOp op;
+      op.at = p.at_us;
+      op.kind = static_cast<core::ScenarioOpKind>(p.kind);
+      op.member = p.member;
+      op.item = p.item;
+      op.c = p.c;
+      scenario_ops_.push_back(op);
+      return Status::Ok();
+    }
+    case net::wire::FrameType::kShutdown: {
+      if (!hello_seen_) {
+        return Status::FailedPrecondition("shutdown before hello");
+      }
+      for (size_t item = 0; item < ticks_.size(); ++item) {
+        if (ticks_[item].empty()) {
+          return Status::InvalidArgument(
+              "feed shut down with no ticks for item " +
+              std::to_string(item));
+        }
+      }
+      feed_complete_ = true;
+      return Status::Ok();
+    }
+    default:
+      return Status::InvalidArgument(
+          std::string("unexpected frame kind on feed: ") +
+          net::wire::FrameTypeName(frame.type));
+  }
+}
+
+Result<NodeReport> Node::Serve() {
+  if (!feed_status_.ok()) return feed_status_;
+  if (!feed_complete_) {
+    return Status::FailedPrecondition(
+        "serve before the feed completed (no shutdown frame yet)");
+  }
+
+  // Materialize the ingested feed as the engine's trace library. Copies
+  // (not moves) so a node can be served repeatedly from one feed.
+  std::vector<trace::Trace> traces;
+  traces.reserve(ticks_.size());
+  for (size_t item = 0; item < ticks_.size(); ++item) {
+    traces.emplace_back("item" + std::to_string(item), ticks_[item]);
+  }
+
+  const core::Scenario* scenario = nullptr;
+  core::Scenario owned_scenario;
+  if (!scenario_ops_.empty()) {
+    Result<core::Scenario> built = core::Scenario::Create(scenario_ops_);
+    if (!built.ok()) return built.status();
+    owned_scenario = std::move(built).value();
+    scenario = &owned_scenario;
+  }
+
+  std::unique_ptr<core::Disseminator> policy =
+      core::MakeDisseminator(options_.policy);
+  if (policy == nullptr) {
+    return Status::InvalidArgument("unknown dissemination policy '" +
+                                   options_.policy + "'");
+  }
+
+  core::EngineOptions engine_options = options_.engine;
+  engine_options.wire_transport = &data_;
+  core::Engine engine(overlay_, delays_, traces, *policy, engine_options,
+                      /*change_timelines=*/nullptr, scenario);
+  Result<core::EngineMetrics> metrics = engine.Run();
+  if (!metrics.ok()) return metrics.status();
+
+  NodeReport report;
+  report.engine = std::move(metrics).value();
+  report.data = data_.metrics();
+  report.per_peer.reserve(overlay_.member_count());
+  for (net::PeerId peer = 0; peer < overlay_.member_count(); ++peer) {
+    report.per_peer.push_back(data_.peer_metrics(peer));
+  }
+  report.feed_frames = feed_frames_;
+  report.tick_frames = tick_frames_;
+  report.scenario_frames = scenario_frames_;
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// FeedPublisher
+
+FeedPublisher::FeedPublisher(const std::vector<trace::Trace>& traces,
+                             const core::Scenario* scenario,
+                             size_t member_count, uint64_t world_seed,
+                             net::Transport& feed, net::PeerId self,
+                             std::vector<net::PeerId> subscribers)
+    : scenario_(scenario),
+      member_count_(member_count),
+      item_count_(traces.size()),
+      world_seed_(world_seed),
+      feed_(feed),
+      self_(self),
+      status_(Status::Ok()) {
+  // Merged schedule: every tick of every trace plus every scenario op,
+  // time-sorted. Ticks are appended item-major first so the stable
+  // sort keeps trace order within an instant and ticks ahead of ops —
+  // the order a live source would emit them.
+  size_t total = scenario_ == nullptr ? 0 : scenario_->size();
+  for (const trace::Trace& trace : traces) total += trace.size();
+  schedule_.reserve(total);
+  for (uint32_t item = 0; item < traces.size(); ++item) {
+    const auto& ticks = traces[item].ticks();
+    for (uint32_t i = 0; i < ticks.size(); ++i) {
+      Entry e;
+      e.at_us = ticks[i].time;
+      e.item = item;
+      e.tick_index = i;
+      e.value = ticks[i].value;
+      schedule_.push_back(e);
+    }
+  }
+  if (scenario_ != nullptr) {
+    for (size_t i = 0; i < scenario_->size(); ++i) {
+      Entry e;
+      e.at_us = scenario_->op(i).at;
+      e.op_index = i;
+      schedule_.push_back(e);
+    }
+  }
+  std::stable_sort(schedule_.begin(), schedule_.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.at_us < b.at_us;
+                   });
+  subs_.reserve(subscribers.size());
+  for (net::PeerId peer : subscribers) {
+    Sub sub;
+    sub.peer = peer;
+    subs_.push_back(sub);
+  }
+}
+
+size_t FeedPublisher::Pump() {
+  if (!status_.ok()) return 0;
+  size_t sent = 0;
+  for (Sub& sub : subs_) {
+    while (!sub.shutdown_sent) {
+      net::wire::Frame frame;
+      if (!sub.hello_sent) {
+        frame = net::wire::Frame::Hello(
+            sub.peer, static_cast<uint32_t>(member_count_),
+            static_cast<uint32_t>(item_count_), world_seed_);
+      } else if (sub.next < schedule_.size()) {
+        const Entry& e = schedule_[sub.next];
+        if (e.op_index == SIZE_MAX) {
+          frame = net::wire::Frame::SourceTick(e.item, e.tick_index, e.at_us,
+                                               e.value);
+        } else {
+          const core::ScenarioOp& op = scenario_->op(e.op_index);
+          frame = net::wire::Frame::ScenarioOp(
+              op.at, static_cast<uint32_t>(op.kind), op.member, op.item,
+              op.c);
+        }
+      } else {
+        frame = net::wire::Frame::Shutdown(sub.peer);
+      }
+
+      const Status result = feed_.Send(self_, sub.peer, frame);
+      if (result.IsCapacityExhausted()) break;  // this ring is full;
+                                                // next subscriber
+      if (!result.ok()) {
+        status_ = result;
+        return sent;
+      }
+      ++sent;
+      if (!sub.hello_sent) {
+        sub.hello_sent = true;
+      } else if (sub.next < schedule_.size()) {
+        ++sub.next;
+      } else {
+        sub.shutdown_sent = true;
+      }
+    }
+  }
+  return sent;
+}
+
+bool FeedPublisher::done() const {
+  for (const Sub& sub : subs_) {
+    if (!sub.shutdown_sent) return false;
+  }
+  return status_.ok();
+}
+
+}  // namespace d3t::serve

@@ -1,0 +1,157 @@
+#ifndef D3T_SERVE_NODE_H_
+#define D3T_SERVE_NODE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/overlay.h"
+#include "core/scenario.h"
+#include "net/delay_model.h"
+#include "net/transport.h"
+#include "trace/trace.h"
+
+namespace d3t::serve {
+
+/// Long-lived repository node: the paper's cooperating repository as a
+/// process loop instead of a library call. A node owns nothing about
+/// the world except what arrives as frames — it ingests a source feed
+/// (kHello handshake, kSourceTick value stream, optional kScenarioOp
+/// script, kShutdown terminator) over one transport, then drives a
+/// core::Engine whose every inter-member push crosses a second, data
+/// transport as kUpdate frames, and finally reports EngineMetrics plus
+/// the transport counters. The overlay and delay model are shared
+/// substrate (built once, outside the node), exactly as a deployment
+/// would distribute a signed topology snapshot.
+
+/// How a Node runs its engine once the feed completes.
+struct NodeOptions {
+  /// This node's address on the feed transport (the publisher sends
+  /// frames addressed to it here).
+  net::PeerId feed_self = 0;
+  /// Dissemination policy name (core::MakeDisseminator).
+  std::string policy = "distributed";
+  /// Engine timing/kernel options. `wire_transport` is overwritten by
+  /// Serve() with the node's data transport.
+  core::EngineOptions engine;
+};
+
+/// Everything a completed Serve() reports.
+struct NodeReport {
+  core::EngineMetrics engine;
+  /// Aggregate counters of the data transport (all peers).
+  net::TransportMetrics data;
+  /// Per-peer data-transport counters, indexed by overlay member.
+  std::vector<net::TransportMetrics> per_peer;
+  /// Feed-side ingest accounting.
+  uint64_t feed_frames = 0;
+  uint64_t tick_frames = 0;
+  uint64_t scenario_frames = 0;
+};
+
+/// One serving node. All referenced objects must outlive it; `overlay`
+/// is mutable because a fed scenario repairs it in place (exactly as
+/// Engine does).
+class Node {
+ public:
+  Node(core::Overlay& overlay, const net::OverlayDelayModel& delays,
+       net::Transport& feed, net::Transport& data, NodeOptions options);
+
+  /// Drains every frame currently pending on the feed transport and
+  /// ingests it; returns the number of frames consumed this call.
+  /// Protocol errors (tick before hello, non-monotonic tick times,
+  /// out-of-range items, unexpected frame kinds) are sticky: the first
+  /// one is returned by every later PollFeed/Serve call.
+  Result<size_t> PollFeed();
+
+  /// True once a kShutdown frame closed a well-formed feed.
+  bool feed_complete() const { return feed_complete_; }
+
+  /// Replays the ingested feed through a core::Engine with every
+  /// inter-member push framed over the data transport, and returns the
+  /// combined report. FailedPrecondition before feed_complete().
+  Result<NodeReport> Serve();
+
+ private:
+  Status Ingest(const net::wire::Frame& frame);
+
+  core::Overlay& overlay_;
+  const net::OverlayDelayModel& delays_;
+  net::Transport& feed_;
+  net::Transport& data_;
+  NodeOptions options_;
+
+  bool hello_seen_ = false;
+  bool feed_complete_ = false;
+  Status feed_status_;
+  uint64_t world_seed_ = 0;
+  /// Per-item ingested ticks, trace order. ticks_[item][0] is the
+  /// synchronized initial value (tick_index 0 on the wire).
+  std::vector<std::vector<trace::Tick>> ticks_;
+  std::vector<core::ScenarioOp> scenario_ops_;
+  uint64_t feed_frames_ = 0;
+  uint64_t tick_frames_ = 0;
+  uint64_t scenario_frames_ = 0;
+};
+
+/// Feed side of the protocol: publishes a trace library (and optional
+/// scenario script) as frames to a set of subscriber nodes, respecting
+/// transport backpressure — Pump() sends until a ring fills, then
+/// returns so the consumer can drain; call it again until done(). Tick
+/// and scenario entries are merged into one time-sorted schedule per
+/// subscriber (stable: ticks before ops at equal times, trace order
+/// within a time), each preceded by kHello and closed by kShutdown.
+class FeedPublisher {
+ public:
+  /// `scenario` may be null (no scripted dynamics). All referenced
+  /// objects must outlive the publisher.
+  FeedPublisher(const std::vector<trace::Trace>& traces,
+                const core::Scenario* scenario, size_t member_count,
+                uint64_t world_seed, net::Transport& feed, net::PeerId self,
+                std::vector<net::PeerId> subscribers);
+
+  /// Sends as many pending frames as the transport accepts; returns
+  /// the number sent this call. Backpressure (CapacityExhausted) is a
+  /// normal pause, any other send failure is sticky in status().
+  size_t Pump();
+
+  /// True once every subscriber received its full feed + kShutdown.
+  bool done() const;
+
+  /// First non-backpressure send failure, if any.
+  const Status& status() const { return status_; }
+
+ private:
+  /// One schedule entry: a trace tick (op_index == SIZE_MAX) or a
+  /// scenario op.
+  struct Entry {
+    int64_t at_us = 0;
+    uint32_t item = 0;
+    uint32_t tick_index = 0;
+    double value = 0.0;
+    size_t op_index = SIZE_MAX;
+  };
+  struct Sub {
+    net::PeerId peer = net::kInvalidPeerId;
+    size_t next = 0;  // cursor into schedule_
+    bool hello_sent = false;
+    bool shutdown_sent = false;
+  };
+
+  const core::Scenario* scenario_;
+  size_t member_count_;
+  size_t item_count_;
+  uint64_t world_seed_;
+  net::Transport& feed_;
+  net::PeerId self_;
+  std::vector<Entry> schedule_;
+  std::vector<Sub> subs_;
+  Status status_;
+};
+
+}  // namespace d3t::serve
+
+#endif  // D3T_SERVE_NODE_H_

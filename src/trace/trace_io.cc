@@ -1,6 +1,8 @@
 #include "trace/trace_io.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -20,6 +22,18 @@ Status SaveTraceCsv(const Trace& trace, const std::string& path) {
   return Status::Ok();
 }
 
+namespace {
+
+// True when `rest` holds only whitespace — the one thing allowed after
+// a parsed number. Anything else ("12x", "3.5 junk") is rejected, the
+// same discipline the wire decoder applies to trailing bytes: they are
+// either meaningful or an error, never silently dropped.
+bool OnlyWhitespaceRemains(const char* rest) {
+  return rest[std::strspn(rest, " \t\r")] == '\0';
+}
+
+}  // namespace
+
 Result<Trace> ParseTraceCsv(const std::string& content,
                             const std::string& default_name) {
   std::istringstream in(content);
@@ -29,7 +43,7 @@ Result<Trace> ParseTraceCsv(const std::string& content,
   size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    if (line.empty()) continue;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     if (line[0] == '#') {
       // Comment line; the first one names the trace.
       size_t start = line.find_first_not_of("# \t");
@@ -46,14 +60,14 @@ Result<Trace> ParseTraceCsv(const std::string& content,
     char* end = nullptr;
     const std::string time_str = line.substr(0, comma);
     const long long t = std::strtoll(time_str.c_str(), &end, 10);
-    if (end == time_str.c_str()) {
+    if (end == time_str.c_str() || !OnlyWhitespaceRemains(end)) {
       return Status::InvalidArgument("line " + std::to_string(line_no) +
                                      ": bad time");
     }
     const std::string value_str = line.substr(comma + 1);
     end = nullptr;
     const double v = std::strtod(value_str.c_str(), &end);
-    if (end == value_str.c_str()) {
+    if (end == value_str.c_str() || !OnlyWhitespaceRemains(end)) {
       return Status::InvalidArgument("line " + std::to_string(line_no) +
                                      ": bad value");
     }
@@ -63,6 +77,10 @@ Result<Trace> ParseTraceCsv(const std::string& content,
     }
     ticks.push_back(Tick{t, v});
   }
+  if (ticks.empty()) {
+    return Status::InvalidArgument(
+        "no data rows — empty or truncated trace");
+  }
   return Trace(name, std::move(ticks));
 }
 
@@ -71,6 +89,12 @@ Result<Trace> LoadTraceCsv(const std::string& path) {
   if (!in) return Status::IoError("cannot open for read: " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
+  // rdbuf streaming swallows mid-read failures (a vanished NFS mount, a
+  // truncated device) into a shortened buffer; check the stream state
+  // so they surface as IoError, not as a mysteriously short trace.
+  if (in.bad() || buffer.bad()) {
+    return Status::IoError("read failed: " + path);
+  }
   return ParseTraceCsv(buffer.str(), path);
 }
 

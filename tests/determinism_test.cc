@@ -11,6 +11,7 @@
 #include "exp/experiment.h"
 #include "exp/multi_source.h"
 #include "exp/scenario.h"
+#include "net/transport.h"
 #include "gtest/gtest.h"
 
 namespace d3t::exp {
@@ -313,6 +314,108 @@ TEST(DeterminismTest, KernelTogglesStayByteIdenticalUnderScenario) {
       }
     }
   }
+}
+
+TEST(DeterminismTest, WireTransportIsByteIdenticalToDirect) {
+  // The serving subsystem's headline invariant: a run whose every
+  // inter-node push is serialized through the wire format over an
+  // InProcTransport reproduces the direct in-process metrics byte for
+  // byte — the simulator is the fake transport and the same engine
+  // code serves both. Scenario-bearing on purpose: repair-path pushes
+  // must cross the wire too.
+  Result<core::Scenario> scenario = exp::ScenarioBuilder()
+                                        .FailRepo(sim::Seconds(30), 3)
+                                        .RecoverAt(sim::Seconds(200))
+                                        .FailRepo(sim::Seconds(90), 11)
+                                        .RecoverAt(sim::Seconds(260))
+                                        .Build();
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  for (const char* policy :
+       {"distributed", "centralized", "eq3-only", "all-updates"}) {
+    SCOPED_TRACE(policy);
+    ExperimentConfig config = GoldenConfig();
+    config.policy = policy;
+    Result<Workbench> bench = Workbench::Create(config);
+    ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+    RunSpec direct = Workbench::SpecFromConfig(config);
+    direct.scenario = *scenario;
+    direct.policy.repair_delay_ms = 750.0;
+    RunSpec framed = direct;
+    framed.policy.route_through_wire = true;
+    Result<ExperimentResult> a = bench->session().Run(direct);
+    Result<ExperimentResult> b = bench->session().Run(framed);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    ExpectIdenticalMetrics(a->metrics, b->metrics);
+    EXPECT_EQ(a->metrics.scenario_ops, b->metrics.scenario_ops);
+    EXPECT_EQ(a->metrics.repairs, b->metrics.repairs);
+    EXPECT_EQ(a->metrics.dropped_jobs, b->metrics.dropped_jobs);
+    EXPECT_EQ(a->metrics.outage_out_of_sync_time,
+              b->metrics.outage_out_of_sync_time);
+    // Every message crossed the wire exactly once; the direct run
+    // reports all-zero transport counters.
+    EXPECT_EQ(b->wire.frames_tx, b->metrics.messages);
+    EXPECT_EQ(b->wire.frames_rx, b->metrics.messages);
+    EXPECT_EQ(b->wire.decode_errors, 0u);
+    EXPECT_GT(b->wire.bytes_tx, 0u);
+    EXPECT_EQ(b->wire.bytes_tx, b->wire.bytes_rx);
+    EXPECT_EQ(a->wire.frames_tx, 0u);
+  }
+}
+
+TEST(DeterminismTest, WireTransportIsByteIdenticalOnPullEngine) {
+  // Same invariant for the pull baseline: both inter-node legs of
+  // every poll round trip (request out, response back) framed over the
+  // wire must leave every metric byte-identical, under a
+  // failure/recovery script.
+  const ExperimentConfig config = GoldenConfig();
+  Result<Workbench> bench = Workbench::Create(config);
+  ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+  Result<core::Scenario> scenario = exp::ScenarioBuilder()
+                                        .FailRepo(sim::Seconds(40), 5)
+                                        .RecoverAt(sim::Seconds(220))
+                                        .Build();
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  core::PullOptions direct_options;
+  core::PullEngine direct(bench->delays(), bench->interests(),
+                          bench->traces(), direct_options, nullptr,
+                          &*scenario);
+  Result<core::PullMetrics> a = direct.Run();
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+
+  const size_t member_count = bench->interests().size() + 1;
+  net::InProcTransport bus(member_count, 64);
+  core::PullOptions framed_options;
+  framed_options.wire_transport = &bus;
+  core::PullEngine framed(bench->delays(), bench->interests(),
+                          bench->traces(), framed_options, nullptr,
+                          &*scenario);
+  Result<core::PullMetrics> b = framed.Run();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+  EXPECT_EQ(a->loss_percent, b->loss_percent);
+  EXPECT_EQ(a->per_member_loss, b->per_member_loss);
+  EXPECT_EQ(a->polls, b->polls);
+  EXPECT_EQ(a->wire_messages, b->wire_messages);
+  EXPECT_EQ(a->changed_polls, b->changed_polls);
+  EXPECT_EQ(a->scenario_ops, b->scenario_ops);
+  EXPECT_EQ(a->suppressed_polls, b->suppressed_polls);
+  EXPECT_EQ(a->outage_out_of_sync_time, b->outage_out_of_sync_time);
+  EXPECT_EQ(a->source_utilization, b->source_utilization);
+  // wire_messages counts serviced request + response legs. Two kinds of
+  // frames ride the wire beyond those: suppressed phases (owner down at
+  // arrival) and the at-most-one in-flight frame each poll loop still
+  // has when the horizon ends.
+  size_t poll_loops = 0;
+  for (const core::InterestSet& set : bench->interests()) {
+    poll_loops += set.size();
+  }
+  EXPECT_GE(bus.metrics().frames_tx, b->wire_messages);
+  EXPECT_LE(bus.metrics().frames_tx,
+            b->wire_messages + b->suppressed_polls + poll_loops);
+  EXPECT_EQ(bus.metrics().frames_rx, bus.metrics().frames_tx);
+  EXPECT_EQ(bus.metrics().decode_errors, 0u);
+  EXPECT_EQ(bus.metrics().backpressure_stalls, 0u);
 }
 
 TEST(DeterminismTest, GoldenMetricsOnFixedScenario) {

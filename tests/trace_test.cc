@@ -229,5 +229,26 @@ TEST(TraceIoTest, LoadMissingFileFails) {
                   .IsIoError());
 }
 
+TEST(TraceIoTest, ParseRejectsTrailingJunkAfterNumbers) {
+  // strtoll/strtod stop at the first bad character; a partially-parsed
+  // number must be an error, not a silently truncated value.
+  EXPECT_FALSE(ParseTraceCsv("10x,1.0\n", "x").ok());
+  EXPECT_FALSE(ParseTraceCsv("10,1.0junk\n", "x").ok());
+  EXPECT_FALSE(ParseTraceCsv("10 20,1.0\n", "x").ok());
+  // Trailing whitespace and CRLF endings are fine.
+  EXPECT_TRUE(ParseTraceCsv("10,1.0\r\n", "x").ok());
+  EXPECT_TRUE(ParseTraceCsv("10 ,1.0 \n", "x").ok());
+}
+
+TEST(TraceIoTest, ParseRejectsTracesWithNoDataRows) {
+  // An empty or comment-only file is a truncated trace, not an empty
+  // one — engines require at least the initial value.
+  Result<Trace> empty = ParseTraceCsv("", "x");
+  ASSERT_FALSE(empty.ok());
+  EXPECT_TRUE(empty.status().IsInvalidArgument());
+  EXPECT_FALSE(ParseTraceCsv("# only-a-name\n\n", "x").ok());
+  EXPECT_FALSE(ParseTraceCsv("   \n\t\n", "x").ok());
+}
+
 }  // namespace
 }  // namespace d3t::trace

@@ -29,7 +29,7 @@ it accepts a small directive language in comments:
 
 Checks (ids are what allow(...) takes):
 
-  iter-order        In src/{sim,core,net,exp}: no range-for/iterator
+  iter-order        In src/{sim,core,net,exp,serve}: no range-for/iterator
                     traversal of std::unordered_map/unordered_set (hash
                     iteration order is seed- and address-dependent and
                     would desync the byte-identity suite), and no
@@ -45,15 +45,17 @@ Checks (ids are what allow(...) takes):
   pod-event         Structs tagged `d3t-lint: pod-event` must have only
                     trivially-copyable-looking members and be pinned by
                     sizeof/is_trivially_copyable static_asserts in the
-                    same file. sim/event_queue.h's Event and
-                    core/scenario.h's ScenarioOp must carry the tag.
+                    same file. sim/event_queue.h's Event,
+                    core/scenario.h's ScenarioOp and every net/wire.h
+                    frame struct must carry the tag.
   hot-alloc         Functions tagged `d3t-lint: hot` must not allocate
                     (see above).
   layering          Includes must respect the DAG
-                    common -> sim -> {net, trace} -> core -> exp
+                    common -> sim -> {net, trace} -> core -> {exp, serve}
                     (sim/time.h is the shared clock vocabulary, hence
                     sim below net/trace; siblings net and trace may not
-                    include each other; nothing includes exp but exp).
+                    include each other; the two tops exp and serve never
+                    include each other, and nothing else includes them).
   discarded-status  A call to a Status- or Result<T>-returning function
                     must not be discarded as a bare expression
                     statement. `(void)call();` is an accepted explicit
@@ -83,10 +85,11 @@ CHECKS = (
     "discarded-status",
 )
 
-LAYERS = ("common", "sim", "net", "trace", "core", "exp")
+LAYERS = ("common", "sim", "net", "trace", "core", "exp", "serve")
 
 # Layer -> layers it may include. This is the one place the architecture
-# DAG is written down as data.
+# DAG is written down as data. serve/ (the live node loop) sits beside
+# exp/ on top of core/ — the two tops never include each other.
 ALLOWED_INCLUDES = {
     "common": {"common"},
     "sim": {"common", "sim"},
@@ -94,12 +97,13 @@ ALLOWED_INCLUDES = {
     "trace": {"common", "sim", "trace"},
     "core": {"common", "sim", "net", "trace", "core"},
     "exp": {"common", "sim", "net", "trace", "core", "exp"},
+    "serve": {"common", "sim", "net", "trace", "core", "serve"},
 }
 
 # Layers in which hash-container traversal is a determinism hazard (the
 # simulation state layers; common/ utilities may traverse as long as the
 # traversal never feeds simulation-visible state).
-ITER_ORDER_LAYERS = {"sim", "core", "net", "exp"}
+ITER_ORDER_LAYERS = {"sim", "core", "net", "exp", "serve"}
 
 # Path suffixes exempt from the entropy check: seeding itself, the
 # worker pool (liveness timing, never simulation-visible), and bench
@@ -118,6 +122,17 @@ ENTROPY_ALLOWED_SEGMENTS = {"bench"}
 REQUIRED_POD_EVENT_STRUCTS = (
     ("sim/event_queue.h", "Event"),
     ("core/scenario.h", "ScenarioOp"),
+    # Every frame struct of the wire format: header, the payload
+    # variants, and the decoded-frame slot itself.
+    ("net/wire.h", "FrameHeader"),
+    ("net/wire.h", "HelloPayload"),
+    ("net/wire.h", "SourceTickPayload"),
+    ("net/wire.h", "UpdatePayload"),
+    ("net/wire.h", "PollPayload"),
+    ("net/wire.h", "ScenarioOpPayload"),
+    ("net/wire.h", "MetricsReportPayload"),
+    ("net/wire.h", "ShutdownPayload"),
+    ("net/wire.h", "Frame"),
 )
 
 # Member types that make a tagged payload struct non-POD (heap-owning or

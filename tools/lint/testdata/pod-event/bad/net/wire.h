@@ -1,0 +1,18 @@
+// Fixture: a net/wire.h frame struct WITHOUT the pod-event tag —
+// net/wire.h is on the required-tag roster, so retiring the tag from a
+// frame struct is itself a finding (the wire contract cannot be
+// silently dropped), exactly as for sim::Event and core::ScenarioOp.
+#pragma once
+
+#include <cstdint>
+
+namespace d3t::net::wire {
+
+struct Frame {
+  uint8_t type = 0;
+  uint32_t src = 0;
+  uint32_t dst = 0;
+  double value = 0.0;
+};
+
+}  // namespace d3t::net::wire

@@ -1,0 +1,39 @@
+// Fixture: a correctly disciplined packed wire frame — an 8-byte
+// header struct plus a fixed-width payload, each pod-event tagged with
+// both compile-time pins present. Mirrors the real net/wire.h shape
+// (named differently so the required-tag roster does not bind here).
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace d3t::net {
+
+// d3t-lint: pod-event
+struct PackedHeader {
+  uint16_t magic = 0xD37A;
+  uint8_t version = 1;
+  uint8_t type = 0;
+  uint16_t length = 0;
+  uint16_t checksum = 0;
+};
+
+static_assert(sizeof(PackedHeader) == 8,
+              "the wire header is an 8-byte contract");
+static_assert(std::is_trivially_copyable_v<PackedHeader>,
+              "headers are memcpy'd straight off byte streams");
+
+// d3t-lint: pod-event
+struct PackedUpdate {
+  uint32_t src = 0;
+  uint32_t dst = 0;
+  int64_t arrival_us = 0;
+  double value = 0.0;
+};
+
+static_assert(sizeof(PackedUpdate) == 24,
+              "update frames are packed 24-byte rows");
+static_assert(std::is_trivially_copyable_v<PackedUpdate>,
+              "wire payloads must stay trivially copyable");
+
+}  // namespace d3t::net
