@@ -1,0 +1,286 @@
+// Distributed mode: the live_node world as four REAL processes. Three
+// repository nodes and a feed publisher each run in their own forked
+// process, wired over loopback TCP by serve::RunCluster — the publisher
+// streams each node's feed (kHello, every source tick, a scripted
+// failure/recovery, kShutdown) through a net::SocketTransport, each
+// node replays it through a core::Engine, frames its EngineMetrics as a
+// kEngineReport and sends it back to the collector. The parent runs the
+// same three worlds as direct library calls and compares: every scalar
+// bit-for-bit, the per-member loss vector by count + FNV-1a hash.
+//
+//   $ ./build/examples/distributed_world
+//
+// Exit code 0 iff every node's metrics crossed two process boundaries
+// and a real TCP stream and still match the direct run byte for byte.
+// The CI distributed smoke job asserts exactly that.
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/disseminator.h"
+#include "core/engine.h"
+#include "core/lela.h"
+#include "exp/scenario.h"
+#include "exp/session.h"
+#include "net/socket_transport.h"
+#include "net/transport.h"
+#include "net/wire.h"
+#include "serve/cluster.h"
+#include "serve/node.h"
+#include "sim/time.h"
+
+namespace {
+
+constexpr uint64_t kSeed = 4242;
+constexpr size_t kNodes = 3;
+
+// Same overlay construction (same RNG stream) in the direct run, the
+// forked node and the publisher — the three must agree on the world.
+d3t::Result<d3t::core::Overlay> BuildNodeOverlay(
+    const d3t::exp::World& world, size_t source) {
+  d3t::core::LelaOptions lela;
+  lela.coop_degree = 3;
+  d3t::Rng rng = d3t::Rng(kSeed).Fork(4);
+  auto built = d3t::core::BuildOverlay(world.delays(source),
+                                       world.OwnedInterests(source),
+                                       world.workload().items, lela, rng);
+  if (!built.ok()) return built.status();
+  return std::move(built).value().overlay;
+}
+
+// Report frames are tiny next to the ring, but honor backpressure
+// anyway: a stall is a pause, never a drop.
+d3t::Status SendToCollector(d3t::serve::ProcessContext& ctx,
+                            const d3t::net::wire::Frame& frame) {
+  for (;;) {
+    d3t::Status sent = ctx.transport.Send(ctx.self, ctx.collector, frame);
+    if (sent.ok() || !sent.IsCapacityExhausted()) return sent;
+    d3t::Status waited = ctx.transport.WaitIo(10000);
+    if (!waited.ok()) return waited;
+  }
+}
+
+// Body of one repository-node process: ingest the socket feed, serve
+// the engine, report back.
+d3t::Status RunNode(d3t::serve::ProcessContext& ctx,
+                    const d3t::exp::World& world,
+                    const d3t::core::Scenario& scenario,
+                    const d3t::core::EngineOptions& engine_options) {
+  (void)scenario;  // scripted dynamics arrive over the feed as frames
+  auto overlay = BuildNodeOverlay(world, ctx.self);
+  if (!overlay.ok()) return overlay.status();
+  d3t::net::InProcTransport data(overlay->member_count(), 64);
+  d3t::serve::NodeOptions options;
+  options.engine = engine_options;
+  options.feed_self = ctx.self;
+  d3t::serve::Node node(*overlay, world.delays(ctx.self), ctx.transport,
+                        data, options);
+
+  bool feed_started = false;
+  while (!node.feed_complete()) {
+    auto polled = node.PollFeed();
+    if (!polled.ok()) return polled.status();
+    if (*polled > 0) {
+      feed_started = true;
+      continue;
+    }
+    d3t::Status pumped = ctx.transport.Pump();
+    if (!pumped.ok()) return pumped;
+    if (feed_started && ctx.transport.drained()) {
+      // Publisher's FIN landed on a frame boundary but before the
+      // kShutdown — a vanished peer, not a completed feed.
+      return d3t::Status::IoError("feed half-closed before shutdown");
+    }
+    d3t::Status waited = ctx.transport.WaitIo(20000);
+    if (!waited.ok()) return waited;
+  }
+
+  auto report = node.Serve();
+  if (!report.ok()) return report.status();
+  d3t::Status sent = SendToCollector(
+      ctx, d3t::serve::MakeEngineReport(ctx.self, report->engine));
+  if (!sent.ok()) return sent;
+  const d3t::net::TransportMetrics& m = ctx.transport.metrics();
+  return SendToCollector(
+      ctx, d3t::net::wire::Frame::MetricsReport(
+               ctx.self, m.frames_tx, m.frames_rx, m.bytes_tx, m.bytes_rx,
+               m.backpressure_stalls, m.decode_errors));
+}
+
+// Body of the feed-publisher process: one FeedPublisher per node (each
+// node's overlay sizes its kHello), all multiplexed over one socket
+// endpoint.
+d3t::Status RunPublisher(d3t::serve::ProcessContext& ctx,
+                         const d3t::exp::World& world,
+                         const d3t::core::Scenario& scenario,
+                         const std::vector<size_t>& member_counts) {
+  for (d3t::net::PeerId node = 0; node < kNodes; ++node) {
+    d3t::Status connected = ctx.transport.ConnectPeer(node, ctx.ports[node]);
+    if (!connected.ok()) return connected;
+  }
+  std::vector<std::unique_ptr<d3t::serve::FeedPublisher>> feeds;
+  for (d3t::net::PeerId node = 0; node < kNodes; ++node) {
+    feeds.push_back(std::make_unique<d3t::serve::FeedPublisher>(
+        world.traces(), &scenario, member_counts[node], kSeed, ctx.transport,
+        ctx.self, std::vector<d3t::net::PeerId>{node}));
+  }
+  for (;;) {
+    size_t sent = 0;
+    bool all_done = true;
+    for (auto& feed : feeds) {
+      sent += feed->Pump();
+      if (!feed->status().ok()) return feed->status();
+      all_done = all_done && feed->done();
+    }
+    d3t::Status pumped = ctx.transport.Pump();
+    if (!pumped.ok()) return pumped;
+    if (all_done) break;
+    if (sent == 0) {
+      d3t::Status waited = ctx.transport.WaitIo(20000);
+      if (!waited.ok()) return waited;
+    }
+  }
+  for (d3t::net::PeerId node = 0; node < kNodes; ++node) {
+    d3t::Status closed = ctx.transport.CloseSend(node);
+    if (!closed.ok()) return closed;
+  }
+  return d3t::Status::Ok();
+}
+
+}  // namespace
+
+int main() {
+  // The live_node world: 12 repositories, three sources, six items
+  // round-robin, one scripted mid-run outage.
+  d3t::exp::NetworkConfig network;
+  network.repositories = 12;
+  network.routers = 48;
+  network.source_count = 3;
+  d3t::exp::WorkloadConfig workload;
+  workload.items = 6;
+  workload.ticks = 400;
+  auto session = d3t::exp::SessionBuilder()
+                     .SetNetwork(network)
+                     .SetWorkload(workload)
+                     .SetSeed(kSeed)
+                     .Build();
+  if (!session.ok()) {
+    std::fprintf(stderr, "session: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+  const d3t::exp::World& world = session->world();
+  auto scenario = d3t::exp::ScenarioBuilder()
+                      .FailRepo(d3t::sim::Seconds(60), 4)
+                      .RecoverAt(d3t::sim::Seconds(180))
+                      .Build();
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "scenario: %s\n",
+                 scenario.status().ToString().c_str());
+    return 1;
+  }
+  d3t::core::EngineOptions engine_options;
+  engine_options.repair_delay = d3t::sim::Millis(500);
+
+  // Reference runs: the same three worlds as plain library calls, no
+  // process boundary anywhere. (ThreadPool use is scoped inside world
+  // building above, so the forks below start thread-free.)
+  std::vector<d3t::core::EngineMetrics> direct(kNodes);
+  std::vector<size_t> member_counts(kNodes, 0);
+  for (size_t source = 0; source < kNodes; ++source) {
+    auto overlay = BuildNodeOverlay(world, source);
+    if (!overlay.ok()) {
+      std::fprintf(stderr, "overlay: %s\n",
+                   overlay.status().ToString().c_str());
+      return 1;
+    }
+    member_counts[source] = overlay->member_count();
+    std::unique_ptr<d3t::core::Disseminator> policy =
+        d3t::core::MakeDisseminator("distributed");
+    d3t::core::Engine engine(*overlay, world.delays(source), world.traces(),
+                             *policy, engine_options,
+                             /*change_timelines=*/nullptr, &*scenario);
+    auto metrics = engine.Run();
+    if (!metrics.ok()) {
+      std::fprintf(stderr, "direct run: %s\n",
+                   metrics.status().ToString().c_str());
+      return 1;
+    }
+    direct[source] = *metrics;
+  }
+
+  // The cluster: processes 0..2 are repository nodes, process 3 the
+  // publisher; the parent is the collector.
+  std::vector<d3t::serve::ProcessBody> bodies;
+  for (size_t node = 0; node < kNodes; ++node) {
+    bodies.push_back([&](d3t::serve::ProcessContext& ctx) {
+      return RunNode(ctx, world, *scenario, engine_options);
+    });
+  }
+  bodies.push_back([&](d3t::serve::ProcessContext& ctx) {
+    return RunPublisher(ctx, world, *scenario, member_counts);
+  });
+  d3t::serve::ClusterOptions cluster_options;
+  cluster_options.timeout_ms = 120000;
+  auto cluster = d3t::serve::RunCluster(bodies, cluster_options);
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "cluster: %s\n",
+                 cluster.status().ToString().c_str());
+    return 1;
+  }
+  d3t::Status first_error = cluster->FirstError();
+  if (!first_error.ok()) {
+    std::fprintf(stderr, "cluster: %s\n", first_error.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<const d3t::net::wire::EngineReportPayload*> reports(kNodes,
+                                                                  nullptr);
+  std::vector<const d3t::net::wire::MetricsReportPayload*> wire_stats(
+      kNodes, nullptr);
+  for (size_t i = 0; i < cluster->frames.size(); ++i) {
+    const d3t::net::wire::Frame& frame = cluster->frames[i];
+    const d3t::net::PeerId source = cluster->frame_sources[i];
+    if (source >= kNodes) continue;
+    if (frame.type == d3t::net::wire::FrameType::kEngineReport) {
+      reports[source] = &frame.u.engine_report;
+    } else if (frame.type == d3t::net::wire::FrameType::kMetricsReport) {
+      wire_stats[source] = &frame.u.metrics;
+    }
+  }
+
+  d3t::TablePrinter table(
+      {"node", "msgs", "loss%", "feedKB", "stalls", "decodeErr",
+       "identical"});
+  bool all_identical = true;
+  for (size_t node = 0; node < kNodes; ++node) {
+    if (reports[node] == nullptr || wire_stats[node] == nullptr) {
+      std::fprintf(stderr, "node %zu reported no metrics\n", node);
+      return 1;
+    }
+    d3t::Status match = d3t::serve::EngineReportMatches(*reports[node],
+                                                        direct[node]);
+    all_identical = all_identical && match.ok();
+    table.AddRow(
+        {"node" + std::to_string(node),
+         d3t::TablePrinter::Int(static_cast<int64_t>(reports[node]->messages)),
+         d3t::TablePrinter::Num(reports[node]->loss_percent, 3),
+         d3t::TablePrinter::Num(
+             static_cast<double>(wire_stats[node]->bytes_rx) / 1024.0, 1),
+         d3t::TablePrinter::Int(
+             static_cast<int64_t>(wire_stats[node]->backpressure_stalls)),
+         d3t::TablePrinter::Int(
+             static_cast<int64_t>(wire_stats[node]->decode_errors)),
+         match.ok() ? "yes" : match.ToString()});
+  }
+  table.Print();
+  std::printf(
+      "\n%zu processes over loopback TCP, byte-identical to direct runs: "
+      "%s\n",
+      kNodes + 1, all_identical ? "yes" : "NO");
+  return all_identical ? 0 : 1;
+}

@@ -102,7 +102,7 @@ int main() {
   engine_options.repair_delay = d3t::sim::Millis(500);
 
   d3t::TablePrinter table({"node", "msgs", "loss%", "dataTx", "dataKB",
-                           "feedFrames", "feedStalls", "decodeErr",
+                           "feedFrames", "feedKB", "feedStalls", "decodeErr",
                            "identical"});
   bool all_identical = true;
   for (size_t source = 0; source < world.source_count(); ++source) {
@@ -175,6 +175,9 @@ int main() {
                       1),
                   d3t::TablePrinter::Int(
                       static_cast<int64_t>(report->feed_frames)),
+                  d3t::TablePrinter::Num(
+                      static_cast<double>(feed.metrics().bytes_rx) / 1024.0,
+                      1),
                   d3t::TablePrinter::Int(static_cast<int64_t>(
                       feed.metrics().backpressure_stalls)),
                   d3t::TablePrinter::Int(static_cast<int64_t>(

@@ -23,6 +23,12 @@
 # Lint: set D3T_LINT=1 to instead run the d3t-lint static-analysis
 # suite (tools/lint/d3t_lint.py) — fixture selftest first, then a
 # clean pass over src/. No toolchain needed beyond python3.
+#
+# Distributed smoke: set D3T_DISTRIBUTED_SMOKE=1 to instead build the
+# examples and run examples/distributed_world — four real processes
+# over loopback TCP; it exits 0 iff every node's EngineMetrics match
+# the direct in-process runs byte for byte, so one run asserts the
+# whole socket/cluster path end to end.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -77,6 +83,19 @@ if [[ -n "${D3T_BENCH_SMOKE:-}" ]]; then
   echo "== bench smoke: scalability --churn =="
   "$BUILD_DIR/bench/scalability" --repositories 8 --items 4 --ticks 120 \
     --churn
+  exit 0
+fi
+
+if [[ -n "${D3T_DISTRIBUTED_SMOKE:-}" ]]; then
+  BUILD_DIR=build-distributed-smoke
+  cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DD3T_BUILD_TESTS=OFF \
+    -DD3T_BUILD_BENCH=OFF \
+    -DD3T_BUILD_EXAMPLES=ON
+  cmake --build "$BUILD_DIR" -j
+  echo "== distributed smoke: examples/distributed_world =="
+  "$BUILD_DIR/examples/distributed_world"
   exit 0
 fi
 

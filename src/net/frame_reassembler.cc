@@ -1,0 +1,80 @@
+#include "net/frame_reassembler.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace d3t::net {
+
+// d3t-lint: hot
+bool ByteRing::Append(const uint8_t* data, size_t size) {
+  if (size == 0) return true;  // also keeps a capacity-0 ring well-defined
+  if (free_space() < size) return false;
+  const size_t tail = (head_ + count_) % bytes_.size();
+  const size_t first = std::min(size, bytes_.size() - tail);
+  std::memcpy(bytes_.data() + tail, data, first);
+  std::memcpy(bytes_.data(), data + first, size - first);
+  count_ += size;
+  return true;
+}
+
+// d3t-lint: hot
+size_t ByteRing::PeekLinear(uint8_t* out, size_t max) const {
+  const size_t avail = std::min(count_, max);
+  const size_t first = std::min(avail, bytes_.size() - head_);
+  std::memcpy(out, bytes_.data() + head_, first);
+  std::memcpy(out + first, bytes_.data(), avail - first);
+  return avail;
+}
+
+size_t ByteRing::ContiguousFront(const uint8_t** data) const {
+  *data = bytes_.data() + head_;
+  return std::min(count_, bytes_.size() - head_);
+}
+
+size_t ByteRing::ContiguousBack(uint8_t** data) {
+  const size_t tail = (head_ + count_) % bytes_.size();
+  *data = bytes_.data() + tail;
+  return std::min(free_space(), bytes_.size() - tail);
+}
+
+void ByteRing::Grow(size_t n) { count_ += n; }
+
+void ByteRing::Consume(size_t n) {
+  head_ = (head_ + n) % bytes_.size();
+  count_ -= n;
+}
+
+// d3t-lint: hot
+FrameReassembler::Outcome FrameReassembler::Next(ByteRing& ring,
+                                                 wire::Frame* out,
+                                                 size_t* frame_bytes) {
+  if (ring.size() < wire::kHeaderSize) return Outcome::kNeedMore;
+
+  // Linearize up to one frame's worth of the ring into scratch so the
+  // decoder sees contiguous bytes even across the wrap.
+  uint8_t scratch[wire::kMaxFrameSize];
+  const size_t avail = ring.PeekLinear(scratch, sizeof(scratch));
+
+  Result<size_t> size = wire::PeekFrameSize(scratch, avail);
+  if (!size.ok()) {
+    // Garbage header: slide one byte and let the caller retry on the
+    // next magic. A TCP reader recovering from a corrupt stream does
+    // exactly this.
+    ring.Consume(1);
+    return Outcome::kResync;
+  }
+  if (ring.size() < *size) return Outcome::kNeedMore;  // partial frame
+
+  Result<wire::Frame> decoded = wire::Decode(scratch, avail);
+  if (!decoded.ok()) {
+    // Valid header, corrupt payload (checksum): resync as above.
+    ring.Consume(1);
+    return Outcome::kResync;
+  }
+  ring.Consume(*size);
+  *out = *decoded;
+  if (frame_bytes != nullptr) *frame_bytes = *size;
+  return Outcome::kFrame;
+}
+
+}  // namespace d3t::net

@@ -88,7 +88,7 @@ Status StreamTransport::Connect(PeerId from, PeerId to) {
   }
   Channel ch;
   ch.from = from;
-  ch.ring.resize(channel_bytes_);
+  ch.ring = ByteRing(channel_bytes_);
   // Ascending sender order keeps Poll's scan deterministic regardless
   // of Connect call order.
   auto pos = std::find_if(
@@ -110,16 +110,11 @@ StreamTransport::Channel* StreamTransport::FindChannel(PeerId from,
 // d3t-lint: hot
 Status StreamTransport::Append(Channel& ch, PeerId from, const uint8_t* data,
                                size_t size) {
-  if (ch.ring.size() - ch.count < size) {
+  if (!ch.ring.Append(data, size)) {
     ++per_peer_[from].backpressure_stalls;
     ++totals_.backpressure_stalls;
     return Status::CapacityExhausted("channel ring full");
   }
-  const size_t tail = (ch.head + ch.count) % ch.ring.size();
-  const size_t first = std::min(size, ch.ring.size() - tail);
-  std::memcpy(ch.ring.data() + tail, data, first);
-  std::memcpy(ch.ring.data(), data + first, size - first);
-  ch.count += size;
   return Status::Ok();
 }
 
@@ -163,44 +158,20 @@ Status StreamTransport::SendRaw(PeerId from, PeerId to, const uint8_t* data,
 bool StreamTransport::Poll(PeerId self, wire::Frame* out, PeerId* from) {
   if (self >= inbound_.size()) return false;
   for (Channel& ch : inbound_[self]) {
-    while (ch.count >= wire::kHeaderSize) {
-      // Linearize up to one frame's worth of the ring into scratch so
-      // the decoder sees contiguous bytes even across the wrap.
-      uint8_t scratch[wire::kMaxFrameSize];
-      const size_t avail = std::min<size_t>(ch.count, sizeof(scratch));
-      const size_t first = std::min(avail, ch.ring.size() - ch.head);
-      std::memcpy(scratch, ch.ring.data() + ch.head, first);
-      std::memcpy(scratch + first, ch.ring.data(), avail - first);
-
-      Result<size_t> frame_size = wire::PeekFrameSize(scratch, avail);
-      if (!frame_size.ok()) {
-        // Garbage header: count it, slide one byte, try to resync on
-        // the next magic. A TCP reader recovering from a corrupt
-        // stream does exactly this.
+    for (;;) {
+      size_t frame_size = 0;
+      const FrameReassembler::Outcome outcome =
+          FrameReassembler::Next(ch.ring, out, &frame_size);
+      if (outcome == FrameReassembler::Outcome::kNeedMore) break;
+      if (outcome == FrameReassembler::Outcome::kResync) {
         ++per_peer_[self].decode_errors;
         ++totals_.decode_errors;
-        ch.head = (ch.head + 1) % ch.ring.size();
-        --ch.count;
         continue;
       }
-      if (ch.count < *frame_size) break;  // partial frame: wait for more
-
-      Result<wire::Frame> decoded = wire::Decode(scratch, avail);
-      if (!decoded.ok()) {
-        // Valid header, corrupt payload (checksum): resync as above.
-        ++per_peer_[self].decode_errors;
-        ++totals_.decode_errors;
-        ch.head = (ch.head + 1) % ch.ring.size();
-        --ch.count;
-        continue;
-      }
-      ch.head = (ch.head + *frame_size) % ch.ring.size();
-      ch.count -= *frame_size;
       ++per_peer_[self].frames_rx;
-      per_peer_[self].bytes_rx += *frame_size;
+      per_peer_[self].bytes_rx += frame_size;
       ++totals_.frames_rx;
-      totals_.bytes_rx += *frame_size;
-      *out = *decoded;
+      totals_.bytes_rx += frame_size;
       if (from != nullptr) *from = ch.from;
       return true;
     }

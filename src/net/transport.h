@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "net/frame_reassembler.h"
 #include "net/wire.h"
 
 namespace d3t::net {
@@ -109,11 +110,11 @@ class InProcTransport : public Transport {
 
 /// Loopback byte-stream transport: frames cross directed byte rings
 /// with no slot structure — the receiver recovers frame boundaries
-/// from the wire header alone (PeekFrameSize), exactly as a TCP reader
-/// would. Channels are pre-registered via Connect (from → to) so the
-/// sender of every byte is known without in-band addressing; Poll
-/// scans a peer's inbound channels in ascending sender order and
-/// resyncs byte-by-byte past corrupt headers.
+/// from the wire header alone via the shared FrameReassembler, exactly
+/// as a TCP reader would. Channels are pre-registered via Connect
+/// (from → to) so the sender of every byte is known without in-band
+/// addressing; Poll scans a peer's inbound channels in ascending
+/// sender order and resyncs byte-by-byte past corrupt headers.
 class StreamTransport : public Transport {
  public:
   /// `per_channel_bytes` of ring per registered channel.
@@ -139,9 +140,7 @@ class StreamTransport : public Transport {
  private:
   struct Channel {
     PeerId from = kInvalidPeerId;
-    size_t head = 0;  // read offset into ring
-    size_t count = 0;  // readable bytes
-    std::vector<uint8_t> ring;
+    ByteRing ring;
   };
 
   Channel* FindChannel(PeerId from, PeerId to);

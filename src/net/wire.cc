@@ -54,6 +54,8 @@ const char* FrameTypeName(FrameType type) {
       return "metrics-report";
     case FrameType::kShutdown:
       return "shutdown";
+    case FrameType::kEngineReport:
+      return "engine-report";
   }
   return "invalid";
 }
@@ -117,6 +119,13 @@ Frame Frame::Shutdown(uint32_t node) {
   return f;
 }
 
+Frame Frame::EngineReport(const EngineReportPayload& payload) {
+  Frame f;
+  f.type = FrameType::kEngineReport;
+  f.u.engine_report = payload;
+  return f;
+}
+
 size_t PayloadSize(FrameType type) {
   switch (type) {
     case FrameType::kInvalid:
@@ -135,6 +144,8 @@ size_t PayloadSize(FrameType type) {
       return sizeof(MetricsReportPayload);
     case FrameType::kShutdown:
       return sizeof(ShutdownPayload);
+    case FrameType::kEngineReport:
+      return sizeof(EngineReportPayload);
   }
   return 0;
 }

@@ -60,6 +60,11 @@ enum class FrameType : uint8_t {
   kMetricsReport = 6,
   /// End of feed.
   kShutdown = 7,
+  /// A node's full engine results (every EngineMetrics scalar plus a
+  /// digest of the per-member loss vector), reported upstream. This is
+  /// the frame a cluster collector compares byte-for-byte against a
+  /// direct in-process run.
+  kEngineReport = 8,
 };
 
 /// Human-readable type name for diagnostics ("invalid" for unknowns).
@@ -181,6 +186,47 @@ static_assert(sizeof(MetricsReportPayload) == 56,
 static_assert(std::is_trivially_copyable_v<MetricsReportPayload>,
               "wire payloads must stay trivially copyable");
 
+/// Wire image of core::EngineMetrics: every scalar verbatim, the
+/// per-member loss vector as a length + FNV-1a digest (a fixed-size
+/// payload cannot carry a member-count-sized array; the digest still
+/// pins the vector byte-for-byte). The wire layer sits below core/ in
+/// the include DAG, so it re-states the field shapes instead of
+/// including them; serve/ owns the EngineMetrics <-> payload bridge.
+// d3t-lint: pod-event
+struct EngineReportPayload {
+  /// Reporting node (cluster peer id).
+  uint32_t node;
+  /// Length of the per-member loss vector the digest covers.
+  uint32_t member_count;
+  double loss_percent;
+  double pair_loss_percent;
+  double outage_loss_percent;
+  uint64_t tracked_pairs;
+  uint64_t messages;
+  uint64_t source_messages;
+  uint64_t checks;
+  uint64_t source_checks;
+  uint64_t source_updates;
+  uint64_t events;
+  uint64_t delivery_batches;
+  uint64_t coalesced_messages;
+  uint64_t process_wakeups;
+  uint64_t scenario_ops;
+  uint64_t repairs;
+  uint64_t orphaned_ticks;
+  uint64_t dropped_jobs;
+  int64_t outage_pair_time;
+  int64_t outage_out_of_sync_time;
+  int64_t horizon;
+  /// FNV-1a (64-bit) over the raw bytes of per_member_loss.
+  uint64_t per_member_loss_hash;
+};
+static_assert(sizeof(EngineReportPayload) == 176,
+              "engine-report frames are 176-byte PODs (2 u32 ids + 21 "
+              "8-byte metric fields)");
+static_assert(std::is_trivially_copyable_v<EngineReportPayload>,
+              "wire payloads must stay trivially copyable");
+
 // d3t-lint: pod-event
 struct ShutdownPayload {
   uint32_t node;
@@ -208,6 +254,7 @@ struct Frame {
     ScenarioOpPayload scenario;
     MetricsReportPayload metrics;
     ShutdownPayload shutdown;
+    EngineReportPayload engine_report;
   };
 
   FrameType type = FrameType::kInvalid;
@@ -228,10 +275,13 @@ struct Frame {
                              uint64_t bytes_rx, uint64_t backpressure_stalls,
                              uint64_t decode_errors);
   static Frame Shutdown(uint32_t node);
+  /// `payload` must have every field set (serve::MakeEngineReport is
+  /// the one bridge from core::EngineMetrics).
+  static Frame EngineReport(const EngineReportPayload& payload);
 };
-static_assert(sizeof(Frame) == 64,
-              "decoded frames are 64-byte slots (8-byte-aligned tag + "
-              "56-byte payload union) — transport rings size to this");
+static_assert(sizeof(Frame) == 184,
+              "decoded frames are 184-byte slots (8-byte-aligned tag + "
+              "176-byte payload union) — transport rings size to this");
 static_assert(std::is_trivially_copyable_v<Frame>,
               "frames cross ring buffers by memcpy");
 

@@ -1,0 +1,314 @@
+#include "serve/cluster.h"
+
+#include <errno.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace d3t::serve {
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+bool BitEqualDouble(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+Status Mismatch(const char* field) {
+  std::string msg("engine report mismatch: ");
+  msg += field;
+  return Status::Internal(msg);
+}
+
+/// Maps a waitpid status onto the report taxonomy.
+Status ChildExitStatus(size_t node, int wstatus) {
+  if (WIFEXITED(wstatus)) {
+    const int code = WEXITSTATUS(wstatus);
+    if (code == 0) return Status::Ok();
+    std::string msg("node ");
+    msg += std::to_string(node);
+    msg += " exited with code ";
+    msg += std::to_string(code);
+    return Status::IoError(msg);
+  }
+  if (WIFSIGNALED(wstatus)) {
+    std::string msg("node ");
+    msg += std::to_string(node);
+    msg += " killed by signal ";
+    msg += std::to_string(WTERMSIG(wstatus));
+    return Status::IoError(msg);
+  }
+  std::string msg("node ");
+  msg += std::to_string(node);
+  msg += ": unrecognized wait status";
+  return Status::Internal(msg);
+}
+
+}  // namespace
+
+uint64_t HashPerMemberLoss(const std::vector<double>& per_member_loss) {
+  uint64_t hash = kFnvOffset;
+  const uint8_t* bytes =
+      reinterpret_cast<const uint8_t*>(per_member_loss.data());
+  const size_t size = per_member_loss.size() * sizeof(double);
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+net::wire::Frame MakeEngineReport(uint32_t node,
+                                  const core::EngineMetrics& metrics) {
+  net::wire::EngineReportPayload p{};
+  p.node = node;
+  p.member_count = static_cast<uint32_t>(metrics.per_member_loss.size());
+  p.loss_percent = metrics.loss_percent;
+  p.pair_loss_percent = metrics.pair_loss_percent;
+  p.outage_loss_percent = metrics.outage_loss_percent;
+  p.tracked_pairs = metrics.tracked_pairs;
+  p.messages = metrics.messages;
+  p.source_messages = metrics.source_messages;
+  p.checks = metrics.checks;
+  p.source_checks = metrics.source_checks;
+  p.source_updates = metrics.source_updates;
+  p.events = metrics.events;
+  p.delivery_batches = metrics.delivery_batches;
+  p.coalesced_messages = metrics.coalesced_messages;
+  p.process_wakeups = metrics.process_wakeups;
+  p.scenario_ops = metrics.scenario_ops;
+  p.repairs = metrics.repairs;
+  p.orphaned_ticks = metrics.orphaned_ticks;
+  p.dropped_jobs = metrics.dropped_jobs;
+  p.outage_pair_time = metrics.outage_pair_time;
+  p.outage_out_of_sync_time = metrics.outage_out_of_sync_time;
+  p.horizon = metrics.horizon;
+  p.per_member_loss_hash = HashPerMemberLoss(metrics.per_member_loss);
+  return net::wire::Frame::EngineReport(p);
+}
+
+Status EngineReportMatches(const net::wire::EngineReportPayload& report,
+                           const core::EngineMetrics& expected) {
+  if (report.member_count != expected.per_member_loss.size()) {
+    return Mismatch("member_count");
+  }
+  if (!BitEqualDouble(report.loss_percent, expected.loss_percent)) {
+    return Mismatch("loss_percent");
+  }
+  if (!BitEqualDouble(report.pair_loss_percent, expected.pair_loss_percent)) {
+    return Mismatch("pair_loss_percent");
+  }
+  if (!BitEqualDouble(report.outage_loss_percent,
+                      expected.outage_loss_percent)) {
+    return Mismatch("outage_loss_percent");
+  }
+  if (report.tracked_pairs != expected.tracked_pairs) {
+    return Mismatch("tracked_pairs");
+  }
+  if (report.messages != expected.messages) return Mismatch("messages");
+  if (report.source_messages != expected.source_messages) {
+    return Mismatch("source_messages");
+  }
+  if (report.checks != expected.checks) return Mismatch("checks");
+  if (report.source_checks != expected.source_checks) {
+    return Mismatch("source_checks");
+  }
+  if (report.source_updates != expected.source_updates) {
+    return Mismatch("source_updates");
+  }
+  if (report.events != expected.events) return Mismatch("events");
+  if (report.delivery_batches != expected.delivery_batches) {
+    return Mismatch("delivery_batches");
+  }
+  if (report.coalesced_messages != expected.coalesced_messages) {
+    return Mismatch("coalesced_messages");
+  }
+  if (report.process_wakeups != expected.process_wakeups) {
+    return Mismatch("process_wakeups");
+  }
+  if (report.scenario_ops != expected.scenario_ops) {
+    return Mismatch("scenario_ops");
+  }
+  if (report.repairs != expected.repairs) return Mismatch("repairs");
+  if (report.orphaned_ticks != expected.orphaned_ticks) {
+    return Mismatch("orphaned_ticks");
+  }
+  if (report.dropped_jobs != expected.dropped_jobs) {
+    return Mismatch("dropped_jobs");
+  }
+  if (report.outage_pair_time != expected.outage_pair_time) {
+    return Mismatch("outage_pair_time");
+  }
+  if (report.outage_out_of_sync_time != expected.outage_out_of_sync_time) {
+    return Mismatch("outage_out_of_sync_time");
+  }
+  if (report.horizon != expected.horizon) return Mismatch("horizon");
+  if (report.per_member_loss_hash !=
+      HashPerMemberLoss(expected.per_member_loss)) {
+    return Mismatch("per_member_loss_hash");
+  }
+  return Status::Ok();
+}
+
+Status ClusterReport::FirstError() const {
+  for (const Status& exit : exits) {
+    if (!exit.ok()) return exit;
+  }
+  return Status::Ok();
+}
+
+Result<ClusterReport> RunCluster(const std::vector<ProcessBody>& bodies,
+                                 ClusterOptions options) {
+  const size_t n = bodies.size();
+  if (n == 0) {
+    return Status::InvalidArgument("cluster needs at least one process");
+  }
+  const net::PeerId collector = static_cast<net::PeerId>(n);
+
+  // Every peer's listener exists before the first fork: children inherit
+  // exactly one each, and the port table below is plain data every
+  // process already holds — no handshake can race a connect.
+  std::vector<int> listen_fds(n + 1, -1);
+  std::vector<uint16_t> ports(n + 1, 0);
+  for (size_t i = 0; i <= n; ++i) {
+    Result<int> fd = net::CreateLoopbackListener(&ports[i]);
+    if (!fd.ok()) {
+      for (int open_fd : listen_fds) {
+        if (open_fd >= 0) close(open_fd);
+      }
+      return fd.status();
+    }
+    listen_fds[i] = *fd;
+  }
+
+  net::SocketOptions socket_options = options.socket;
+  socket_options.ring_bytes = options.ring_bytes;
+
+  std::vector<pid_t> pids(n, -1);
+  for (size_t i = 0; i < n; ++i) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      const int err = errno;
+      for (size_t j = 0; j < i; ++j) {
+        kill(pids[j], SIGKILL);
+        int wstatus = 0;
+        waitpid(pids[j], &wstatus, 0);
+      }
+      for (int open_fd : listen_fds) {
+        if (open_fd >= 0) close(open_fd);
+      }
+      std::string msg("fork failed: ");
+      msg += strerror(err);
+      return Status::IoError(msg);
+    }
+    if (pid == 0) {
+      // Child. Only its own listener survives; a child holding sibling
+      // listeners open would keep their ports half-alive after a crash.
+      for (size_t j = 0; j <= n; ++j) {
+        if (j != i) close(listen_fds[j]);
+      }
+      net::SocketTransport transport(n + 1, static_cast<net::PeerId>(i),
+                                     socket_options);
+      Status status = transport.AdoptListener(listen_fds[i], ports[i]);
+      if (status.ok()) status = transport.ConnectPeer(collector, ports[n]);
+      if (status.ok()) {
+        ProcessContext ctx{transport, static_cast<net::PeerId>(i), collector,
+                           ports};
+        status = bodies[i](ctx);
+      }
+      if (status.ok()) status = transport.CloseSend(collector);
+      // _exit, not exit: a forked child must not run the parent's
+      // atexit chain or flush its inherited stdio buffers twice.
+      _exit(status.ok() ? 0 : 2);
+    }
+    pids[i] = pid;
+  }
+
+  for (size_t i = 0; i < n; ++i) close(listen_fds[i]);
+  net::SocketTransport transport(n + 1, collector, socket_options);
+  Status adopt = transport.AdoptListener(listen_fds[n], ports[n]);
+  if (!adopt.ok()) {
+    for (size_t i = 0; i < n; ++i) {
+      kill(pids[i], SIGKILL);
+      int wstatus = 0;
+      waitpid(pids[i], &wstatus, 0);
+    }
+    return adopt;
+  }
+
+  ClusterReport report;
+  report.exits.assign(n, Status::Ok());
+  std::vector<bool> reaped(n, false);
+  size_t live = n;
+  const int64_t deadline = net::MonotonicMillis() + options.timeout_ms;
+  bool timed_out = false;
+
+  net::wire::Frame frame;
+  net::PeerId from = net::kInvalidPeerId;
+  while (live > 0) {
+    while (transport.Poll(collector, &frame, &from)) {
+      report.frames.push_back(frame);
+      report.frame_sources.push_back(from);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (reaped[i]) continue;
+      int wstatus = 0;
+      const pid_t r = waitpid(pids[i], &wstatus, WNOHANG);
+      if (r == pids[i]) {
+        reaped[i] = true;
+        --live;
+        report.exits[i] = ChildExitStatus(i, wstatus);
+      }
+    }
+    if (live == 0) break;
+    if (net::MonotonicMillis() >= deadline) {
+      timed_out = true;
+      break;
+    }
+    // Reap tick: WaitIo's timeout here is pacing, not an error — a
+    // child can exit without any socket turning readable.
+    (void)transport.WaitIo(50);
+  }
+
+  if (timed_out) {
+    for (size_t i = 0; i < n; ++i) {
+      if (reaped[i]) continue;
+      kill(pids[i], SIGKILL);
+      int wstatus = 0;
+      waitpid(pids[i], &wstatus, 0);
+      std::string msg("node ");
+      msg += std::to_string(i);
+      msg += " wedged: killed after ";
+      msg += std::to_string(options.timeout_ms);
+      msg += " ms cluster timeout";
+      report.exits[i] = Status::IoError(msg);
+    }
+  }
+
+  // Final drain: everything the children flushed before exiting is in
+  // kernel buffers (possibly still in the accept backlog); pull it all
+  // before declaring the run over. Bounded — drained() goes true once
+  // every inbound socket has closed, and the grace deadline backstops a
+  // transport wedge.
+  const int64_t drain_deadline = net::MonotonicMillis() + 2000;
+  for (;;) {
+    while (transport.Poll(collector, &frame, &from)) {
+      report.frames.push_back(frame);
+      report.frame_sources.push_back(from);
+    }
+    if (transport.drained()) break;
+    if (net::MonotonicMillis() >= drain_deadline) break;
+    (void)transport.WaitIo(10);
+  }
+
+  return report;
+}
+
+}  // namespace d3t::serve

@@ -1,0 +1,101 @@
+#ifndef D3T_SERVE_CLUSTER_H_
+#define D3T_SERVE_CLUSTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/engine.h"
+#include "net/socket_transport.h"
+#include "net/wire.h"
+
+namespace d3t::serve {
+
+/// FNV-1a 64 over the raw bytes of a per-member loss vector. A fixed-
+/// size wire payload cannot carry the variable-length vector, but the
+/// hash still pins it bit-for-bit: a cluster child hashes the vector it
+/// computed, the collector hashes the one the direct run computed, and
+/// any divergence — value, order, or length — breaks the match.
+uint64_t HashPerMemberLoss(const std::vector<double>& per_member_loss);
+
+/// Frames a node's EngineMetrics for the wire: every scalar verbatim,
+/// the per-member vector as count + FNV-1a hash.
+net::wire::Frame MakeEngineReport(uint32_t node,
+                                  const core::EngineMetrics& metrics);
+
+/// Ok iff `report` is byte-identical to `expected` — every scalar
+/// compared bit-for-bit (doubles by bit pattern, not ==, so NaN and
+/// signed-zero differences count) and the per-member vector matched by
+/// count + hash. Otherwise Internal naming the first mismatched field.
+Status EngineReportMatches(const net::wire::EngineReportPayload& report,
+                           const core::EngineMetrics& expected);
+
+/// What a forked cluster process sees. `transport` is the process's
+/// endpoint: its own listener adopted, the channel to the collector
+/// already connected (so `Send(self, collector, frame)` works
+/// immediately); `ports` maps every peer — including the collector at
+/// index `process count` — to its listener, for whatever extra channels
+/// the body's topology needs.
+struct ProcessContext {
+  net::SocketTransport& transport;
+  net::PeerId self;
+  net::PeerId collector;
+  const std::vector<uint16_t>& ports;
+};
+
+/// Body run inside a forked child. A non-Ok return becomes exit code 2,
+/// which the collector reports as that node's exit Status.
+using ProcessBody = std::function<Status(ProcessContext&)>;
+
+struct ClusterOptions {
+  /// Wall-clock budget for the whole run. Children still alive at the
+  /// deadline are SIGKILLed and reported as wedged — a dead or hung
+  /// node is a precise error, never a hang.
+  int timeout_ms = 30000;
+  /// Ring bytes per socket channel (see SocketOptions::ring_bytes).
+  size_t ring_bytes = 1 << 16;
+  /// Connect/backoff knobs for every endpoint in the cluster.
+  net::SocketOptions socket;
+};
+
+/// Everything a cluster run reports.
+struct ClusterReport {
+  /// Frames the children sent to the collector, in arrival order
+  /// (ascending-peer scan per poll round; FIFO within a child).
+  std::vector<net::wire::Frame> frames;
+  /// frame_sources[i] is the child that sent frames[i].
+  std::vector<net::PeerId> frame_sources;
+  /// Per-child outcome: Ok for exit 0, IoError naming the node for a
+  /// nonzero exit, a killing signal, or a timeout SIGKILL.
+  std::vector<Status> exits;
+
+  /// First non-Ok child outcome (Ok when every child finished cleanly).
+  Status FirstError() const;
+};
+
+/// Runs one OS process per body, wired over loopback TCP, and collects
+/// what they report.
+///
+/// The parent creates a listener per peer — bodies' and its own —
+/// BEFORE forking, so each child inherits its listener already bound
+/// (no port handshake, no bind race) and the full port table travels as
+/// plain data. Each child closes the listeners that are not its own,
+/// adopts its own into a SocketTransport, connects to the collector,
+/// runs its body, flushes, and _exit()s (never exit() — a forked child
+/// must not run the parent's atexit chain). The parent reaps with
+/// WNOHANG while draining report frames, so a child that dies mid-feed
+/// surfaces as a precise per-node Status while its surviving frames are
+/// still collected; at the deadline the stragglers are SIGKILLed.
+///
+/// Fork safety is the caller's contract: no live threads when RunCluster
+/// is called (the engine's thread pools are scoped to world building and
+/// joined before serving starts).
+Result<ClusterReport> RunCluster(const std::vector<ProcessBody>& bodies,
+                                 ClusterOptions options = {});
+
+}  // namespace d3t::serve
+
+#endif  // D3T_SERVE_CLUSTER_H_

@@ -1,0 +1,332 @@
+// serve::RunCluster: real forked processes over loopback TCP. The
+// byte-identity acceptance pin — a world served across a process
+// boundary reproduces the direct run's EngineMetrics bit for bit — plus
+// the failure taxonomy: a SIGKILLed child is reported as exactly that,
+// a publisher feeding a killed node observes a precise IoError (not a
+// hang, not a silent success), and a wedged child is killed at the
+// deadline with the run's wall clock still bounded.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/disseminator.h"
+#include "core/engine.h"
+#include "core/lela.h"
+#include "exp/session.h"
+#include "net/socket_transport.h"
+#include "net/transport.h"
+#include "net/wire.h"
+#include "serve/cluster.h"
+#include "serve/node.h"
+#include "gtest/gtest.h"
+
+namespace d3t::serve {
+namespace {
+
+constexpr uint64_t kSeed = 977;
+
+net::wire::Frame TestUpdate(uint32_t item) {
+  return net::wire::Frame::Update(0, 1, /*arrival_us=*/1000 * item, item,
+                                  static_cast<double>(item), 0.0);
+}
+
+TEST(ClusterHashTest, PerMemberLossHashPinsValuesOrderAndLength) {
+  const std::vector<double> base = {0.0, 1.25, -1.0, 3.5};
+  const uint64_t hash = HashPerMemberLoss(base);
+  EXPECT_EQ(hash, HashPerMemberLoss({0.0, 1.25, -1.0, 3.5}));
+  EXPECT_NE(hash, HashPerMemberLoss({0.0, 1.25, -1.0}));        // length
+  EXPECT_NE(hash, HashPerMemberLoss({1.25, 0.0, -1.0, 3.5}));   // order
+  EXPECT_NE(hash, HashPerMemberLoss({0.0, 1.25, -1.0, 3.51}));  // value
+}
+
+TEST(ClusterHashTest, EngineReportRoundTripsAndDetectsDrift) {
+  core::EngineMetrics metrics;
+  metrics.loss_percent = 1.5;
+  metrics.pair_loss_percent = 2.25;
+  metrics.tracked_pairs = 11;
+  metrics.per_member_loss = {0.0, 1.0, 2.0};
+  metrics.messages = 1234;
+  metrics.events = 999;
+  metrics.horizon = 5000000;
+  net::wire::Frame frame = MakeEngineReport(3, metrics);
+  ASSERT_EQ(frame.type, net::wire::FrameType::kEngineReport);
+  EXPECT_EQ(frame.u.engine_report.node, 3u);
+  EXPECT_TRUE(EngineReportMatches(frame.u.engine_report, metrics).ok());
+
+  core::EngineMetrics drifted = metrics;
+  drifted.messages += 1;
+  Status mismatch = EngineReportMatches(frame.u.engine_report, drifted);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_NE(mismatch.message().find("messages"), std::string::npos);
+
+  core::EngineMetrics reordered = metrics;
+  reordered.per_member_loss = {1.0, 0.0, 2.0};
+  EXPECT_FALSE(
+      EngineReportMatches(frame.u.engine_report, reordered).ok());
+}
+
+TEST(ClusterTest, ChildrenReportFramesAndExitCleanly) {
+  std::vector<ProcessBody> bodies;
+  for (uint32_t node = 0; node < 2; ++node) {
+    bodies.push_back([node](ProcessContext& ctx) {
+      return ctx.transport.Send(
+          ctx.self, ctx.collector,
+          net::wire::Frame::MetricsReport(node, node + 1, 0, 0, 0, 0, 0));
+    });
+  }
+  auto report = RunCluster(bodies);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->FirstError().ok()) << report->FirstError().ToString();
+  ASSERT_EQ(report->exits.size(), 2u);
+  ASSERT_EQ(report->frames.size(), 2u);
+  // Arrival order across children is scheduling-dependent; match each
+  // frame to its child and check the pair.
+  ASSERT_EQ(report->frame_sources.size(), 2u);
+  for (size_t i = 0; i < report->frames.size(); ++i) {
+    ASSERT_EQ(report->frames[i].type, net::wire::FrameType::kMetricsReport);
+    EXPECT_EQ(report->frames[i].u.metrics.node, report->frame_sources[i]);
+    EXPECT_EQ(report->frames[i].u.metrics.frames_tx,
+              report->frame_sources[i] + 1u);
+  }
+}
+
+TEST(ClusterTest, BodyErrorSurfacesAsNonzeroExit) {
+  std::vector<ProcessBody> bodies;
+  bodies.push_back([](ProcessContext&) {
+    return Status::InvalidArgument("deliberate");
+  });
+  auto report = RunCluster(bodies);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  Status exit0 = report->exits[0];
+  ASSERT_TRUE(exit0.IsIoError()) << exit0.ToString();
+  EXPECT_NE(exit0.message().find("node 0"), std::string::npos);
+  EXPECT_NE(exit0.message().find("code 2"), std::string::npos);
+  EXPECT_FALSE(report->FirstError().ok());
+}
+
+TEST(ClusterTest, SigkilledChildIsReportedAsKilledBySignal) {
+  std::vector<ProcessBody> bodies;
+  bodies.push_back([](ProcessContext&) {
+    kill(getpid(), SIGKILL);
+    return Status::Ok();  // unreachable
+  });
+  bodies.push_back([](ProcessContext& ctx) {
+    return ctx.transport.Send(ctx.self, ctx.collector,
+                              net::wire::Frame::Shutdown(1));
+  });
+  const int64_t before = net::MonotonicMillis();
+  auto report = RunCluster(bodies);
+  const int64_t elapsed = net::MonotonicMillis() - before;
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  Status killed = report->exits[0];
+  ASSERT_TRUE(killed.IsIoError()) << killed.ToString();
+  EXPECT_NE(killed.message().find("killed by signal 9"), std::string::npos)
+      << killed.ToString();
+  EXPECT_TRUE(report->exits[1].ok()) << report->exits[1].ToString();
+  // The survivor's frame still arrived; the dead child is an error, not
+  // a lost run.
+  ASSERT_EQ(report->frames.size(), 1u);
+  EXPECT_EQ(report->frame_sources[0], 1u);
+  EXPECT_LT(elapsed, 30000);  // no hang: well under the default budget
+}
+
+// The ISSUE's robustness pin: kill a node process mid-feed and the
+// publisher must observe a PRECISE IoError (reset / broken pipe) within
+// the deadline — the publisher body returns Ok ONLY if it saw exactly
+// that, so exits[1].ok() below proves the observation.
+TEST(ClusterTest, KilledNodeMidFeedGivesPublisherPreciseIoError) {
+  std::vector<ProcessBody> bodies;
+  // Process 0, the doomed node: ingest a few frames, then die hard with
+  // the stream still flowing.
+  bodies.push_back([](ProcessContext& ctx) {
+    uint64_t received = 0;
+    const int64_t deadline = net::MonotonicMillis() + 20000;
+    net::wire::Frame frame;
+    while (received < 10 && net::MonotonicMillis() < deadline) {
+      if (ctx.transport.Poll(ctx.self, &frame, nullptr)) {
+        ++received;
+        continue;
+      }
+      (void)ctx.transport.WaitIo(50);
+    }
+    kill(getpid(), SIGKILL);
+    return Status::Ok();  // unreachable
+  });
+  // Process 1, the publisher: stream updates at node 0 forever; succeed
+  // IFF the node's death surfaces as a precise reset within bounds.
+  bodies.push_back([](ProcessContext& ctx) {
+    Status connected = ctx.transport.ConnectPeer(0, ctx.ports[0]);
+    if (!connected.ok()) return connected;
+    const int64_t deadline = net::MonotonicMillis() + 20000;
+    uint32_t item = 0;
+    while (net::MonotonicMillis() < deadline) {
+      Status sent = ctx.transport.Send(ctx.self, 0, TestUpdate(item++));
+      if (sent.ok()) continue;
+      if (sent.IsCapacityExhausted()) {
+        (void)ctx.transport.WaitIo(50);
+        Status pumped = ctx.transport.Pump();
+        if (pumped.ok()) continue;
+        sent = pumped;
+      }
+      const bool precise =
+          sent.IsIoError() &&
+          (sent.message().find("reset") != std::string::npos ||
+           sent.message().find("broken pipe") != std::string::npos);
+      if (precise) return Status::Ok();
+      return sent.ok() ? Status::Internal("non-error escaped") : sent;
+    }
+    return Status::IoError("publisher never observed the node's death");
+  });
+  const int64_t before = net::MonotonicMillis();
+  auto report = RunCluster(bodies);
+  const int64_t elapsed = net::MonotonicMillis() - before;
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->exits[0].message().find("killed by signal 9"),
+            std::string::npos)
+      << report->exits[0].ToString();
+  EXPECT_TRUE(report->exits[1].ok()) << report->exits[1].ToString();
+  EXPECT_LT(elapsed, 30000);
+  // A dead node is never folded into a clean aggregate.
+  EXPECT_FALSE(report->FirstError().ok());
+}
+
+TEST(ClusterTest, WedgedChildIsKilledAtTheDeadline) {
+  std::vector<ProcessBody> bodies;
+  bodies.push_back([](ProcessContext&) {
+    for (;;) net::SleepMillis(1000);
+    return Status::Ok();  // unreachable
+  });
+  ClusterOptions options;
+  options.timeout_ms = 1000;
+  const int64_t before = net::MonotonicMillis();
+  auto report = RunCluster(bodies, options);
+  const int64_t elapsed = net::MonotonicMillis() - before;
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  Status wedged = report->exits[0];
+  ASSERT_TRUE(wedged.IsIoError()) << wedged.ToString();
+  EXPECT_NE(wedged.message().find("wedged"), std::string::npos)
+      << wedged.ToString();
+  EXPECT_GE(elapsed, 1000);   // the child really got its budget
+  EXPECT_LT(elapsed, 15000);  // and the run stayed bounded after it
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance pin: a world served across a real process boundary and
+// a real TCP stream reproduces the direct run's EngineMetrics byte for
+// byte — every scalar bit-identical, the per-member loss vector pinned
+// by count + FNV-1a hash.
+
+d3t::Result<core::Overlay> BuildWorldOverlay(const exp::World& world) {
+  core::LelaOptions lela;
+  lela.coop_degree = 2;
+  Rng rng = Rng(kSeed).Fork(4);
+  auto built =
+      core::BuildOverlay(world.delays(0), world.OwnedInterests(0),
+                         world.workload().items, lela, rng);
+  if (!built.ok()) return built.status();
+  return std::move(built).value().overlay;
+}
+
+TEST(ClusterTest, ProcessBoundaryPreservesEngineMetricsByteForByte) {
+  exp::NetworkConfig network;
+  network.repositories = 8;
+  network.routers = 32;
+  exp::WorkloadConfig workload;
+  workload.items = 4;
+  workload.ticks = 120;
+  auto session = exp::SessionBuilder()
+                     .SetNetwork(network)
+                     .SetWorkload(workload)
+                     .SetSeed(kSeed)
+                     .Build();
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  const exp::World& world = session->world();
+  core::EngineOptions engine_options;
+
+  // Direct run: one library call, no wire, no processes.
+  auto direct_overlay = BuildWorldOverlay(world);
+  ASSERT_TRUE(direct_overlay.ok()) << direct_overlay.status().ToString();
+  std::unique_ptr<core::Disseminator> policy =
+      core::MakeDisseminator("distributed");
+  core::Engine direct(*direct_overlay, world.delays(0), world.traces(),
+                      *policy, engine_options,
+                      /*change_timelines=*/nullptr, /*scenario=*/nullptr);
+  auto direct_metrics = direct.Run();
+  ASSERT_TRUE(direct_metrics.ok()) << direct_metrics.status().ToString();
+
+  // Cluster run: process 0 is the node, process 1 the publisher.
+  std::vector<ProcessBody> bodies;
+  bodies.push_back([&world, &engine_options](ProcessContext& ctx) {
+    auto overlay = BuildWorldOverlay(world);
+    if (!overlay.ok()) return overlay.status();
+    net::InProcTransport data(overlay->member_count(), 64);
+    NodeOptions options;
+    options.engine = engine_options;
+    options.feed_self = ctx.self;
+    Node node(*overlay, world.delays(0), ctx.transport, data, options);
+    const int64_t deadline = net::MonotonicMillis() + 30000;
+    while (!node.feed_complete()) {
+      if (net::MonotonicMillis() >= deadline) {
+        return Status::IoError("feed did not complete in time");
+      }
+      auto polled = node.PollFeed();
+      if (!polled.ok()) return polled.status();
+      if (*polled > 0) continue;
+      Status pumped = ctx.transport.Pump();
+      if (!pumped.ok()) return pumped;
+      (void)ctx.transport.WaitIo(100);
+    }
+    auto node_report = node.Serve();
+    if (!node_report.ok()) return node_report.status();
+    return ctx.transport.Send(
+        ctx.self, ctx.collector,
+        MakeEngineReport(ctx.self, node_report->engine));
+  });
+  bodies.push_back([&world](ProcessContext& ctx) {
+    Status connected = ctx.transport.ConnectPeer(0, ctx.ports[0]);
+    if (!connected.ok()) return connected;
+    auto overlay = BuildWorldOverlay(world);
+    if (!overlay.ok()) return overlay.status();
+    FeedPublisher publisher(world.traces(), /*scenario=*/nullptr,
+                            overlay->member_count(), kSeed, ctx.transport,
+                            ctx.self, /*subscribers=*/{0});
+    const int64_t deadline = net::MonotonicMillis() + 30000;
+    while (!publisher.done()) {
+      if (net::MonotonicMillis() >= deadline) {
+        return Status::IoError("feed did not drain in time");
+      }
+      const size_t sent = publisher.Pump();
+      if (!publisher.status().ok()) return publisher.status();
+      Status pumped = ctx.transport.Pump();
+      if (!pumped.ok()) return pumped;
+      if (sent == 0) (void)ctx.transport.WaitIo(100);
+    }
+    return ctx.transport.CloseSend(0);
+  });
+  auto cluster = RunCluster(bodies);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  ASSERT_TRUE(cluster->FirstError().ok()) << cluster->FirstError().ToString();
+
+  const net::wire::EngineReportPayload* served = nullptr;
+  for (size_t i = 0; i < cluster->frames.size(); ++i) {
+    if (cluster->frames[i].type == net::wire::FrameType::kEngineReport &&
+        cluster->frame_sources[i] == 0) {
+      served = &cluster->frames[i].u.engine_report;
+    }
+  }
+  ASSERT_NE(served, nullptr) << "node 0 never reported its metrics";
+  Status identical = EngineReportMatches(*served, *direct_metrics);
+  EXPECT_TRUE(identical.ok()) << identical.ToString();
+  // The real acceptance content, spelled out: nonzero work happened and
+  // crossed the boundary unchanged.
+  EXPECT_GT(served->messages, 0u);
+  EXPECT_GT(served->events, 0u);
+}
+
+}  // namespace
+}  // namespace d3t::serve

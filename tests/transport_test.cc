@@ -5,8 +5,10 @@
 // Send/Poll pair is a genuine wire::Encode/Decode round trip.
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
+#include "net/frame_reassembler.h"
 #include "net/transport.h"
 #include "net/wire.h"
 #include "gtest/gtest.h"
@@ -189,19 +191,27 @@ TEST(StreamTransportTest, CorruptPayloadIsSkippedChecksummed) {
 }
 
 TEST(StreamTransportTest, BackpressureWhenTheByteRingFills) {
-  // Ring sized for exactly one update frame (the constructor clamps to
-  // kMaxFrameSize; an update frame is 48 bytes so one fits, two don't).
+  // Ring clamped to one max-size frame: a handful of (smaller) update
+  // frames fit, but the ring is finite — a sender that never drains
+  // must hit a counted CapacityExhausted stall, and draining one frame
+  // must make exactly that much room again.
   StreamTransport stream(2, wire::kMaxFrameSize);
   ASSERT_TRUE(stream.Connect(0, 1).ok());
-  ASSERT_TRUE(stream.Send(0, 1, TestUpdate(0, 1, 1)).ok());
-  Status full = stream.Send(0, 1, TestUpdate(0, 1, 2));
+  uint32_t sent = 0;
+  Status full = Status::Ok();
+  while (sent < 100) {
+    full = stream.Send(0, 1, TestUpdate(0, 1, sent));
+    if (!full.ok()) break;
+    ++sent;
+  }
+  ASSERT_GT(sent, 0u);
   ASSERT_FALSE(full.ok());
   EXPECT_TRUE(full.IsCapacityExhausted());
   EXPECT_EQ(stream.metrics().backpressure_stalls, 1u);
 
   wire::Frame frame;
   ASSERT_TRUE(stream.Poll(1, &frame, nullptr));
-  EXPECT_TRUE(stream.Send(0, 1, TestUpdate(0, 1, 2)).ok());
+  EXPECT_TRUE(stream.Send(0, 1, TestUpdate(0, 1, sent)).ok());
 }
 
 TEST(StreamTransportTest, SustainedTrafficWrapsTheRingCleanly) {
@@ -243,6 +253,150 @@ TEST(StreamTransportTest, PollScansInboundChannelsInSenderOrder) {
   EXPECT_EQ(from, 1u);
   ASSERT_TRUE(stream.Poll(0, &frame, &from));
   EXPECT_EQ(from, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// FrameReassembler: the deframing loop shared by StreamTransport and
+// SocketTransport, driven directly.
+
+void ExpectSameFrame(const wire::Frame& want, const wire::Frame& got) {
+  ASSERT_EQ(want.type, got.type);
+  EXPECT_EQ(std::memcmp(&want.u, &got.u, wire::PayloadSize(want.type)), 0);
+}
+
+std::vector<wire::Frame> TornTestFrames() {
+  return {TestUpdate(0, 1, 7),
+          wire::Frame::SourceTick(2, 3, /*at_us=*/4000, 1.5),
+          wire::Frame::Hello(1, 12, 6, /*world_seed=*/4242),
+          wire::Frame::Shutdown(9)};
+}
+
+std::vector<uint8_t> EncodeAll(const std::vector<wire::Frame>& frames) {
+  std::vector<uint8_t> stream;
+  for (const wire::Frame& frame : frames) {
+    uint8_t buf[wire::kMaxFrameSize];
+    const size_t encoded = wire::Encode(frame, buf, sizeof(buf));
+    EXPECT_GT(encoded, 0u);
+    stream.insert(stream.end(), buf, buf + encoded);
+  }
+  return stream;
+}
+
+size_t DrainRing(ByteRing& ring, std::vector<wire::Frame>* out) {
+  size_t resyncs = 0;
+  for (;;) {
+    wire::Frame frame;
+    size_t frame_bytes = 0;
+    const FrameReassembler::Outcome outcome =
+        FrameReassembler::Next(ring, &frame, &frame_bytes);
+    if (outcome == FrameReassembler::Outcome::kNeedMore) return resyncs;
+    if (outcome == FrameReassembler::Outcome::kResync) {
+      ++resyncs;
+      continue;
+    }
+    EXPECT_EQ(frame_bytes, wire::EncodedSize(frame.type));
+    out->push_back(frame);
+  }
+}
+
+TEST(FrameReassemblerTest, TornStreamReassemblesIdenticallyAtEverySplit) {
+  // A mixed-type frame stream arriving in two arbitrary pieces — the
+  // tear placed at EVERY byte boundary in turn, including inside
+  // headers and straddling payloads — must reassemble to the identical
+  // frame sequence with zero resyncs.
+  const std::vector<wire::Frame> originals = TornTestFrames();
+  const std::vector<uint8_t> stream = EncodeAll(originals);
+  for (size_t split = 0; split <= stream.size(); ++split) {
+    ByteRing ring(2 * stream.size());
+    std::vector<wire::Frame> got;
+    size_t resyncs = 0;
+    ASSERT_TRUE(ring.Append(stream.data(), split));
+    resyncs += DrainRing(ring, &got);
+    ASSERT_TRUE(ring.Append(stream.data() + split, stream.size() - split));
+    resyncs += DrainRing(ring, &got);
+    EXPECT_EQ(resyncs, 0u) << "split at byte " << split;
+    ASSERT_EQ(got.size(), originals.size()) << "split at byte " << split;
+    for (size_t i = 0; i < originals.size(); ++i) {
+      ExpectSameFrame(originals[i], got[i]);
+    }
+  }
+}
+
+TEST(FrameReassemblerTest, ByteAtATimeDeliveryLosesNothing) {
+  // Worst-case tearing: every Poll round sees exactly one new byte.
+  const std::vector<wire::Frame> originals = TornTestFrames();
+  const std::vector<uint8_t> stream = EncodeAll(originals);
+  ByteRing ring(2 * stream.size());
+  std::vector<wire::Frame> got;
+  size_t resyncs = 0;
+  for (const uint8_t byte : stream) {
+    ASSERT_TRUE(ring.Append(&byte, 1));
+    resyncs += DrainRing(ring, &got);
+  }
+  EXPECT_EQ(resyncs, 0u);
+  ASSERT_EQ(got.size(), originals.size());
+  for (size_t i = 0; i < originals.size(); ++i) {
+    ExpectSameFrame(originals[i], got[i]);
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(FrameReassemblerTest, ResyncsByteWisePastLeadingGarbage) {
+  const std::vector<uint8_t> garbage = {0xDE, 0xAD, 0xBE, 0xEF, 0x01};
+  const std::vector<uint8_t> stream = EncodeAll({TestUpdate(0, 1, 3)});
+  ByteRing ring(1024);
+  ASSERT_TRUE(ring.Append(garbage.data(), garbage.size()));
+  ASSERT_TRUE(ring.Append(stream.data(), stream.size()));
+  std::vector<wire::Frame> got;
+  const size_t resyncs = DrainRing(ring, &got);
+  EXPECT_EQ(resyncs, garbage.size());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].u.update.item, 3u);
+}
+
+TEST(ByteRingTest, AppendIsAllOrNothingAndWrapsCleanly) {
+  ByteRing ring(8);
+  const uint8_t first[6] = {1, 2, 3, 4, 5, 6};
+  ASSERT_TRUE(ring.Append(first, sizeof(first)));
+  EXPECT_EQ(ring.size(), 6u);
+  EXPECT_EQ(ring.free_space(), 2u);
+  const uint8_t refused[3] = {7, 8, 9};
+  EXPECT_FALSE(ring.Append(refused, sizeof(refused)));  // would overfill
+  EXPECT_EQ(ring.size(), 6u);                           // untouched
+
+  ring.Consume(4);  // head advances; next append wraps around the end
+  const uint8_t wrap[5] = {7, 8, 9, 10, 11};
+  ASSERT_TRUE(ring.Append(wrap, sizeof(wrap)));
+  uint8_t out[7] = {};
+  EXPECT_EQ(ring.PeekLinear(out, sizeof(out)), 7u);
+  const uint8_t want[7] = {5, 6, 7, 8, 9, 10, 11};
+  EXPECT_EQ(std::memcmp(out, want, sizeof(want)), 0);
+}
+
+TEST(ByteRingTest, ContiguousBackExposesWritableSpansAcrossTheWrap) {
+  ByteRing ring(8);
+  const uint8_t fill[5] = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(ring.Append(fill, sizeof(fill)));
+  ring.Consume(3);  // head = 3, two live bytes at [3, 5)
+
+  // First writable span runs to the physical end of the buffer.
+  uint8_t* span = nullptr;
+  size_t n = ring.ContiguousBack(&span);
+  ASSERT_EQ(n, 3u);
+  span[0] = 6;
+  span[1] = 7;
+  span[2] = 8;
+  ring.Grow(3);
+  // Second span wraps to the front.
+  n = ring.ContiguousBack(&span);
+  ASSERT_EQ(n, 3u);
+  span[0] = 9;
+  ring.Grow(1);
+
+  uint8_t out[6] = {};
+  EXPECT_EQ(ring.PeekLinear(out, sizeof(out)), 6u);
+  const uint8_t want[6] = {4, 5, 6, 7, 8, 9};
+  EXPECT_EQ(std::memcmp(out, want, sizeof(want)), 0);
 }
 
 }  // namespace

@@ -15,12 +15,36 @@
 namespace d3t::net::wire {
 namespace {
 
-// All seven encodable frame kinds with rng-driven payloads. Each entry
+// All eight encodable frame kinds with rng-driven payloads. Each entry
 // re-generates deterministically from the same Rng stream, so tests can
 // iterate kinds while varying content per round.
 std::vector<Frame> RandomFrames(Rng& rng) {
   auto u32 = [&rng] { return static_cast<uint32_t>(rng.Next()); };
   auto i64 = [&rng] { return static_cast<int64_t>(rng.Next() >> 1); };
+  EngineReportPayload report = {};
+  report.node = u32();
+  report.member_count = u32();
+  report.loss_percent = rng.NextDouble();
+  report.pair_loss_percent = rng.NextDouble();
+  report.outage_loss_percent = rng.NextDouble();
+  report.tracked_pairs = rng.Next();
+  report.messages = rng.Next();
+  report.source_messages = rng.Next();
+  report.checks = rng.Next();
+  report.source_checks = rng.Next();
+  report.source_updates = rng.Next();
+  report.events = rng.Next();
+  report.delivery_batches = rng.Next();
+  report.coalesced_messages = rng.Next();
+  report.process_wakeups = rng.Next();
+  report.scenario_ops = rng.Next();
+  report.repairs = rng.Next();
+  report.orphaned_ticks = rng.Next();
+  report.dropped_jobs = rng.Next();
+  report.outage_pair_time = i64();
+  report.outage_out_of_sync_time = i64();
+  report.horizon = i64();
+  report.per_member_loss_hash = rng.Next();
   return {
       Frame::Hello(u32(), u32(), u32(), rng.Next()),
       Frame::SourceTick(u32(), u32(), i64(), rng.NextDouble()),
@@ -30,6 +54,7 @@ std::vector<Frame> RandomFrames(Rng& rng) {
       Frame::ScenarioOp(i64(), u32() % 5, u32(), u32(), rng.NextDouble()),
       Frame::MetricsReport(u32(), rng.Next(), rng.Next(), rng.Next(),
                            rng.Next(), rng.Next(), rng.Next()),
+      Frame::EngineReport(report),
       Frame::Shutdown(u32()),
   };
 }
@@ -54,6 +79,7 @@ TEST(WireTest, PayloadSizesArePinned) {
   EXPECT_EQ(PayloadSize(FrameType::kPoll), 32u);
   EXPECT_EQ(PayloadSize(FrameType::kScenarioOp), 32u);
   EXPECT_EQ(PayloadSize(FrameType::kMetricsReport), 56u);
+  EXPECT_EQ(PayloadSize(FrameType::kEngineReport), 176u);
   EXPECT_EQ(PayloadSize(FrameType::kShutdown), 8u);
   EXPECT_EQ(PayloadSize(FrameType::kInvalid), 0u);
   EXPECT_EQ(PayloadSize(static_cast<FrameType>(200)), 0u);

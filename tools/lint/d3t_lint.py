@@ -131,6 +131,7 @@ REQUIRED_POD_EVENT_STRUCTS = (
     ("net/wire.h", "PollPayload"),
     ("net/wire.h", "ScenarioOpPayload"),
     ("net/wire.h", "MetricsReportPayload"),
+    ("net/wire.h", "EngineReportPayload"),
     ("net/wire.h", "ShutdownPayload"),
     ("net/wire.h", "Frame"),
 )
@@ -146,7 +147,13 @@ NON_POD_MEMBER_TYPES = {
 }
 
 # Identifiers whose *call* (or ::now) is banned by the entropy check.
-ENTROPY_CALLS = {"rand", "srand", "rand_r", "getenv", "secure_getenv"}
+# The syscall clocks and sleeps are here for the same reason as the
+# std::chrono clocks: physical time on a simulation path desyncs the
+# byte-identity suite. The one legitimate consumer (the socket layer's
+# connect backoff and I/O deadlines) carries explicit allow(entropy)
+# suppressions in net/socket_transport.cc.
+ENTROPY_CALLS = {"rand", "srand", "rand_r", "getenv", "secure_getenv",
+                 "clock_gettime", "gettimeofday", "nanosleep", "usleep"}
 ENTROPY_TYPES = {"random_device"}
 ENTROPY_CLOCKS = {"system_clock", "steady_clock", "high_resolution_clock"}
 

@@ -1,0 +1,25 @@
+// Fixture: the C-level clock and sleep syscalls the entropy check bans.
+// std::chrono is not the only door to wall-clock time; a socket layer
+// written against POSIX reaches for these directly.
+#include <ctime>
+#include <sys/time.h>
+#include <unistd.h>
+
+namespace d3t::net {
+
+long WallClockSyscalls() {
+  // BAD: POSIX monotonic/realtime clock read.
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  // BAD: the older wall-clock syscall.
+  timeval tv{};
+  gettimeofday(&tv, nullptr);
+  // BAD: physical-time sleeps stall the process, not the simulation.
+  timespec nap{0, 1000};
+  nanosleep(&nap, nullptr);
+  // BAD: same, microsecond flavor.
+  usleep(10);
+  return ts.tv_sec + tv.tv_sec;
+}
+
+}  // namespace d3t::net

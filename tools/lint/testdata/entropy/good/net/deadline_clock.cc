@@ -1,0 +1,15 @@
+// Fixture: the sanctioned shape of a physical-time read — an explicit
+// allow(entropy) with a reason, the pattern net/socket_transport.cc
+// uses for socket deadlines and connect backoff.
+#include <ctime>
+
+namespace d3t::net {
+
+long DeadlineMillis() {
+  timespec ts{};
+  // d3t-lint: allow(entropy) socket I/O deadline; never feeds simulation state
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return ts.tv_sec * 1000 + ts.tv_nsec / 1000000;
+}
+
+}  // namespace d3t::net
