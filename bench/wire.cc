@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "common/random.h"
+#include "net/fault_transport.h"
 #include "net/socket_transport.h"
 #include "net/transport.h"
 #include "net/wire.h"
@@ -72,6 +73,29 @@ void BM_InProcSendPoll(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_InProcSendPoll);
+
+// The same hop through an empty-script FaultInjectingTransport:
+// measured against BM_InProcSendPoll, the delta is the wrapper's
+// per-hop tax (a send-counter bump, an exhausted-script check and a
+// wedge-window check) — pinned here to stay negligible, since serving
+// stacks are expected to leave the wrapper in place and feed it an
+// empty script outside chaos drills.
+void BM_FaultFreeWrapperOverhead(benchmark::State& state) {
+  net::InProcTransport bus(/*peer_count=*/32, /*per_peer_capacity=*/64);
+  net::FaultInjectingTransport wrapped(bus, net::FaultScript(), /*seed=*/1);
+  net::wire::Frame out;
+  uint32_t i = 0;
+  for (auto _ : state) {
+    const net::wire::Frame frame = BenchFrame(i);
+    benchmark::DoNotOptimize(
+        wrapped.Send(frame.u.update.src, frame.u.update.dst, frame).ok());
+    benchmark::DoNotOptimize(
+        wrapped.Poll(frame.u.update.dst, &out, nullptr));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FaultFreeWrapperOverhead);
 
 // The byte-stream path adds header-driven deframing (PeekFrameSize +
 // resync scan) on top of the same encode/decode.

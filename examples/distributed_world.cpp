@@ -9,16 +9,30 @@
 // bit-for-bit, the per-member loss vector by count + FNV-1a hash.
 //
 //   $ ./build/examples/distributed_world
+//   $ ./build/examples/distributed_world --chaos
 //
 // Exit code 0 iff every node's metrics crossed two process boundaries
 // and a real TCP stream and still match the direct run byte for byte.
 // The CI distributed smoke job asserts exactly that.
+//
+// --chaos turns the run into a recovery drill: the publisher's feed
+// crosses a scripted net::FaultInjectingTransport (drops, a reorder, a
+// corrupted byte), node 1 SIGKILLs itself mid-feed and is restarted by
+// the cluster supervisor (ClusterOptions::max_restarts), and every node
+// runs with resubscribe recovery on — the restarted incarnation
+// reconnects, resubscribes from seq 0 and re-ingests the whole feed.
+// Exit 0 additionally requires that faults actually fired, that the
+// crash actually restarted, and that the metrics are STILL byte-
+// identical to the fault-free direct runs.
 
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "common/table.h"
 #include "core/disseminator.h"
@@ -26,6 +40,7 @@
 #include "core/lela.h"
 #include "exp/scenario.h"
 #include "exp/session.h"
+#include "net/fault_transport.h"
 #include "net/socket_transport.h"
 #include "net/transport.h"
 #include "net/wire.h"
@@ -65,11 +80,14 @@ d3t::Status SendToCollector(d3t::serve::ProcessContext& ctx,
 }
 
 // Body of one repository-node process: ingest the socket feed, serve
-// the engine, report back.
+// the engine, report back. Under chaos the node runs resubscribe
+// recovery against the publisher, and node 1's first incarnation
+// SIGKILLs itself mid-feed to exercise the supervisor restart path.
 d3t::Status RunNode(d3t::serve::ProcessContext& ctx,
                     const d3t::exp::World& world,
                     const d3t::core::Scenario& scenario,
-                    const d3t::core::EngineOptions& engine_options) {
+                    const d3t::core::EngineOptions& engine_options,
+                    bool chaos) {
   (void)scenario;  // scripted dynamics arrive over the feed as frames
   auto overlay = BuildNodeOverlay(world, ctx.self);
   if (!overlay.ok()) return overlay.status();
@@ -77,15 +95,42 @@ d3t::Status RunNode(d3t::serve::ProcessContext& ctx,
   d3t::serve::NodeOptions options;
   options.engine = engine_options;
   options.feed_self = ctx.self;
+  if (chaos) {
+    options.resubscribe = true;
+    options.feed_publisher = kNodes;
+  }
   d3t::serve::Node node(*overlay, world.delays(ctx.self), ctx.transport,
                         data, options);
+  if (chaos) {
+    // Backchannel for kResubscribe frames (the publisher only dials
+    // outward; recovery needs the reverse direction too).
+    d3t::Status connected =
+        ctx.transport.ConnectPeer(kNodes, ctx.ports[kNodes]);
+    if (!connected.ok()) return connected;
+    if (ctx.incarnation > 0) {
+      // A restarted incarnation has an empty cursor and no inbound
+      // frames to expose the gap — announce ourselves and ask for the
+      // feed from seq 0.
+      d3t::Status asked = node.RequestMissing();
+      if (!asked.ok()) return asked;
+    }
+  }
 
   bool feed_started = false;
+  int idle = 0;
   while (!node.feed_complete()) {
     auto polled = node.PollFeed();
     if (!polled.ok()) return polled.status();
+    // The scripted crash, checked AFTER polling: one PollFeed can
+    // drain an arbitrarily large buffered prefix (even the whole
+    // feed), so a pre-poll check could miss the threshold entirely.
+    if (chaos && ctx.self == 1 && ctx.incarnation == 0 &&
+        node.feed_next_seq() >= 200) {
+      kill(getpid(), SIGKILL);  // supervisor restarts us
+    }
     if (*polled > 0) {
       feed_started = true;
+      idle = 0;
       continue;
     }
     d3t::Status pumped = ctx.transport.Pump();
@@ -95,8 +140,20 @@ d3t::Status RunNode(d3t::serve::ProcessContext& ctx,
       // kShutdown — a vanished peer, not a completed feed.
       return d3t::Status::IoError("feed half-closed before shutdown");
     }
-    d3t::Status waited = ctx.transport.WaitIo(20000);
-    if (!waited.ok()) return waited;
+    if (chaos) {
+      // Short waits; a wait timeout is pacing, not failure. Every few
+      // idle rounds re-ask for the missing tail — the resubscribe
+      // budget bounds this, so a truly dead feed ends in a precise
+      // error instead of a hang.
+      (void)ctx.transport.WaitIo(250);
+      if (++idle % 4 == 0) {
+        d3t::Status nudged = node.RequestMissing();
+        if (!nudged.ok()) return nudged;
+      }
+    } else {
+      d3t::Status waited = ctx.transport.WaitIo(20000);
+      if (!waited.ok()) return waited;
+    }
   }
 
   auto report = node.Serve();
@@ -108,41 +165,119 @@ d3t::Status RunNode(d3t::serve::ProcessContext& ctx,
   return SendToCollector(
       ctx, d3t::net::wire::Frame::MetricsReport(
                ctx.self, m.frames_tx, m.frames_rx, m.bytes_tx, m.bytes_rx,
-               m.backpressure_stalls, m.decode_errors));
+               m.backpressure_stalls, m.decode_errors, m.faults_injected,
+               m.frames_dropped, m.reconnects));
+}
+
+// The publisher's scripted damage: two drops and a reorder against
+// node 0, a corrupted byte and a drop against node 2 — all mid-feed,
+// far from any shutdown frame, so every fault is recoverable. Node 1
+// is left to the supervisor crash drill.
+d3t::Result<d3t::net::FaultScript> ChaosScript() {
+  using d3t::net::FaultOp;
+  constexpr uint32_t kAny = d3t::net::kAnyPeer;
+  return d3t::net::FaultScript::Create(
+      {FaultOp{400, 0 /*drop*/, kAny, 0, 0},
+       FaultOp{900, 3 /*delay*/, kAny, 2, 6},
+       FaultOp{1500, 2 /*corrupt*/, kAny, 0, d3t::net::kAnyArg},
+       FaultOp{2200, 0 /*drop*/, kAny, 2, 0},
+       FaultOp{3000, 0 /*drop*/, kAny, 0, 0}});
 }
 
 // Body of the feed-publisher process: one FeedPublisher per node (each
 // node's overlay sizes its kHello), all multiplexed over one socket
-// endpoint.
+// endpoint. Under chaos the frames cross a FaultInjectingTransport,
+// and after the last frame the publisher lingers, serving resubscribes
+// (a restarted node rewinds its cursor and undoes done()), until the
+// feed stays quiet for a grace period.
 d3t::Status RunPublisher(d3t::serve::ProcessContext& ctx,
                          const d3t::exp::World& world,
                          const d3t::core::Scenario& scenario,
-                         const std::vector<size_t>& member_counts) {
+                         const std::vector<size_t>& member_counts,
+                         bool chaos) {
   for (d3t::net::PeerId node = 0; node < kNodes; ++node) {
     d3t::Status connected = ctx.transport.ConnectPeer(node, ctx.ports[node]);
     if (!connected.ok()) return connected;
   }
+  d3t::net::FaultScript script;
+  if (chaos) {
+    auto built = ChaosScript();
+    if (!built.ok()) return built.status();
+    script = *built;
+  }
+  d3t::net::FaultInjectingTransport faulty(ctx.transport, script, kSeed);
+  d3t::net::Transport& wire =
+      chaos ? static_cast<d3t::net::Transport&>(faulty) : ctx.transport;
+  // One feed per node multiplexed over one endpoint: inbound frames
+  // are dispatched here (poll_inbound=false), routed to the owning
+  // feed by the resubscribing node's id. The replay window is
+  // unbounded — loopback buffering keeps whole feeds in flight, so a
+  // restarted node legitimately rewinds all the way to seq 0.
+  d3t::serve::FeedPublisherOptions feed_options;
+  feed_options.replay_window = UINT32_MAX;
+  feed_options.poll_inbound = false;
   std::vector<std::unique_ptr<d3t::serve::FeedPublisher>> feeds;
   for (d3t::net::PeerId node = 0; node < kNodes; ++node) {
     feeds.push_back(std::make_unique<d3t::serve::FeedPublisher>(
-        world.traces(), &scenario, member_counts[node], kSeed, ctx.transport,
-        ctx.self, std::vector<d3t::net::PeerId>{node}));
+        world.traces(), &scenario, member_counts[node], kSeed, wire,
+        ctx.self, std::vector<d3t::net::PeerId>{node}, feed_options));
   }
+  uint64_t seen_resubs = 0;
+  int quiet = 0;
   for (;;) {
+    d3t::net::wire::Frame in;
+    d3t::net::PeerId from = d3t::net::kInvalidPeerId;
+    while (wire.Poll(ctx.self, &in, &from)) {
+      if (in.type != d3t::net::wire::FrameType::kResubscribe ||
+          in.u.resubscribe.node >= kNodes) {
+        return d3t::Status::InvalidArgument(
+            "unexpected inbound frame at the publisher");
+      }
+      (void)feeds[in.u.resubscribe.node]->HandleResubscribe(in, from);
+      // errors surface via the owning feed's status() below
+    }
     size_t sent = 0;
     bool all_done = true;
+    uint64_t resubs = 0;
     for (auto& feed : feeds) {
       sent += feed->Pump();
       if (!feed->status().ok()) return feed->status();
       all_done = all_done && feed->done();
+      resubs += feed->resubscribes_handled();
     }
     d3t::Status pumped = ctx.transport.Pump();
     if (!pumped.ok()) return pumped;
-    if (all_done) break;
-    if (sent == 0) {
-      d3t::Status waited = ctx.transport.WaitIo(20000);
-      if (!waited.ok()) return waited;
+    if (!chaos) {
+      if (all_done) break;
+      if (sent == 0) {
+        d3t::Status waited = ctx.transport.WaitIo(20000);
+        if (!waited.ok()) return waited;
+      }
+      continue;
     }
+    if (all_done && sent == 0 && resubs == seen_resubs) {
+      // Done AND quiet. A crashed node's replacement may still be on
+      // its way to resubscribing, so hold the feed open for a grace
+      // period before declaring the cluster fed. (WaitIo's timeout is
+      // pacing here, not failure.)
+      if (++quiet >= 20) break;
+      (void)ctx.transport.WaitIo(250);
+      continue;
+    }
+    quiet = 0;
+    seen_resubs = resubs;
+    if (sent == 0) (void)ctx.transport.WaitIo(250);
+  }
+  if (chaos) {
+    // Report the damage done (wrapper counters merged over the socket
+    // endpoint's own) so the collector can render the chaos row.
+    const d3t::net::TransportMetrics& m = faulty.metrics();
+    d3t::Status reported = SendToCollector(
+        ctx, d3t::net::wire::Frame::MetricsReport(
+                 ctx.self, m.frames_tx, m.frames_rx, m.bytes_tx, m.bytes_rx,
+                 m.backpressure_stalls, m.decode_errors, m.faults_injected,
+                 m.frames_dropped, m.reconnects));
+    if (!reported.ok()) return reported;
   }
   for (d3t::net::PeerId node = 0; node < kNodes; ++node) {
     d3t::Status closed = ctx.transport.CloseSend(node);
@@ -153,7 +288,8 @@ d3t::Status RunPublisher(d3t::serve::ProcessContext& ctx,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool chaos = argc > 1 && std::string(argv[1]) == "--chaos";
   // The live_node world: 12 repositories, three sources, six items
   // round-robin, one scripted mid-run outage.
   d3t::exp::NetworkConfig network;
@@ -218,14 +354,25 @@ int main() {
   std::vector<d3t::serve::ProcessBody> bodies;
   for (size_t node = 0; node < kNodes; ++node) {
     bodies.push_back([&](d3t::serve::ProcessContext& ctx) {
-      return RunNode(ctx, world, *scenario, engine_options);
+      d3t::Status run = RunNode(ctx, world, *scenario, engine_options, chaos);
+      if (!run.ok()) {
+        std::fprintf(stderr, "node %u (incarnation %d): %s\n", ctx.self,
+                     ctx.incarnation, run.ToString().c_str());
+      }
+      return run;
     });
   }
   bodies.push_back([&](d3t::serve::ProcessContext& ctx) {
-    return RunPublisher(ctx, world, *scenario, member_counts);
+    d3t::Status run =
+        RunPublisher(ctx, world, *scenario, member_counts, chaos);
+    if (!run.ok()) {
+      std::fprintf(stderr, "publisher: %s\n", run.ToString().c_str());
+    }
+    return run;
   });
   d3t::serve::ClusterOptions cluster_options;
   cluster_options.timeout_ms = 120000;
+  if (chaos) cluster_options.max_restarts = 2;
   auto cluster = d3t::serve::RunCluster(bodies, cluster_options);
   if (!cluster.ok()) {
     std::fprintf(stderr, "cluster: %s\n",
@@ -242,20 +389,24 @@ int main() {
                                                                   nullptr);
   std::vector<const d3t::net::wire::MetricsReportPayload*> wire_stats(
       kNodes, nullptr);
+  const d3t::net::wire::MetricsReportPayload* feed_stats = nullptr;
   for (size_t i = 0; i < cluster->frames.size(); ++i) {
     const d3t::net::wire::Frame& frame = cluster->frames[i];
     const d3t::net::PeerId source = cluster->frame_sources[i];
-    if (source >= kNodes) continue;
     if (frame.type == d3t::net::wire::FrameType::kEngineReport) {
-      reports[source] = &frame.u.engine_report;
+      if (source < kNodes) reports[source] = &frame.u.engine_report;
     } else if (frame.type == d3t::net::wire::FrameType::kMetricsReport) {
-      wire_stats[source] = &frame.u.metrics;
+      if (source < kNodes) {
+        wire_stats[source] = &frame.u.metrics;
+      } else {
+        feed_stats = &frame.u.metrics;  // the publisher's chaos row
+      }
     }
   }
 
   d3t::TablePrinter table(
-      {"node", "msgs", "loss%", "feedKB", "stalls", "decodeErr",
-       "identical"});
+      {"node", "msgs", "loss%", "feedKB", "stalls", "faultsInj", "decodeErr",
+       "reconn", "restarts", "identical"});
   bool all_identical = true;
   for (size_t node = 0; node < kNodes; ++node) {
     if (reports[node] == nullptr || wire_stats[node] == nullptr) {
@@ -274,13 +425,54 @@ int main() {
          d3t::TablePrinter::Int(
              static_cast<int64_t>(wire_stats[node]->backpressure_stalls)),
          d3t::TablePrinter::Int(
+             static_cast<int64_t>(wire_stats[node]->faults_injected)),
+         d3t::TablePrinter::Int(
              static_cast<int64_t>(wire_stats[node]->decode_errors)),
+         d3t::TablePrinter::Int(
+             static_cast<int64_t>(wire_stats[node]->reconnects)),
+         d3t::TablePrinter::Int(static_cast<int64_t>(cluster->restarts[node])),
          match.ok() ? "yes" : match.ToString()});
   }
+  if (feed_stats != nullptr) {
+    table.AddRow(
+        {"feed", "-", "-",
+         d3t::TablePrinter::Num(
+             static_cast<double>(feed_stats->bytes_tx) / 1024.0, 1),
+         d3t::TablePrinter::Int(
+             static_cast<int64_t>(feed_stats->backpressure_stalls)),
+         d3t::TablePrinter::Int(
+             static_cast<int64_t>(feed_stats->faults_injected)),
+         d3t::TablePrinter::Int(
+             static_cast<int64_t>(feed_stats->decode_errors)),
+         d3t::TablePrinter::Int(
+             static_cast<int64_t>(feed_stats->reconnects)),
+         "-", "-"});
+  }
   table.Print();
+
+  // Chaos mode additionally requires the chaos to have HAPPENED: the
+  // script fired, the crash restarted, and recovery still converged to
+  // byte-identity.
+  bool chaos_ok = true;
+  if (chaos) {
+    chaos_ok = feed_stats != nullptr && feed_stats->faults_injected > 0 &&
+               cluster->restarts[1] >= 1;
+    if (!chaos_ok) {
+      std::fprintf(stderr,
+                   "chaos drill incomplete: faults_injected=%llu "
+                   "restarts[1]=%d\n",
+                   feed_stats == nullptr
+                       ? 0ull
+                       : static_cast<unsigned long long>(
+                             feed_stats->faults_injected),
+                   cluster->restarts[1]);
+    }
+  }
   std::printf(
-      "\n%zu processes over loopback TCP, byte-identical to direct runs: "
+      "\n%zu processes over loopback TCP%s, byte-identical to direct runs: "
       "%s\n",
-      kNodes + 1, all_identical ? "yes" : "NO");
-  return all_identical ? 0 : 1;
+      kNodes + 1,
+      chaos ? " under scripted faults + one supervised crash" : "",
+      all_identical ? "yes" : "NO");
+  return all_identical && chaos_ok ? 0 : 1;
 }

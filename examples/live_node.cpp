@@ -15,7 +15,11 @@
 //
 // The feed ring is deliberately tiny (512 bytes, ~16 frames), so the
 // publisher genuinely stalls on backpressure and resumes — the stalls
-// column counts those pauses.
+// column counts those pauses. The feed also crosses a scripted
+// net::FaultInjectingTransport (drops, a duplicate, a corrupted byte,
+// a reorder, a connection reset) with resubscribe recovery on: the
+// faultsInj/decodeErr/reconn columns show the damage, the identical
+// column shows it cost nothing.
 
 #include <cstdint>
 #include <cstdio>
@@ -29,6 +33,7 @@
 #include "core/lela.h"
 #include "exp/scenario.h"
 #include "exp/session.h"
+#include "net/fault_transport.h"
 #include "net/transport.h"
 #include "serve/node.h"
 #include "sim/time.h"
@@ -51,6 +56,22 @@ d3t::Result<d3t::core::Overlay> BuildNodeOverlay(
                                        world.workload().items, lela, rng);
   if (!built.ok()) return built.status();
   return std::move(built).value().overlay;
+}
+
+// Scripted chaos for one node's feed: two drops, a duplicate, a
+// corrupted byte, a five-send reorder and a connection reset, all well
+// inside the recovery budget (send indexes land mid-feed, far from the
+// shutdown frame).
+d3t::Result<d3t::net::FaultScript> ChaosScript() {
+  using d3t::net::FaultOp;
+  constexpr uint32_t kAny = d3t::net::kAnyPeer;
+  return d3t::net::FaultScript::Create(
+      {FaultOp{40, 0 /*drop*/, 1, kAny, 0},
+       FaultOp{120, 1 /*duplicate*/, 1, kAny, 0},
+       FaultOp{300, 2 /*corrupt*/, 1, kAny, d3t::net::kAnyArg},
+       FaultOp{500, 3 /*delay*/, 1, kAny, 5},
+       FaultOp{700, 4 /*reset*/, 1, kAny, 0},
+       FaultOp{900, 0 /*drop*/, 1, kAny, 0}});
 }
 
 bool SameMetrics(const d3t::core::EngineMetrics& a,
@@ -102,8 +123,8 @@ int main() {
   engine_options.repair_delay = d3t::sim::Millis(500);
 
   d3t::TablePrinter table({"node", "msgs", "loss%", "dataTx", "dataKB",
-                           "feedFrames", "feedKB", "feedStalls", "decodeErr",
-                           "identical"});
+                           "feedFrames", "feedKB", "feedStalls", "faultsInj",
+                           "decodeErr", "reconn", "resub", "identical"});
   bool all_identical = true;
   for (size_t source = 0; source < world.source_count(); ++source) {
     // Reference: the same world as one library call, no wire anywhere.
@@ -127,33 +148,35 @@ int main() {
     }
 
     // The served node: feed over a tiny byte-stream ring (publisher is
-    // peer 1, the node peer 0), data over a per-member frame bus.
-    d3t::net::StreamTransport feed(2, /*per_channel_bytes=*/512);
-    if (auto s = feed.Connect(1, 0); !s.ok()) {
-      std::fprintf(stderr, "connect: %s\n", s.ToString().c_str());
+    // peer 1, the node peer 0) crossed by the chaos wrapper, data over
+    // a per-member frame bus.
+    d3t::net::StreamTransport stream(2, /*per_channel_bytes=*/512);
+    // Feed downstream plus the node's resubscribe backchannel.
+    for (auto [from, to] : {std::pair<int, int>{1, 0}, {0, 1}}) {
+      if (auto s = stream.Connect(from, to); !s.ok()) {
+        std::fprintf(stderr, "connect: %s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+    auto script = ChaosScript();
+    if (!script.ok()) {
+      std::fprintf(stderr, "script: %s\n", script.status().ToString().c_str());
       return 1;
     }
+    d3t::net::FaultInjectingTransport feed(stream, *script, kSeed + source);
     d3t::net::InProcTransport data(node_overlay->member_count(), 64);
     d3t::serve::NodeOptions options;
     options.engine = engine_options;
+    options.resubscribe = true;
+    options.feed_publisher = 1;
     d3t::serve::Node node(*node_overlay, world.delays(source), feed, data,
                           options);
     d3t::serve::FeedPublisher publisher(
         world.traces(), &*scenario, node_overlay->member_count(), kSeed,
         feed, /*self=*/1, /*subscribers=*/{0});
-    while (!publisher.done()) {
-      publisher.Pump();
-      if (!publisher.status().ok()) {
-        std::fprintf(stderr, "publisher: %s\n",
-                     publisher.status().ToString().c_str());
-        return 1;
-      }
-      auto polled = node.PollFeed();
-      if (!polled.ok()) {
-        std::fprintf(stderr, "feed: %s\n",
-                     polled.status().ToString().c_str());
-        return 1;
-      }
+    if (auto driven = d3t::serve::DriveFeed(publisher, node); !driven.ok()) {
+      std::fprintf(stderr, "feed: %s\n", driven.ToString().c_str());
+      return 1;
     }
     auto report = node.Serve();
     if (!report.ok()) {
@@ -181,8 +204,14 @@ int main() {
                   d3t::TablePrinter::Int(static_cast<int64_t>(
                       feed.metrics().backpressure_stalls)),
                   d3t::TablePrinter::Int(static_cast<int64_t>(
+                      feed.metrics().faults_injected)),
+                  d3t::TablePrinter::Int(static_cast<int64_t>(
                       feed.metrics().decode_errors +
                       report->data.decode_errors)),
+                  d3t::TablePrinter::Int(static_cast<int64_t>(
+                      feed.metrics().reconnects)),
+                  d3t::TablePrinter::Int(
+                      static_cast<int64_t>(report->resubscribes)),
                   identical ? "yes" : "NO"});
   }
   table.Print();

@@ -29,6 +29,12 @@
 # over loopback TCP; it exits 0 iff every node's EngineMetrics match
 # the direct in-process runs byte for byte, so one run asserts the
 # whole socket/cluster path end to end.
+#
+# Chaos smoke: set D3T_CHAOS_SMOKE=1 to instead run the same example
+# with --chaos: scripted feed faults (drops, a reorder, a corrupted
+# byte) plus one supervised SIGKILL/restart of a node. Exit 0 requires
+# the faults to have fired, the crash to have been restarted, AND the
+# metrics to still match the fault-free direct runs byte for byte.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -86,7 +92,7 @@ if [[ -n "${D3T_BENCH_SMOKE:-}" ]]; then
   exit 0
 fi
 
-if [[ -n "${D3T_DISTRIBUTED_SMOKE:-}" ]]; then
+if [[ -n "${D3T_DISTRIBUTED_SMOKE:-}" || -n "${D3T_CHAOS_SMOKE:-}" ]]; then
   BUILD_DIR=build-distributed-smoke
   cmake -B "$BUILD_DIR" -S . \
     -DCMAKE_BUILD_TYPE=Release \
@@ -94,8 +100,13 @@ if [[ -n "${D3T_DISTRIBUTED_SMOKE:-}" ]]; then
     -DD3T_BUILD_BENCH=OFF \
     -DD3T_BUILD_EXAMPLES=ON
   cmake --build "$BUILD_DIR" -j
-  echo "== distributed smoke: examples/distributed_world =="
-  "$BUILD_DIR/examples/distributed_world"
+  if [[ -n "${D3T_CHAOS_SMOKE:-}" ]]; then
+    echo "== chaos smoke: examples/distributed_world --chaos =="
+    "$BUILD_DIR/examples/distributed_world" --chaos
+  else
+    echo "== distributed smoke: examples/distributed_world =="
+    "$BUILD_DIR/examples/distributed_world"
+  fi
   exit 0
 fi
 

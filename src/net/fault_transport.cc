@@ -1,0 +1,234 @@
+#include "net/fault_transport.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace d3t::net {
+namespace {
+
+void AddCounters(TransportMetrics& into, const TransportMetrics& extra) {
+  into.frames_tx += extra.frames_tx;
+  into.frames_rx += extra.frames_rx;
+  into.bytes_tx += extra.bytes_tx;
+  into.bytes_rx += extra.bytes_rx;
+  into.backpressure_stalls += extra.backpressure_stalls;
+  into.decode_errors += extra.decode_errors;
+  into.faults_injected += extra.faults_injected;
+  into.frames_dropped += extra.frames_dropped;
+  into.reconnects += extra.reconnects;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDropFrame:
+      return "drop-frame";
+    case FaultKind::kDuplicateFrame:
+      return "duplicate-frame";
+    case FaultKind::kCorruptByte:
+      return "corrupt-byte";
+    case FaultKind::kDelayFrame:
+      return "delay-frame";
+    case FaultKind::kResetConn:
+      return "reset-conn";
+    case FaultKind::kWedgePeer:
+      return "wedge-peer";
+  }
+  return "invalid";
+}
+
+Result<FaultScript> FaultScript::Create(std::vector<FaultOp> ops) {
+  uint64_t prev = 0;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind > static_cast<uint32_t>(FaultKind::kWedgePeer)) {
+      return Status::InvalidArgument("fault script op " + std::to_string(i) +
+                                     " has unknown kind " +
+                                     std::to_string(ops[i].kind));
+    }
+    if (ops[i].at_send < prev) {
+      return Status::InvalidArgument(
+          "fault script is not time-sorted: op " + std::to_string(i) +
+          " at_send " + std::to_string(ops[i].at_send) + " precedes op " +
+          std::to_string(i - 1) + " at_send " + std::to_string(prev));
+    }
+    prev = ops[i].at_send;
+  }
+  return FaultScript(std::move(ops));
+}
+
+FaultInjectingTransport::FaultInjectingTransport(Transport& inner,
+                                                 FaultScript script,
+                                                 uint64_t seed)
+    : inner_(inner), script_(std::move(script)), rng_state_(seed) {
+  // Every buffer the hot Send path touches is sized here: at most one
+  // frame can be held back per kDelayFrame op, so the script length
+  // bounds the delay queue.
+  delayed_.reserve(script_.size());
+  extra_.resize(inner_.peer_count());
+  merged_.resize(inner_.peer_count());
+}
+
+bool FaultInjectingTransport::Matches(const FaultOp& op, PeerId from,
+                                      PeerId to) const {
+  return (op.from == kAnyPeer || op.from == from) &&
+         (op.to == kAnyPeer || op.to == to);
+}
+
+bool FaultInjectingTransport::Wedged(PeerId from, PeerId to,
+                                     uint64_t at) const {
+  return wedge_peer_ != kInvalidPeerId && at < wedge_until_ &&
+         (from == wedge_peer_ || to == wedge_peer_);
+}
+
+void FaultInjectingTransport::CountDrop(PeerId from) {
+  ++extra_totals_.frames_dropped;
+  if (from < extra_.size()) ++extra_[from].frames_dropped;
+}
+
+Status FaultInjectingTransport::Forward(PeerId from, PeerId to,
+                                        const wire::Frame& frame) {
+  return inner_.Send(from, to, frame);
+}
+
+// Releases every delayed frame whose time has come, in original send
+// order, ahead of the frame whose Send triggered the release. A frame
+// released into a wedge window, or refused by backpressure, is lost —
+// a counted drop the session layer recovers from.
+void FaultInjectingTransport::ReleaseDue() {
+  if (delayed_.empty()) return;
+  size_t keep = 0;
+  for (size_t i = 0; i < delayed_.size(); ++i) {
+    Delayed& d = delayed_[i];
+    if (d.release_at > sends_) {
+      delayed_[keep++] = d;
+      continue;
+    }
+    if (Wedged(d.from, d.to, sends_)) {
+      CountDrop(d.from);
+      continue;
+    }
+    if (!Forward(d.from, d.to, d.frame).ok()) CountDrop(d.from);
+  }
+  delayed_.resize(keep);
+}
+
+void FaultInjectingTransport::DropDelayedMatching(const FaultOp& op) {
+  size_t keep = 0;
+  for (size_t i = 0; i < delayed_.size(); ++i) {
+    Delayed& d = delayed_[i];
+    if (Matches(op, d.from, d.to)) {
+      CountDrop(d.from);
+      continue;
+    }
+    delayed_[keep++] = d;
+  }
+  delayed_.resize(keep);
+}
+
+// d3t-lint: hot
+Status FaultInjectingTransport::Send(PeerId from, PeerId to,
+                                     const wire::Frame& frame) {
+  ReleaseDue();
+  const uint64_t idx = sends_++;
+
+  if (Wedged(from, to, idx)) {
+    CountDrop(from);
+    return Status::Ok();
+  }
+
+  // Ops execute strictly in script order: the head op arms once its
+  // at_send has passed and fires on the first matching send. An op
+  // whose filter never matches holds the script (by design — scripts
+  // are validated against the workload they target).
+  if (next_op_ >= script_.size() || script_.op(next_op_).at_send > idx ||
+      !Matches(script_.op(next_op_), from, to) || from >= extra_.size() ||
+      to >= extra_.size()) {
+    return Forward(from, to, frame);
+  }
+  const FaultOp op = script_.op(next_op_++);
+  ++extra_totals_.faults_injected;
+  ++extra_[from].faults_injected;
+
+  switch (static_cast<FaultKind>(op.kind)) {
+    case FaultKind::kDropFrame: {
+      CountDrop(from);
+      return Status::Ok();
+    }
+    case FaultKind::kDuplicateFrame: {
+      const Status first = Forward(from, to, frame);
+      if (first.ok()) {
+        // The duplicate may be refused by backpressure; that loss is
+        // the fault's own problem, not the sender's.
+        Status dup = Forward(from, to, frame);
+        if (!dup.ok()) CountDrop(from);
+      }
+      return first;
+    }
+    case FaultKind::kCorruptByte: {
+      // Genuinely exercise the checksum: encode, flip one bit, decode.
+      // Every single-bit flip is detected (wire_test pins this), so the
+      // frame becomes a receiver-side decode error plus a drop.
+      uint8_t image[wire::kMaxFrameSize];
+      const size_t n = wire::Encode(frame, image, sizeof(image));
+      if (n == 0) return Forward(from, to, frame);
+      const size_t byte = (op.arg == kAnyArg)
+                              ? static_cast<size_t>(SplitMix64(rng_state_) % n)
+                              : static_cast<size_t>(op.arg) % n;
+      const int bit = static_cast<int>(SplitMix64(rng_state_) % 8);
+      image[byte] = static_cast<uint8_t>(image[byte] ^ (1u << bit));
+      Result<wire::Frame> decoded = wire::Decode(image, n);
+      if (decoded.ok()) return Forward(from, to, *decoded);
+      ++extra_totals_.decode_errors;
+      ++extra_[to].decode_errors;
+      CountDrop(from);
+      return Status::Ok();
+    }
+    case FaultKind::kDelayFrame: {
+      uint64_t distance = (op.arg == 0 || op.arg == kAnyArg) ? 1 : op.arg;
+      delayed_.push_back(Delayed{frame, from, to, idx + distance});
+      return Status::Ok();
+    }
+    case FaultKind::kResetConn: {
+      // The connection dies mid-flight: the triggering frame and every
+      // delayed frame on a matching path are lost; the transport-level
+      // reconnect (counted here) restores the path for later sends.
+      ++extra_totals_.reconnects;
+      ++extra_[from].reconnects;
+      DropDelayedMatching(op);
+      CountDrop(from);
+      return Status::Ok();
+    }
+    case FaultKind::kWedgePeer: {
+      wedge_peer_ = (op.to != kAnyPeer) ? op.to
+                    : (op.from != kAnyPeer) ? op.from
+                                            : to;
+      wedge_until_ = (op.arg == 0) ? UINT64_MAX : idx + op.arg;
+      CountDrop(from);
+      return Status::Ok();
+    }
+  }
+  return Forward(from, to, frame);
+}
+
+// d3t-lint: hot
+bool FaultInjectingTransport::Poll(PeerId self, wire::Frame* out,
+                                   PeerId* from) {
+  return inner_.Poll(self, out, from);
+}
+
+const TransportMetrics& FaultInjectingTransport::metrics() const {
+  merged_totals_ = inner_.metrics();
+  AddCounters(merged_totals_, extra_totals_);
+  return merged_totals_;
+}
+
+const TransportMetrics& FaultInjectingTransport::peer_metrics(
+    PeerId peer) const {
+  merged_[peer] = inner_.peer_metrics(peer);
+  AddCounters(merged_[peer], extra_[peer]);
+  return merged_[peer];
+}
+
+}  // namespace d3t::net

@@ -185,18 +185,7 @@ Status SocketTransport::AdoptListener(int listen_fd, uint16_t listen_port) {
   return Status::Ok();
 }
 
-Status SocketTransport::ConnectPeer(PeerId peer, uint16_t peer_port) {
-  if (peer >= out_.size()) {
-    return Status::InvalidArgument("peer out of range");
-  }
-  if (peer == self_) {
-    return Status::InvalidArgument("socket channel to self");
-  }
-  OutChannel& ch = out_[peer];
-  if (ch.open()) {
-    return Status::FailedPrecondition("channel already connected");
-  }
-
+Result<int> SocketTransport::Dial(PeerId peer, uint16_t peer_port) {
   int backoff = std::max(options_.backoff_initial_ms, 1);
   int last_err = ECONNREFUSED;
   const int attempts = std::max(options_.connect_attempts, 1);
@@ -274,12 +263,30 @@ Status SocketTransport::ConnectPeer(PeerId peer, uint16_t peer_port) {
       close(fd);
       continue;
     }
-    ch.fd = fd;
-    ch.tx = ByteRing(ring_bytes_);
-    ch.error = Status::Ok();
-    return Status::Ok();
+    return fd;
   }
   return SocketErrorStatus("connect failed", last_err, peer);
+}
+
+Status SocketTransport::ConnectPeer(PeerId peer, uint16_t peer_port) {
+  if (peer >= out_.size()) {
+    return Status::InvalidArgument("peer out of range");
+  }
+  if (peer == self_) {
+    return Status::InvalidArgument("socket channel to self");
+  }
+  OutChannel& ch = out_[peer];
+  if (ch.open()) {
+    return Status::FailedPrecondition("channel already connected");
+  }
+  Result<int> fd = Dial(peer, peer_port);
+  if (!fd.ok()) return fd.status();
+  ch.fd = *fd;
+  ch.tx = ByteRing(ring_bytes_);
+  ch.error = Status::Ok();
+  ch.port = peer_port;
+  ch.reconnects_left = std::max(options_.reconnect_attempts, 0);
+  return Status::Ok();
 }
 
 Status SocketTransport::CloseSend(PeerId peer) {
@@ -356,16 +363,37 @@ void SocketTransport::AcceptPending() {
     uint32_t peer = 0;
     std::memcpy(&magic, p.preamble, 4);
     std::memcpy(&peer, p.preamble + 4, 4);
-    if (magic != kSocketPreambleMagic || peer >= in_.size() || peer == self_ ||
-        in_[peer].open()) {
-      // Mis-addressed or duplicate connector: a decode failure at the
-      // channel level, counted like any corrupt inbound bytes.
+    if (magic != kSocketPreambleMagic || peer >= in_.size() ||
+        peer == self_) {
+      // Mis-addressed connector: a decode failure at the channel level,
+      // counted like any corrupt inbound bytes.
       ++totals_.decode_errors;
       close(p.fd);
       p.fd = -1;
       continue;
     }
     InChannel& ch = in_[peer];
+    if (ch.open()) {
+      if (options_.reconnect_attempts == 0) {
+        // Duplicate connector while the original is healthy: counted
+        // and dropped (PR 8 taxonomy).
+        ++totals_.decode_errors;
+        close(p.fd);
+        p.fd = -1;
+        continue;
+      }
+      // Reconnect regime: a second connector for a live channel means
+      // the old socket is dying (peer crashed and was restarted before
+      // we read its EOF). Park the replacement until FillIn notices.
+      continue;
+    }
+    if (!ch.rx.empty()) {
+      // The old socket closed with whole frames still queued in its rx
+      // ring: park the reconnection (preamble already read) until Poll
+      // drains them, so no received frame is thrown away. (Poll clears
+      // a dead channel's torn tail bytes, so the ring does empty.)
+      continue;
+    }
     ch.fd = p.fd;
     ch.rx = ByteRing(ring_bytes_);
     ch.eof = false;
@@ -393,9 +421,27 @@ Status SocketTransport::FlushOut(PeerId to) {
     }
     if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (sent < 0 && errno == EINTR) continue;
-    ch.error = SocketErrorStatus("send failed", errno, to);
+    const int send_err = errno;
     close(ch.fd);
     ch.fd = -1;
+    if (ch.reconnects_left > 0) {
+      // Opt-in recovery (SocketOptions::reconnect_attempts): redial the
+      // remembered port instead of going sticky. The bytes the kernel
+      // already took are gone and the new stream may resume mid-frame —
+      // the receiver resyncs past the torn bytes and the session layer
+      // resubscribes for the lost content.
+      Result<int> fd = Dial(to, ch.port);
+      if (fd.ok()) {
+        --ch.reconnects_left;
+        ch.fd = *fd;
+        ++per_peer_[to].reconnects;
+        ++totals_.reconnects;
+        continue;
+      }
+      ch.error = fd.status();
+    } else {
+      ch.error = SocketErrorStatus("send failed", send_err, to);
+    }
     StickChannelError(ch.error);
     return ch.error;
   }
@@ -428,7 +474,11 @@ void SocketTransport::FillIn(PeerId peer) {
     Status error = SocketErrorStatus("recv failed", errno, peer);
     close(ch.fd);
     ch.fd = -1;
-    StickChannelError(error);
+    // Under the reconnect regime a reset inbound stream is expected —
+    // the peer redials and AcceptPending adopts the replacement — so
+    // the failure stays a per-channel event, not a sticky endpoint
+    // error. Default (0) keeps PR 8's precise terminal taxonomy.
+    if (options_.reconnect_attempts == 0) StickChannelError(error);
     break;
   }
 }
@@ -490,8 +540,17 @@ bool SocketTransport::Poll(PeerId self, wire::Frame* out, PeerId* from) {
           ch.failed = true;
           ++per_peer_[peer].decode_errors;
           ++totals_.decode_errors;
-          StickChannelError(
-              SocketErrorStatus("half-closed mid-frame", ECONNRESET, peer));
+          if (options_.reconnect_attempts == 0) {
+            StickChannelError(
+                SocketErrorStatus("half-closed mid-frame", ECONNRESET, peer));
+          }
+        }
+        if (options_.reconnect_attempts > 0 && ch.failed && !ch.open() &&
+            !ch.rx.empty()) {
+          // Torn tail of a dead socket: those bytes can never complete a
+          // frame, and AcceptPending defers adopting the peer's redialed
+          // replacement until the ring is empty — drop them.
+          ch.rx.Consume(ch.rx.size());
         }
         break;
       }

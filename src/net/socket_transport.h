@@ -55,6 +55,15 @@ struct SocketOptions {
   /// peer fills the pipe in kilobytes, not megabytes; 0 keeps the OS
   /// default.
   int sndbuf_bytes = 0;
+  /// Outbound-channel reconnects after a mid-stream failure (reset /
+  /// broken pipe): 0 (the default) keeps failures sticky and terminal —
+  /// the PR 8 behavior every error-taxonomy pin relies on; > 0 lets a
+  /// Send that hits a dead socket redial the remembered port with the
+  /// same retry+backoff as ConnectPeer, up to this many times per
+  /// channel. Bytes in flight on the dead socket are lost and the new
+  /// stream may start mid-frame (the receiver resyncs); recovering the
+  /// CONTENT is the session layer's job (resubscribe).
+  int reconnect_attempts = 0;
 };
 
 /// Loopback-TCP implementation of the Transport boundary: one process's
@@ -158,6 +167,10 @@ class SocketTransport final : public Transport {
     int fd = -1;
     ByteRing tx;
     Status error;  // sticky; Ok while healthy
+    /// Port the channel dialed, remembered for reconnects.
+    uint16_t port = 0;
+    /// Remaining reconnect budget (SocketOptions::reconnect_attempts).
+    int reconnects_left = 0;
     bool open() const { return fd >= 0; }
   };
   struct InChannel {
@@ -177,6 +190,10 @@ class SocketTransport final : public Transport {
   };
 
   void AcceptPending();
+  /// Dials `peer_port`, writes the identifying preamble, and returns the
+  /// connected nonblocking fd — the bounded retry+backoff loop shared by
+  /// ConnectPeer and FlushOut's reconnect path.
+  Result<int> Dial(PeerId peer, uint16_t peer_port);
   Status FlushOut(PeerId to);
   void FillIn(PeerId peer);
   void StickChannelError(const Status& error);

@@ -31,6 +31,15 @@ struct TransportMetrics {
   uint64_t backpressure_stalls = 0;
   /// Received bytes that failed wire::Decode (or header resync steps).
   uint64_t decode_errors = 0;
+  /// Scripted faults executed by a FaultInjectingTransport wrapper
+  /// (0 on plain transports).
+  uint64_t faults_injected = 0;
+  /// Frames discarded before reaching the peer (injected drops, resets
+  /// and wedge windows; 0 on plain transports).
+  uint64_t frames_dropped = 0;
+  /// Connections re-established after a reset (SocketTransport with
+  /// reconnect_attempts > 0, or injected kResetConn faults).
+  uint64_t reconnects = 0;
 };
 
 /// Boundary between the engines and the medium their frames cross.

@@ -56,23 +56,71 @@ const char* FrameTypeName(FrameType type) {
       return "shutdown";
     case FrameType::kEngineReport:
       return "engine-report";
+    case FrameType::kResubscribe:
+      return "resubscribe";
   }
   return "invalid";
 }
 
+bool IsFeedFrame(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+    case FrameType::kSourceTick:
+    case FrameType::kScenarioOp:
+    case FrameType::kShutdown:
+      return true;
+    default:
+      return false;
+  }
+}
+
+uint32_t FeedSeq(const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kHello:
+      return frame.u.hello.seq;
+    case FrameType::kSourceTick:
+      return frame.u.source_tick.seq;
+    case FrameType::kScenarioOp:
+      return frame.u.scenario.seq;
+    case FrameType::kShutdown:
+      return frame.u.shutdown.seq;
+    default:
+      return 0;
+  }
+}
+
+void SetFeedSeq(Frame& frame, uint32_t seq) {
+  switch (frame.type) {
+    case FrameType::kHello:
+      frame.u.hello.seq = seq;
+      break;
+    case FrameType::kSourceTick:
+      frame.u.source_tick.seq = seq;
+      break;
+    case FrameType::kScenarioOp:
+      frame.u.scenario.seq = seq;
+      break;
+    case FrameType::kShutdown:
+      frame.u.shutdown.seq = seq;
+      break;
+    default:
+      break;
+  }
+}
+
 Frame Frame::Hello(uint32_t node, uint32_t member_count, uint32_t item_count,
-                   uint64_t world_seed) {
+                   uint64_t world_seed, uint32_t seq) {
   Frame f;
   f.type = FrameType::kHello;
-  f.u.hello = HelloPayload{node, member_count, item_count, 0, world_seed};
+  f.u.hello = HelloPayload{node, member_count, item_count, seq, world_seed};
   return f;
 }
 
 Frame Frame::SourceTick(uint32_t item, uint32_t tick_index, int64_t at_us,
-                        double value) {
+                        double value, uint32_t seq) {
   Frame f;
   f.type = FrameType::kSourceTick;
-  f.u.source_tick = SourceTickPayload{item, tick_index, at_us, value};
+  f.u.source_tick = SourceTickPayload{item, tick_index, at_us, value, seq, 0};
   return f;
 }
 
@@ -93,29 +141,45 @@ Frame Frame::Poll(uint32_t src, uint32_t dst, int64_t at_us,
 }
 
 Frame Frame::ScenarioOp(int64_t at_us, uint32_t kind, uint32_t member,
-                        uint32_t item, double c) {
+                        uint32_t item, double c, uint32_t seq) {
   Frame f;
   f.type = FrameType::kScenarioOp;
-  f.u.scenario = ScenarioOpPayload{at_us, kind, member, item, 0, c};
+  f.u.scenario = ScenarioOpPayload{at_us, kind, member, item, seq, c};
   return f;
 }
 
 Frame Frame::MetricsReport(uint32_t node, uint64_t frames_tx,
                            uint64_t frames_rx, uint64_t bytes_tx,
                            uint64_t bytes_rx, uint64_t backpressure_stalls,
-                           uint64_t decode_errors) {
+                           uint64_t decode_errors, uint64_t faults_injected,
+                           uint64_t frames_dropped, uint64_t reconnects) {
   Frame f;
   f.type = FrameType::kMetricsReport;
-  f.u.metrics = MetricsReportPayload{node,     0,        frames_tx,
-                                     frames_rx, bytes_tx, bytes_rx,
-                                     backpressure_stalls, decode_errors};
+  f.u.metrics = MetricsReportPayload{node,
+                                     0,
+                                     frames_tx,
+                                     frames_rx,
+                                     bytes_tx,
+                                     bytes_rx,
+                                     backpressure_stalls,
+                                     decode_errors,
+                                     faults_injected,
+                                     frames_dropped,
+                                     reconnects};
   return f;
 }
 
-Frame Frame::Shutdown(uint32_t node) {
+Frame Frame::Shutdown(uint32_t node, uint32_t seq) {
   Frame f;
   f.type = FrameType::kShutdown;
-  f.u.shutdown = ShutdownPayload{node, 0};
+  f.u.shutdown = ShutdownPayload{node, seq};
+  return f;
+}
+
+Frame Frame::Resubscribe(uint32_t node, uint32_t resume_seq) {
+  Frame f;
+  f.type = FrameType::kResubscribe;
+  f.u.resubscribe = ResubscribePayload{node, resume_seq};
   return f;
 }
 
@@ -146,6 +210,8 @@ size_t PayloadSize(FrameType type) {
       return sizeof(ShutdownPayload);
     case FrameType::kEngineReport:
       return sizeof(EngineReportPayload);
+    case FrameType::kResubscribe:
+      return sizeof(ResubscribePayload);
   }
   return 0;
 }

@@ -38,7 +38,11 @@ namespace d3t::net::wire {
 /// wrong-type and checksum-corrupt input with a precise Status.
 
 inline constexpr uint16_t kMagic = 0xD37A;
-inline constexpr uint8_t kVersion = 1;
+/// v2: feed frames (hello / source-tick / scenario-op / shutdown) carry
+/// an explicit sequence number, kResubscribe joins the vocabulary, and
+/// metrics reports grow fault/recovery counters. v1 peers reject v2
+/// frames by version byte — there is no mixed-version negotiation.
+inline constexpr uint8_t kVersion = 2;
 inline constexpr size_t kHeaderSize = 8;
 
 /// Discriminator of the payload variant. Values are wire contract:
@@ -65,6 +69,9 @@ enum class FrameType : uint8_t {
   /// the frame a cluster collector compares byte-for-byte against a
   /// direct in-process run.
   kEngineReport = 8,
+  /// Feed recovery: a consumer that detected a sequence gap asks the
+  /// publisher to rewind its cursor and retransmit from `resume_seq`.
+  kResubscribe = 9,
 };
 
 /// Human-readable type name for diagnostics ("invalid" for unknowns).
@@ -95,7 +102,9 @@ struct HelloPayload {
   uint32_t member_count;
   /// Item count of the world being fed.
   uint32_t item_count;
-  uint32_t reserved;
+  /// Feed sequence number (hello is always seq 0, the first frame of a
+  /// feed; retransmitted hellos repeat seq 0).
+  uint32_t seq;
   /// World seed, echoed for diagnostics; consumers need not check it.
   uint64_t world_seed;
 };
@@ -110,9 +119,13 @@ struct SourceTickPayload {
   uint32_t tick_index;
   int64_t at_us;
   double value;
+  /// Feed sequence number: position of this frame in the publisher's
+  /// total order (hello = 0, then schedule entries, then shutdown).
+  uint32_t seq;
+  uint32_t reserved;
 };
-static_assert(sizeof(SourceTickPayload) == 24,
-              "source-tick frames are 24-byte PODs");
+static_assert(sizeof(SourceTickPayload) == 32,
+              "source-tick frames are 32-byte PODs");
 static_assert(std::is_trivially_copyable_v<SourceTickPayload>,
               "wire payloads must stay trivially copyable");
 
@@ -162,7 +175,8 @@ struct ScenarioOpPayload {
   uint32_t kind;
   uint32_t member;
   uint32_t item;
-  uint32_t reserved;
+  /// Feed sequence number (see SourceTickPayload::seq).
+  uint32_t seq;
   double c;
 };
 static_assert(sizeof(ScenarioOpPayload) == 32,
@@ -180,9 +194,13 @@ struct MetricsReportPayload {
   uint64_t bytes_rx;
   uint64_t backpressure_stalls;
   uint64_t decode_errors;
+  /// Fault-injection / recovery counters (0 outside chaos runs).
+  uint64_t faults_injected;
+  uint64_t frames_dropped;
+  uint64_t reconnects;
 };
-static_assert(sizeof(MetricsReportPayload) == 56,
-              "metrics-report frames are 56-byte PODs");
+static_assert(sizeof(MetricsReportPayload) == 80,
+              "metrics-report frames are 80-byte PODs");
 static_assert(std::is_trivially_copyable_v<MetricsReportPayload>,
               "wire payloads must stay trivially copyable");
 
@@ -230,11 +248,31 @@ static_assert(std::is_trivially_copyable_v<EngineReportPayload>,
 // d3t-lint: pod-event
 struct ShutdownPayload {
   uint32_t node;
-  uint32_t reserved;
+  /// Feed sequence number (see SourceTickPayload::seq); shutdown is the
+  /// last frame of a feed, so its seq equals the feed's frame count - 1.
+  uint32_t seq;
 };
 static_assert(sizeof(ShutdownPayload) == 8,
               "shutdown frames are 8-byte PODs");
 static_assert(std::is_trivially_copyable_v<ShutdownPayload>,
+              "wire payloads must stay trivially copyable");
+
+/// Feed-recovery request: sent upstream (consumer -> publisher) when a
+/// consumer detects a sequence gap or wants the tail of a feed resent.
+/// The publisher rewinds its per-subscriber cursor to `resume_seq` (the
+/// first sequence number the consumer is missing, i.e. last contiguous
+/// seq + 1) and retransmits, provided the cursor still falls inside its
+/// bounded replay window.
+// d3t-lint: pod-event
+struct ResubscribePayload {
+  /// Peer id of the requesting consumer.
+  uint32_t node;
+  /// First sequence number to retransmit.
+  uint32_t resume_seq;
+};
+static_assert(sizeof(ResubscribePayload) == 8,
+              "resubscribe frames are 8-byte PODs");
+static_assert(std::is_trivially_copyable_v<ResubscribePayload>,
               "wire payloads must stay trivially copyable");
 
 /// A decoded frame: the type tag plus the payload variant it selects.
@@ -255,26 +293,32 @@ struct Frame {
     MetricsReportPayload metrics;
     ShutdownPayload shutdown;
     EngineReportPayload engine_report;
+    ResubscribePayload resubscribe;
   };
 
   FrameType type = FrameType::kInvalid;
   Payload u;
 
   static Frame Hello(uint32_t node, uint32_t member_count,
-                     uint32_t item_count, uint64_t world_seed);
+                     uint32_t item_count, uint64_t world_seed,
+                     uint32_t seq = 0);
   static Frame SourceTick(uint32_t item, uint32_t tick_index, int64_t at_us,
-                          double value);
+                          double value, uint32_t seq = 0);
   static Frame Update(uint32_t src, uint32_t dst, int64_t arrival_us,
                       uint32_t item, double value, double tag);
   static Frame Poll(uint32_t src, uint32_t dst, int64_t at_us,
                     uint32_t state_index, uint32_t phase, double value);
   static Frame ScenarioOp(int64_t at_us, uint32_t kind, uint32_t member,
-                          uint32_t item, double c);
+                          uint32_t item, double c, uint32_t seq = 0);
   static Frame MetricsReport(uint32_t node, uint64_t frames_tx,
                              uint64_t frames_rx, uint64_t bytes_tx,
                              uint64_t bytes_rx, uint64_t backpressure_stalls,
-                             uint64_t decode_errors);
-  static Frame Shutdown(uint32_t node);
+                             uint64_t decode_errors,
+                             uint64_t faults_injected = 0,
+                             uint64_t frames_dropped = 0,
+                             uint64_t reconnects = 0);
+  static Frame Shutdown(uint32_t node, uint32_t seq = 0);
+  static Frame Resubscribe(uint32_t node, uint32_t resume_seq);
   /// `payload` must have every field set (serve::MakeEngineReport is
   /// the one bridge from core::EngineMetrics).
   static Frame EngineReport(const EngineReportPayload& payload);
@@ -287,6 +331,17 @@ static_assert(std::is_trivially_copyable_v<Frame>,
 
 inline constexpr size_t kMaxPayloadSize = sizeof(Frame::Payload);
 inline constexpr size_t kMaxFrameSize = kHeaderSize + kMaxPayloadSize;
+
+/// True for the frame kinds a feed publisher emits in sequence (hello,
+/// source-tick, scenario-op, shutdown) — exactly the kinds that carry a
+/// `seq` field and participate in gap detection / resubscribe recovery.
+bool IsFeedFrame(FrameType type);
+
+/// Sequence number of a feed frame; 0 for non-feed kinds.
+uint32_t FeedSeq(const Frame& frame);
+
+/// Stamps the sequence number of a feed frame; no-op for other kinds.
+void SetFeedSeq(Frame& frame, uint32_t seq);
 
 /// Payload bytes of a frame of `type`; 0 for kInvalid/unknown values.
 size_t PayloadSize(FrameType type);

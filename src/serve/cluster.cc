@@ -188,12 +188,49 @@ Result<ClusterReport> RunCluster(const std::vector<ProcessBody>& bodies,
     listen_fds[i] = *fd;
   }
 
+  const bool supervising = options.max_restarts > 0;
   net::SocketOptions socket_options = options.socket;
   socket_options.ring_bytes = options.ring_bytes;
+  if (supervising &&
+      socket_options.reconnect_attempts < options.max_restarts) {
+    // A surviving peer must be able to redial each restarted node once
+    // per restart, or supervision recovers the process but not its
+    // channels.
+    socket_options.reconnect_attempts = options.max_restarts;
+  }
+
+  // Forks child `i` and runs its body; returns the child pid in the
+  // parent and never returns in the child (_exit, not exit: a forked
+  // child must not run the parent's atexit chain or flush its inherited
+  // stdio buffers twice). A restarted child inherits copies of the
+  // parent collector's sockets; it never touches them, they just ride
+  // along until its _exit.
+  auto spawn = [&](size_t i, int incarnation) -> pid_t {
+    const pid_t pid = fork();
+    if (pid != 0) return pid;
+    // Child. Only its own listener survives; a child holding sibling
+    // listeners open would keep their ports half-alive after a crash.
+    for (size_t j = 0; j <= n; ++j) {
+      if (j != i && listen_fds[j] >= 0) close(listen_fds[j]);
+    }
+    net::SocketTransport child_transport(
+        n + 1, static_cast<net::PeerId>(i), socket_options);
+    Status status = child_transport.AdoptListener(listen_fds[i], ports[i]);
+    if (status.ok()) {
+      status = child_transport.ConnectPeer(collector, ports[n]);
+    }
+    if (status.ok()) {
+      ProcessContext ctx{child_transport, static_cast<net::PeerId>(i),
+                         collector, ports, incarnation};
+      status = bodies[i](ctx);
+    }
+    if (status.ok()) status = child_transport.CloseSend(collector);
+    _exit(status.ok() ? 0 : 2);
+  };
 
   std::vector<pid_t> pids(n, -1);
   for (size_t i = 0; i < n; ++i) {
-    const pid_t pid = fork();
+    const pid_t pid = spawn(i, /*incarnation=*/0);
     if (pid < 0) {
       const int err = errno;
       for (size_t j = 0; j < i; ++j) {
@@ -208,30 +245,18 @@ Result<ClusterReport> RunCluster(const std::vector<ProcessBody>& bodies,
       msg += strerror(err);
       return Status::IoError(msg);
     }
-    if (pid == 0) {
-      // Child. Only its own listener survives; a child holding sibling
-      // listeners open would keep their ports half-alive after a crash.
-      for (size_t j = 0; j <= n; ++j) {
-        if (j != i) close(listen_fds[j]);
-      }
-      net::SocketTransport transport(n + 1, static_cast<net::PeerId>(i),
-                                     socket_options);
-      Status status = transport.AdoptListener(listen_fds[i], ports[i]);
-      if (status.ok()) status = transport.ConnectPeer(collector, ports[n]);
-      if (status.ok()) {
-        ProcessContext ctx{transport, static_cast<net::PeerId>(i), collector,
-                           ports};
-        status = bodies[i](ctx);
-      }
-      if (status.ok()) status = transport.CloseSend(collector);
-      // _exit, not exit: a forked child must not run the parent's
-      // atexit chain or flush its inherited stdio buffers twice.
-      _exit(status.ok() ? 0 : 2);
-    }
     pids[i] = pid;
   }
 
-  for (size_t i = 0; i < n; ++i) close(listen_fds[i]);
+  if (!supervising) {
+    // Terminal-crash mode: the children's listeners served their one
+    // purpose (fork inheritance). A supervisor instead keeps them open
+    // so a restarted child re-adopts the same port.
+    for (size_t i = 0; i < n; ++i) {
+      close(listen_fds[i]);
+      listen_fds[i] = -1;
+    }
+  }
   net::SocketTransport transport(n + 1, collector, socket_options);
   Status adopt = transport.AdoptListener(listen_fds[n], ports[n]);
   if (!adopt.ok()) {
@@ -239,12 +264,14 @@ Result<ClusterReport> RunCluster(const std::vector<ProcessBody>& bodies,
       kill(pids[i], SIGKILL);
       int wstatus = 0;
       waitpid(pids[i], &wstatus, 0);
+      if (listen_fds[i] >= 0) close(listen_fds[i]);
     }
     return adopt;
   }
 
   ClusterReport report;
   report.exits.assign(n, Status::Ok());
+  report.restarts.assign(n, 0);
   std::vector<bool> reaped(n, false);
   size_t live = n;
   const int64_t deadline = net::MonotonicMillis() + options.timeout_ms;
@@ -261,11 +288,28 @@ Result<ClusterReport> RunCluster(const std::vector<ProcessBody>& bodies,
       if (reaped[i]) continue;
       int wstatus = 0;
       const pid_t r = waitpid(pids[i], &wstatus, WNOHANG);
-      if (r == pids[i]) {
-        reaped[i] = true;
-        --live;
-        report.exits[i] = ChildExitStatus(i, wstatus);
+      if (r != pids[i]) continue;
+      Status exit_status = ChildExitStatus(i, wstatus);
+      if (!exit_status.ok() && supervising &&
+          report.restarts[i] < options.max_restarts) {
+        // Crash within budget: re-fork the body on the same inherited
+        // listener, next incarnation. Surviving peers redial the port;
+        // the restarted body resubscribes for the state the crash lost.
+        ++report.restarts[i];
+        const pid_t respawned = spawn(i, report.restarts[i]);
+        if (respawned >= 0) {
+          pids[i] = respawned;
+          continue;
+        }
+        std::string msg("node ");
+        msg += std::to_string(i);
+        msg += " restart fork failed: ";
+        msg += strerror(errno);
+        exit_status = Status::IoError(msg);
       }
+      reaped[i] = true;
+      --live;
+      report.exits[i] = exit_status;
     }
     if (live == 0) break;
     if (net::MonotonicMillis() >= deadline) {
@@ -306,6 +350,11 @@ Result<ClusterReport> RunCluster(const std::vector<ProcessBody>& bodies,
     if (transport.drained()) break;
     if (net::MonotonicMillis() >= drain_deadline) break;
     (void)transport.WaitIo(10);
+  }
+
+  // Supervisor mode kept the children's listeners open for restarts.
+  for (size_t i = 0; i < n; ++i) {
+    if (listen_fds[i] >= 0) close(listen_fds[i]);
   }
 
   return report;

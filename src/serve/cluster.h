@@ -44,6 +44,11 @@ struct ProcessContext {
   net::PeerId self;
   net::PeerId collector;
   const std::vector<uint16_t>& ports;
+  /// 0 on the first launch, k after the supervisor's k-th restart of
+  /// this node (see ClusterOptions::max_restarts). A body that must
+  /// behave differently after a crash — re-dial peers, resubscribe to
+  /// its feed — branches on this instead of ambient process state.
+  int incarnation = 0;
 };
 
 /// Body run inside a forked child. A non-Ok return becomes exit code 2,
@@ -59,6 +64,14 @@ struct ClusterOptions {
   size_t ring_bytes = 1 << 16;
   /// Connect/backoff knobs for every endpoint in the cluster.
   net::SocketOptions socket;
+  /// Supervisor mode: restarts per child after an abnormal exit
+  /// (nonzero code or signal). 0 — the default — keeps crashes
+  /// terminal. When > 0 the parent holds every child's listener open
+  /// across restarts (same port, no re-handshake), re-forks the body
+  /// with ProcessContext::incarnation bumped, and raises every
+  /// endpoint's SocketOptions::reconnect_attempts to at least this
+  /// budget so surviving peers redial the restarted node.
+  int max_restarts = 0;
 };
 
 /// Everything a cluster run reports.
@@ -69,8 +82,12 @@ struct ClusterReport {
   /// frame_sources[i] is the child that sent frames[i].
   std::vector<net::PeerId> frame_sources;
   /// Per-child outcome: Ok for exit 0, IoError naming the node for a
-  /// nonzero exit, a killing signal, or a timeout SIGKILL.
+  /// nonzero exit, a killing signal, or a timeout SIGKILL. Under
+  /// supervision this is the FINAL incarnation's outcome.
   std::vector<Status> exits;
+  /// restarts[i] = times the supervisor re-forked child i (all zero
+  /// unless ClusterOptions::max_restarts > 0).
+  std::vector<int> restarts;
 
   /// First non-Ok child outcome (Ok when every child finished cleanly).
   Status FirstError() const;

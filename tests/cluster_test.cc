@@ -195,6 +195,54 @@ TEST(ClusterTest, KilledNodeMidFeedGivesPublisherPreciseIoError) {
   EXPECT_FALSE(report->FirstError().ok());
 }
 
+TEST(ClusterTest, SupervisorRestartsCrashedChildWithinBudget) {
+  std::vector<ProcessBody> bodies;
+  // Incarnation 0 dies hard before reporting; incarnation 1 reports.
+  bodies.push_back([](ProcessContext& ctx) {
+    if (ctx.incarnation == 0) {
+      kill(getpid(), SIGKILL);
+    }
+    return ctx.transport.Send(
+        ctx.self, ctx.collector,
+        net::wire::Frame::MetricsReport(
+            static_cast<uint32_t>(ctx.incarnation), 1, 0, 0, 0, 0, 0));
+  });
+  ClusterOptions options;
+  options.max_restarts = 1;
+  auto report = RunCluster(bodies, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->restarts.size(), 1u);
+  EXPECT_EQ(report->restarts[0], 1);
+  // The crash was absorbed: the final outcome is clean and the second
+  // incarnation's frame arrived.
+  EXPECT_TRUE(report->exits[0].ok()) << report->exits[0].ToString();
+  ASSERT_EQ(report->frames.size(), 1u);
+  EXPECT_EQ(report->frames[0].u.metrics.node, 1u);  // incarnation 1
+}
+
+TEST(ClusterTest, SupervisorGivesUpPastTheRestartBudget) {
+  std::vector<ProcessBody> bodies;
+  bodies.push_back([](ProcessContext&) {
+    kill(getpid(), SIGKILL);  // every incarnation dies
+    return Status::Ok();      // unreachable
+  });
+  ClusterOptions options;
+  options.max_restarts = 2;
+  const int64_t before = net::MonotonicMillis();
+  auto report = RunCluster(bodies, options);
+  const int64_t elapsed = net::MonotonicMillis() - before;
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->restarts[0], 2);
+  // Budget spent: the last crash is the reported outcome, precisely.
+  Status final_exit = report->exits[0];
+  ASSERT_TRUE(final_exit.IsIoError()) << final_exit.ToString();
+  EXPECT_NE(final_exit.message().find("killed by signal 9"),
+            std::string::npos)
+      << final_exit.ToString();
+  EXPECT_FALSE(report->FirstError().ok());
+  EXPECT_LT(elapsed, 15000);
+}
+
 TEST(ClusterTest, WedgedChildIsKilledAtTheDeadline) {
   std::vector<ProcessBody> bodies;
   bodies.push_back([](ProcessContext&) {

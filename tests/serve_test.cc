@@ -17,10 +17,12 @@
 #include "core/lela.h"
 #include "exp/experiment.h"
 #include "exp/scenario.h"
+#include "net/fault_transport.h"
 #include "net/transport.h"
 #include "net/wire.h"
 #include "serve/node.h"
 #include "sim/time.h"
+#include "trace/trace.h"
 #include "gtest/gtest.h"
 
 namespace d3t {
@@ -83,16 +85,12 @@ void ExpectIdentical(const core::EngineMetrics& a,
   EXPECT_EQ(a.repairs, b.repairs);
 }
 
-// Pumps the publisher and drains the node until the whole feed crossed
-// the transport. The iteration bound converts a protocol deadlock into
-// a test failure instead of a hang.
-void DriveFeed(serve::FeedPublisher& publisher, serve::Node& node) {
-  for (int round = 0; round < 1'000'000 && !publisher.done(); ++round) {
-    publisher.Pump();
-    ASSERT_TRUE(publisher.status().ok()) << publisher.status().ToString();
-    Result<size_t> polled = node.PollFeed();
-    ASSERT_TRUE(polled.ok()) << polled.status().ToString();
-  }
+// Drives the feed to completion via the library's own loop and asserts
+// it succeeded (serve::DriveFeed converts deadlock into a precise
+// wedge error, so a protocol bug fails here instead of hanging).
+void DriveFeedOk(serve::FeedPublisher& publisher, serve::Node& node) {
+  const Status driven = serve::DriveFeed(publisher, node);
+  ASSERT_TRUE(driven.ok()) << driven.ToString();
   ASSERT_TRUE(publisher.done());
   ASSERT_TRUE(node.feed_complete());
 }
@@ -116,7 +114,7 @@ TEST(ServeTest, PipelineIsByteIdenticalToDirectRun) {
   serve::FeedPublisher publisher(bench->traces(), /*scenario=*/nullptr,
                                  overlay.member_count(), config.seed, feed,
                                  /*self=*/1, /*subscribers=*/{0});
-  DriveFeed(publisher, node);
+  DriveFeedOk(publisher, node);
 
   Result<serve::NodeReport> report = node.Serve();
   ASSERT_TRUE(report.ok()) << report.status().ToString();
@@ -184,7 +182,7 @@ TEST(ServeTest, ScenarioOpsTravelTheFeedAndReplayIdentically) {
   serve::FeedPublisher publisher(bench->traces(), &*scenario,
                                  overlay.member_count(), config.seed, feed,
                                  /*self=*/1, {0});
-  DriveFeed(publisher, node);
+  DriveFeedOk(publisher, node);
 
   Result<serve::NodeReport> report = node.Serve();
   ASSERT_TRUE(report.ok()) << report.status().ToString();
@@ -213,7 +211,7 @@ TEST(ServeTest, StreamFeedWithBackpressureDeliversIdentically) {
   serve::FeedPublisher publisher(bench->traces(), nullptr,
                                  overlay.member_count(), config.seed, feed,
                                  /*self=*/1, {0});
-  DriveFeed(publisher, node);
+  DriveFeedOk(publisher, node);
 
   Result<serve::NodeReport> report = node.Serve();
   ASSERT_TRUE(report.ok()) << report.status().ToString();
@@ -228,15 +226,29 @@ TEST(ServeTest, StreamFeedWithBackpressureDeliversIdentically) {
 // Feed protocol error envelope
 
 struct IngestFixture {
-  explicit IngestFixture(const exp::ExperimentConfig& config)
+  explicit IngestFixture(const exp::ExperimentConfig& config,
+                         serve::NodeOptions node_options = {})
       : bench(std::move(exp::Workbench::Create(config)).value()),
         overlay(BuildFixtureOverlay(bench, config)),
         feed(2, 32),
         data(overlay.member_count(), 64),
-        node(overlay, bench.delays(), feed, data, serve::NodeOptions{}) {}
+        node(overlay, bench.delays(), feed, data, node_options) {}
 
-  // Feeds one frame (publisher peer 1 -> node peer 0) through PollFeed.
-  Result<size_t> Feed(const net::wire::Frame& frame) {
+  // Feeds one frame (publisher peer 1 -> node peer 0) through PollFeed,
+  // stamping the contiguous feed seq a healthy publisher would — these
+  // tests target the PROTOCOL layer, not the sequence layer.
+  Result<size_t> Feed(net::wire::Frame frame) {
+    if (net::wire::IsFeedFrame(frame.type)) {
+      net::wire::SetFeedSeq(frame, send_seq_++);
+    }
+    Status sent = feed.Send(1, 0, frame);
+    EXPECT_TRUE(sent.ok()) << sent.ToString();
+    return node.PollFeed();
+  }
+
+  // Feeds one frame with an explicit seq (sequence-layer tests).
+  Result<size_t> FeedSeq(net::wire::Frame frame, uint32_t seq) {
+    net::wire::SetFeedSeq(frame, seq);
     Status sent = feed.Send(1, 0, frame);
     EXPECT_TRUE(sent.ok()) << sent.ToString();
     return node.PollFeed();
@@ -253,6 +265,7 @@ struct IngestFixture {
   net::InProcTransport feed;
   net::InProcTransport data;
   serve::Node node;
+  uint32_t send_seq_ = 0;
 };
 
 TEST(ServeTest, RejectsTicksBeforeHello) {
@@ -373,6 +386,157 @@ TEST(ServeTest, RejectsFramesAfterShutdown) {
       fx.Feed(net::wire::Frame::SourceTick(0, 1, 5000, 2.0));
   ASSERT_FALSE(late.ok());
   EXPECT_TRUE(late.status().IsFailedPrecondition());
+}
+
+// ---------------------------------------------------------------------------
+// Feed sequence layer and reconnect-and-resubscribe recovery
+
+TEST(ServeTest, StrictSeqGapNamesTheMissingRange) {
+  IngestFixture fx(SmallConfig());
+  ASSERT_TRUE(fx.Feed(fx.Hello()).ok());
+  // Frames 1 and 2 vanished in transit; seq 3 arrives next.
+  Result<size_t> gap =
+      fx.FeedSeq(net::wire::Frame::SourceTick(0, 0, 0, 1.0), 3);
+  ASSERT_FALSE(gap.ok());
+  EXPECT_TRUE(gap.status().IsInvalidArgument());
+  EXPECT_NE(gap.status().message().find("missing frames [1, 3)"),
+            std::string::npos)
+      << gap.status().message();
+}
+
+TEST(ServeTest, StrictStaleSeqIsAPreciseError) {
+  IngestFixture fx(SmallConfig());
+  ASSERT_TRUE(fx.Feed(fx.Hello()).ok());
+  Result<size_t> stale = fx.FeedSeq(fx.Hello(), 0);  // duplicated frame
+  ASSERT_FALSE(stale.ok());
+  EXPECT_NE(stale.status().message().find("stale or duplicated seq 0"),
+            std::string::npos)
+      << stale.status().message();
+}
+
+TEST(ServeTest, ShutdownNamesMissingItemRanges) {
+  // SmallConfig has 4 items; feed ticks for item 0 only, so the
+  // completeness error must name the contiguous hole 1-3.
+  IngestFixture fx(SmallConfig());
+  ASSERT_TRUE(fx.Feed(fx.Hello()).ok());
+  ASSERT_TRUE(fx.Feed(net::wire::Frame::SourceTick(0, 0, 0, 1.0)).ok());
+  Result<size_t> early = fx.Feed(net::wire::Frame::Shutdown(0));
+  ASSERT_FALSE(early.ok());
+  EXPECT_NE(early.status().message().find("no ticks for item(s) 1-3 of 4"),
+            std::string::npos)
+      << early.status().message();
+}
+
+TEST(ServeTest, ShutdownNamesScatteredMissingItems) {
+  // Items 0 and 2 fed, 1 and 3 not: singletons, comma-separated.
+  IngestFixture fx(SmallConfig());
+  ASSERT_TRUE(fx.Feed(fx.Hello()).ok());
+  ASSERT_TRUE(fx.Feed(net::wire::Frame::SourceTick(0, 0, 0, 1.0)).ok());
+  ASSERT_TRUE(fx.Feed(net::wire::Frame::SourceTick(2, 0, 1, 1.0)).ok());
+  Result<size_t> early = fx.Feed(net::wire::Frame::Shutdown(0));
+  ASSERT_FALSE(early.ok());
+  EXPECT_NE(early.status().message().find("no ticks for item(s) 1, 3 of 4"),
+            std::string::npos)
+      << early.status().message();
+}
+
+TEST(ServeTest, ResubscribeRecoversDroppedFeedFramesByteIdentically) {
+  const exp::ExperimentConfig config = SmallConfig();
+  Result<exp::Workbench> bench = exp::Workbench::Create(config);
+  ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+  core::EngineOptions options;
+  const core::EngineMetrics direct =
+      RunDirect(*bench, config, options, /*scenario=*/nullptr);
+
+  core::Overlay overlay = BuildFixtureOverlay(*bench, config);
+  net::InProcTransport inner(2, 32);
+  // Drop three publisher->node frames at different points of the feed;
+  // filter from=1 so the node's own resubscribe requests are untouched.
+  Result<net::FaultScript> script = net::FaultScript::Create(
+      {net::FaultOp{5, 0, /*from=*/1, net::kAnyPeer, 0},
+       net::FaultOp{40, 0, 1, net::kAnyPeer, 0},
+       net::FaultOp{41, 0, 1, net::kAnyPeer, 0}});
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  net::FaultInjectingTransport feed(inner, *script, /*seed=*/9);
+  net::InProcTransport data(overlay.member_count(), 64);
+  serve::NodeOptions node_options;
+  node_options.engine = options;
+  node_options.resubscribe = true;
+  node_options.feed_publisher = 1;
+  serve::Node node(overlay, bench->delays(), feed, data, node_options);
+  serve::FeedPublisher publisher(bench->traces(), nullptr,
+                                 overlay.member_count(), config.seed, feed,
+                                 /*self=*/1, {0});
+  DriveFeedOk(publisher, node);
+
+  Result<serve::NodeReport> report = node.Serve();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ExpectIdentical(direct, report->engine);
+  // Recovery genuinely ran: faults fired, the node asked, the
+  // publisher rewound.
+  EXPECT_EQ(feed.faults_applied(), 3u);
+  EXPECT_GT(report->resubscribes, 0u);
+  EXPECT_EQ(report->resubscribes, publisher.resubscribes_handled());
+}
+
+TEST(ServeTest, ResubscribeBudgetExhaustionIsPrecise) {
+  serve::NodeOptions node_options;
+  node_options.resubscribe = true;
+  node_options.feed_publisher = 1;
+  node_options.max_resubscribes = 1;
+  IngestFixture fx(SmallConfig(), node_options);
+  ASSERT_TRUE(fx.Feed(fx.Hello()).ok());
+  // A gap spends the single budgeted resubscribe...
+  ASSERT_TRUE(
+      fx.FeedSeq(net::wire::Frame::SourceTick(0, 0, 0, 1.0), 5).ok());
+  // ...so the next recovery attempt is the first unrecoverable fault.
+  Status nudged = fx.node.RequestMissing();
+  ASSERT_FALSE(nudged.ok());
+  EXPECT_TRUE(nudged.IsIoError());
+  EXPECT_NE(nudged.message().find("feed recovery budget exhausted"),
+            std::string::npos)
+      << nudged.message();
+  EXPECT_NE(nudged.message().find("still missing seq 1"), std::string::npos)
+      << nudged.message();
+}
+
+TEST(ServeTest, ResubscribeOutsideReplayWindowIsPrecise) {
+  // A publisher with a zero replay window cannot rewind at all: any
+  // resubscribe below the high-water mark is a precise unrecoverable
+  // loss, not a silent hang.
+  std::vector<trace::Trace> traces;
+  traces.emplace_back("item0", std::vector<trace::Tick>{{0, 1.0},
+                                                        {1000, 2.0}});
+  net::InProcTransport feed(2, 32);
+  serve::FeedPublisherOptions pub_options;
+  pub_options.replay_window = 0;
+  serve::FeedPublisher publisher(traces, nullptr, /*member_count=*/4,
+                                 /*world_seed=*/77, feed, /*self=*/1, {0},
+                                 pub_options);
+  while (!publisher.done()) {
+    ASSERT_GT(publisher.Pump(), 0u) << publisher.status().ToString();
+  }
+  ASSERT_TRUE(feed.Send(0, 1, net::wire::Frame::Resubscribe(0, 0)).ok());
+  publisher.Pump();
+  ASSERT_FALSE(publisher.status().ok());
+  EXPECT_TRUE(publisher.status().IsIoError());
+  EXPECT_NE(publisher.status().message().find("outside the replay window"),
+            std::string::npos)
+      << publisher.status().message();
+}
+
+TEST(ServeTest, ResubscribeFromUnknownPeerIsRejected) {
+  std::vector<trace::Trace> traces;
+  traces.emplace_back("item0", std::vector<trace::Tick>{{0, 1.0}});
+  net::InProcTransport feed(4, 32);
+  serve::FeedPublisher publisher(traces, nullptr, 4, 77, feed, /*self=*/1,
+                                 {0});
+  ASSERT_TRUE(feed.Send(3, 1, net::wire::Frame::Resubscribe(3, 0)).ok());
+  publisher.Pump();
+  ASSERT_FALSE(publisher.status().ok());
+  EXPECT_NE(publisher.status().message().find("unknown peer 3"),
+            std::string::npos)
+      << publisher.status().message();
 }
 
 }  // namespace

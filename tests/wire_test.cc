@@ -15,7 +15,7 @@
 namespace d3t::net::wire {
 namespace {
 
-// All eight encodable frame kinds with rng-driven payloads. Each entry
+// All nine encodable frame kinds with rng-driven payloads. Each entry
 // re-generates deterministically from the same Rng stream, so tests can
 // iterate kinds while varying content per round.
 std::vector<Frame> RandomFrames(Rng& rng) {
@@ -46,16 +46,19 @@ std::vector<Frame> RandomFrames(Rng& rng) {
   report.horizon = i64();
   report.per_member_loss_hash = rng.Next();
   return {
-      Frame::Hello(u32(), u32(), u32(), rng.Next()),
-      Frame::SourceTick(u32(), u32(), i64(), rng.NextDouble()),
+      Frame::Hello(u32(), u32(), u32(), rng.Next(), u32()),
+      Frame::SourceTick(u32(), u32(), i64(), rng.NextDouble(), u32()),
       Frame::Update(u32(), u32(), i64(), u32(), rng.NextDouble(),
                     rng.NextDouble()),
       Frame::Poll(u32(), u32(), i64(), u32(), u32(), rng.NextDouble()),
-      Frame::ScenarioOp(i64(), u32() % 5, u32(), u32(), rng.NextDouble()),
+      Frame::ScenarioOp(i64(), u32() % 5, u32(), u32(), rng.NextDouble(),
+                        u32()),
       Frame::MetricsReport(u32(), rng.Next(), rng.Next(), rng.Next(),
-                           rng.Next(), rng.Next(), rng.Next()),
+                           rng.Next(), rng.Next(), rng.Next(), rng.Next(),
+                           rng.Next(), rng.Next()),
       Frame::EngineReport(report),
-      Frame::Shutdown(u32()),
+      Frame::Shutdown(u32(), u32()),
+      Frame::Resubscribe(u32(), u32()),
   };
 }
 
@@ -74,13 +77,14 @@ void ExpectSameFrame(const Frame& a, const Frame& b) {
 
 TEST(WireTest, PayloadSizesArePinned) {
   EXPECT_EQ(PayloadSize(FrameType::kHello), 24u);
-  EXPECT_EQ(PayloadSize(FrameType::kSourceTick), 24u);
+  EXPECT_EQ(PayloadSize(FrameType::kSourceTick), 32u);
   EXPECT_EQ(PayloadSize(FrameType::kUpdate), 40u);
   EXPECT_EQ(PayloadSize(FrameType::kPoll), 32u);
   EXPECT_EQ(PayloadSize(FrameType::kScenarioOp), 32u);
-  EXPECT_EQ(PayloadSize(FrameType::kMetricsReport), 56u);
+  EXPECT_EQ(PayloadSize(FrameType::kMetricsReport), 80u);
   EXPECT_EQ(PayloadSize(FrameType::kEngineReport), 176u);
   EXPECT_EQ(PayloadSize(FrameType::kShutdown), 8u);
+  EXPECT_EQ(PayloadSize(FrameType::kResubscribe), 8u);
   EXPECT_EQ(PayloadSize(FrameType::kInvalid), 0u);
   EXPECT_EQ(PayloadSize(static_cast<FrameType>(200)), 0u);
   EXPECT_EQ(EncodedSize(FrameType::kUpdate), kHeaderSize + 40u);

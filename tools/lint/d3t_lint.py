@@ -133,7 +133,11 @@ REQUIRED_POD_EVENT_STRUCTS = (
     ("net/wire.h", "MetricsReportPayload"),
     ("net/wire.h", "EngineReportPayload"),
     ("net/wire.h", "ShutdownPayload"),
+    ("net/wire.h", "ResubscribePayload"),
     ("net/wire.h", "Frame"),
+    # Fault scripts are table-driven and memcpy'd by property tests;
+    # the chaos op shares the wire structs' POD discipline.
+    ("net/fault_transport.h", "FaultOp"),
 )
 
 # Member types that make a tagged payload struct non-POD (heap-owning or

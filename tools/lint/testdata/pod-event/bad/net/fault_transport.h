@@ -1,0 +1,19 @@
+// Fixture: a net/fault_transport.h fault op WITHOUT the pod-event tag —
+// net/fault_transport.h is on the required-tag roster, so dropping the
+// tag from FaultOp is itself a finding: chaos scripts are table-driven
+// and memcpy'd, and the POD contract cannot be silently retired.
+#pragma once
+
+#include <cstdint>
+
+namespace d3t::net {
+
+struct FaultOp {
+  uint64_t at_send = 0;
+  uint32_t kind = 0;
+  uint32_t from = 0;
+  uint32_t to = 0;
+  uint32_t arg = 0;
+};
+
+}  // namespace d3t::net

@@ -1,0 +1,25 @@
+// Fixture: a correctly disciplined fault-script op — pod-event tagged
+// with both compile-time pins present. Mirrors the real
+// net/fault_transport.h FaultOp shape (named differently so the
+// required-tag roster does not bind here).
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace d3t::net {
+
+// d3t-lint: pod-event
+struct ChaosOp {
+  uint64_t at_send = 0;
+  uint32_t kind = 0;
+  uint32_t from = 0;
+  uint32_t to = 0;
+  uint32_t arg = 0;
+};
+
+static_assert(sizeof(ChaosOp) == 24, "fault ops are 24-byte PODs");
+static_assert(std::is_trivially_copyable_v<ChaosOp>,
+              "fault scripts are memcpy'd and table-driven");
+
+}  // namespace d3t::net
