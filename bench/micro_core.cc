@@ -13,6 +13,8 @@
 #include "core/pull.h"
 #include "net/routing.h"
 #include "net/topology_generator.h"
+#include "obs/recorder.h"
+#include "obs/registry.h"
 #include "sim/simulator.h"
 #include "trace/synthetic.h"
 
@@ -352,6 +354,50 @@ void BM_EngineEndToEnd(benchmark::State& state) {
                           static_cast<int64_t>(items * 500));
 }
 BENCHMARK(BM_EngineEndToEnd)->Unit(benchmark::kMillisecond);
+
+void BM_RecorderOverhead(benchmark::State& state) {
+  // BM_EngineEndToEnd with a flight recorder and metrics registry
+  // attached — the acceptance gate for the obs layer is that this stays
+  // within a few percent of the bare run (the hot path is a handful of
+  // stores into a preallocated ring).
+  Rng rng(8);
+  const size_t repos = 30, items = 10;
+  core::InterestOptions workload;
+  workload.repository_count = repos;
+  workload.item_count = items;
+  auto interests = core::GenerateInterests(workload, rng);
+  auto delays =
+      net::OverlayDelayModel::Uniform(repos + 1, sim::Millis(20));
+  core::LelaOptions lela;
+  lela.coop_degree = 5;
+  auto built = core::BuildOverlay(delays, interests, items, lela, rng);
+  std::vector<trace::Trace> traces;
+  for (size_t i = 0; i < items; ++i) {
+    trace::SyntheticTraceOptions trace_options;
+    trace_options.tick_count = 500;
+    traces.push_back(
+        std::move(trace::GenerateSyntheticTrace(trace_options, rng))
+            .value());
+  }
+  obs::Recorder recorder(1 << 16);
+  obs::Registry registry;
+  uint64_t recorded = 0;
+  for (auto _ : state) {
+    recorder.Clear();
+    core::DistributedDisseminator policy;
+    core::EngineOptions options;
+    options.recorder = &recorder;
+    options.registry = &registry;
+    core::Engine engine(built->overlay, delays, traces, policy, options);
+    auto metrics = engine.Run();
+    benchmark::DoNotOptimize(metrics);
+    recorded = recorder.recorded();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(items * 500));
+  state.counters["recorded"] = static_cast<double>(recorded);
+}
+BENCHMARK(BM_RecorderOverhead)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace d3t

@@ -11,17 +11,32 @@
 //   * the same client workload is also served by direct adaptive-TTR
 //     polling for comparison.
 //
-//   $ ./build/examples/brokerage
+//   $ ./build/examples/brokerage [--trace-out=PATH]
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "common/cli.h"
 #include "common/table.h"
 #include "core/clients.h"
 #include "core/pull.h"
 #include "exp/multi_source.h"
 #include "exp/session.h"
+#include "obs/export.h"
+#include "obs/recorder.h"
 
-int main() {
+int main(int argc, char** argv) {
+  d3t::CommandLine cli;
+  cli.AddFlag("trace-out", "",
+              "write the merged per-exchange + pull Chrome-trace JSON here");
+  if (d3t::Status status = cli.Parse(argc, argv); !status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 cli.Help(argv[0]).c_str());
+    return 2;
+  }
+  const std::string trace_out = cli.GetString("trace-out");
+
   d3t::Rng rng(88);
   constexpr size_t kMirrors = 24;
   constexpr size_t kTickers = 10;
@@ -74,6 +89,14 @@ int main() {
   run_base.seed = 88;
   std::vector<d3t::exp::RunSpec> specs =
       d3t::exp::MultiSourceSpecs(run_base, /*source_count=*/2);
+  // RunAll executes specs concurrently, so each exchange gets its OWN
+  // recorder (the obs objects are single-threaded by contract).
+  std::vector<d3t::obs::Recorder> recorders(specs.size());
+  if (!trace_out.empty()) {
+    for (size_t s = 0; s < specs.size(); ++s) {
+      specs[s].recorder = &recorders[s];
+    }
+  }
   auto runs = session->RunAll(specs);
 
   d3t::TablePrinter table(
@@ -103,6 +126,8 @@ int main() {
   // 3. The same clients served by direct adaptive polling of exchange 0
   // (pull baseline; exchange delays approximated by the first source).
   d3t::core::PullOptions pull_options;
+  d3t::obs::Recorder pull_recorder;
+  if (!trace_out.empty()) pull_options.recorder = &pull_recorder;
   d3t::core::PullEngine pull(world.delays(0), world.interests(),
                              world.traces(), pull_options);
   auto pull_metrics = pull.Run();
@@ -110,6 +135,23 @@ int main() {
     std::fprintf(stderr, "pull: %s\n",
                  pull_metrics.status().ToString().c_str());
     return 1;
+  }
+  if (!trace_out.empty()) {
+    std::vector<d3t::obs::TraceStream> streams;
+    for (size_t s = 0; s < recorders.size(); ++s) {
+      streams.push_back({static_cast<uint32_t>(s),
+                         "exchange" + std::to_string(s),
+                         d3t::obs::CanonicalTrace(recorders[s])});
+    }
+    streams.push_back({static_cast<uint32_t>(recorders.size()), "pull",
+                       d3t::obs::CanonicalTrace(pull_recorder)});
+    if (d3t::Status written = d3t::obs::WriteFile(
+            trace_out, d3t::obs::ChromeTraceJson(streams));
+        !written.ok()) {
+      std::fprintf(stderr, "trace-out: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", trace_out.c_str());
   }
   std::printf(
       "\ncooperative push: %.3f%% loss (pair-weighted)\n"

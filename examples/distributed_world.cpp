@@ -9,7 +9,7 @@
 // bit-for-bit, the per-member loss vector by count + FNV-1a hash.
 //
 //   $ ./build/examples/distributed_world
-//   $ ./build/examples/distributed_world --chaos
+//   $ ./build/examples/distributed_world --chaos [--trace-out=PATH]
 //
 // Exit code 0 iff every node's metrics crossed two process boundaries
 // and a real TCP stream and still match the direct run byte for byte.
@@ -24,6 +24,15 @@
 // Exit 0 additionally requires that faults actually fired, that the
 // crash actually restarted, and that the metrics are STILL byte-
 // identical to the fault-free direct runs.
+//
+// Observability: every node process carries an obs::Registry and a
+// flight recorder, chunks the snapshot + retained trace into
+// kObsSnapshot frames and ships them to the collector, which
+// reassembles each node's stream byte-identically through a
+// serve::ObsAccumulator. The summary table is rendered entirely from
+// the reassembled snapshots; `--trace-out=PATH` merges the reassembled
+// recorder rings into one Chrome-trace JSON (one process track per
+// node).
 
 #include <csignal>
 #include <cstdint>
@@ -34,6 +43,7 @@
 
 #include <unistd.h>
 
+#include "common/cli.h"
 #include "common/table.h"
 #include "core/disseminator.h"
 #include "core/engine.h"
@@ -44,6 +54,9 @@
 #include "net/socket_transport.h"
 #include "net/transport.h"
 #include "net/wire.h"
+#include "obs/export.h"
+#include "obs/recorder.h"
+#include "obs/registry.h"
 #include "serve/cluster.h"
 #include "serve/node.h"
 #include "sim/time.h"
@@ -92,9 +105,18 @@ d3t::Status RunNode(d3t::serve::ProcessContext& ctx,
   auto overlay = BuildNodeOverlay(world, ctx.self);
   if (!overlay.ok()) return overlay.status();
   d3t::net::InProcTransport data(overlay->member_count(), 64);
+  // The node's own observability, shipped to the collector at the end
+  // as kObsSnapshot frames. The ring is kept small on purpose: 4096
+  // retained events chunk into a few hundred wire frames, and the
+  // recorded/dropped totals still describe the whole run.
+  d3t::obs::Registry registry;
+  d3t::obs::Recorder recorder(4096);
+  data.set_recorder(&recorder);
   d3t::serve::NodeOptions options;
   options.engine = engine_options;
   options.feed_self = ctx.self;
+  options.recorder = &recorder;
+  options.registry = &registry;
   if (chaos) {
     options.resubscribe = true;
     options.feed_publisher = kNodes;
@@ -161,12 +183,19 @@ d3t::Status RunNode(d3t::serve::ProcessContext& ctx,
   d3t::Status sent = SendToCollector(
       ctx, d3t::serve::MakeEngineReport(ctx.self, report->engine));
   if (!sent.ok()) return sent;
-  const d3t::net::TransportMetrics& m = ctx.transport.metrics();
-  return SendToCollector(
-      ctx, d3t::net::wire::Frame::MetricsReport(
-               ctx.self, m.frames_tx, m.frames_rx, m.bytes_tx, m.bytes_rx,
-               m.backpressure_stalls, m.decode_errors, m.faults_injected,
-               m.frames_dropped, m.reconnects));
+  // Fold the transports into the registry under their conventional
+  // prefixes, then chunk snapshot + retained trace onto the wire. The
+  // collector reassembles the stream byte-identically.
+  d3t::net::PublishTransportMetrics(registry, "feed",
+                                    ctx.transport.metrics());
+  d3t::net::PublishTransportMetrics(registry, "data", report->data);
+  const d3t::obs::Snapshot snapshot = registry.TakeSnapshot();
+  for (const d3t::net::wire::Frame& frame :
+       d3t::serve::MakeObsSnapshotFrames(ctx.self, snapshot, &recorder)) {
+    d3t::Status shipped = SendToCollector(ctx, frame);
+    if (!shipped.ok()) return shipped;
+  }
+  return d3t::Status::Ok();
 }
 
 // The publisher's scripted damage: two drops and a reorder against
@@ -289,7 +318,18 @@ d3t::Status RunPublisher(d3t::serve::ProcessContext& ctx,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool chaos = argc > 1 && std::string(argv[1]) == "--chaos";
+  d3t::CommandLine cli;
+  cli.AddFlag("chaos", "false",
+              "scripted faults + one supervised crash with recovery");
+  cli.AddFlag("trace-out", "",
+              "write the merged per-node Chrome-trace JSON to this path");
+  if (auto parsed = cli.Parse(argc, argv); !parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
+                 cli.Help(argv[0]).c_str());
+    return 1;
+  }
+  const bool chaos = cli.GetBool("chaos");
+  const std::string trace_out = cli.GetString("trace-out");
   // The live_node world: 12 repositories, three sources, six items
   // round-robin, one scripted mid-run outage.
   d3t::exp::NetworkConfig network;
@@ -370,8 +410,10 @@ int main(int argc, char** argv) {
     }
     return run;
   });
+  d3t::obs::Registry cluster_registry;
   d3t::serve::ClusterOptions cluster_options;
   cluster_options.timeout_ms = 120000;
+  cluster_options.registry = &cluster_registry;
   if (chaos) cluster_options.max_restarts = 2;
   auto cluster = d3t::serve::RunCluster(bodies, cluster_options);
   if (!cluster.ok()) {
@@ -385,70 +427,95 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Reassemble what the children shipped: one kEngineReport per node
+  // (the byte-identity pin), one kObsSnapshot chunk stream per node
+  // (the whole observability story), plus the publisher's chaos-mode
+  // kMetricsReport.
   std::vector<const d3t::net::wire::EngineReportPayload*> reports(kNodes,
                                                                   nullptr);
-  std::vector<const d3t::net::wire::MetricsReportPayload*> wire_stats(
-      kNodes, nullptr);
+  std::vector<d3t::serve::ObsAccumulator> obs_streams(kNodes);
   const d3t::net::wire::MetricsReportPayload* feed_stats = nullptr;
   for (size_t i = 0; i < cluster->frames.size(); ++i) {
     const d3t::net::wire::Frame& frame = cluster->frames[i];
     const d3t::net::PeerId source = cluster->frame_sources[i];
     if (frame.type == d3t::net::wire::FrameType::kEngineReport) {
       if (source < kNodes) reports[source] = &frame.u.engine_report;
-    } else if (frame.type == d3t::net::wire::FrameType::kMetricsReport) {
+    } else if (frame.type == d3t::net::wire::FrameType::kObsSnapshot) {
       if (source < kNodes) {
-        wire_stats[source] = &frame.u.metrics;
-      } else {
-        feed_stats = &frame.u.metrics;  // the publisher's chaos row
+        d3t::Status accepted =
+            obs_streams[source].Accept(frame.u.obs_snapshot);
+        if (!accepted.ok()) {
+          std::fprintf(stderr, "obs stream from node %u: %s\n", source,
+                       accepted.ToString().c_str());
+          return 1;
+        }
       }
+    } else if (frame.type == d3t::net::wire::FrameType::kMetricsReport) {
+      if (source >= kNodes) feed_stats = &frame.u.metrics;
     }
   }
 
-  d3t::TablePrinter table(
-      {"node", "msgs", "loss%", "feedKB", "stalls", "faultsInj", "decodeErr",
-       "reconn", "restarts", "identical"});
+  // The publisher reports plain transport counters; fold them into a
+  // collector-side registry so the shared table renders every row from
+  // a snapshot.
+  d3t::obs::Registry feed_registry;
+  d3t::obs::Snapshot feed_snapshot{};
+  if (feed_stats != nullptr) {
+    d3t::net::TransportMetrics m;
+    m.frames_tx = feed_stats->frames_tx;
+    m.frames_rx = feed_stats->frames_rx;
+    m.bytes_tx = feed_stats->bytes_tx;
+    m.bytes_rx = feed_stats->bytes_rx;
+    m.backpressure_stalls = feed_stats->backpressure_stalls;
+    m.decode_errors = feed_stats->decode_errors;
+    m.faults_injected = feed_stats->faults_injected;
+    m.frames_dropped = feed_stats->frames_dropped;
+    m.reconnects = feed_stats->reconnects;
+    d3t::net::PublishTransportMetrics(feed_registry, "feed", m);
+    feed_snapshot = feed_registry.TakeSnapshot();
+  }
+
   bool all_identical = true;
+  std::vector<d3t::obs::NodeSummaryRow> rows;
+  std::vector<std::string> identities(kNodes);
   for (size_t node = 0; node < kNodes; ++node) {
-    if (reports[node] == nullptr || wire_stats[node] == nullptr) {
-      std::fprintf(stderr, "node %zu reported no metrics\n", node);
+    if (reports[node] == nullptr || !obs_streams[node].complete()) {
+      std::fprintf(stderr,
+                   "node %zu reported no metrics or an incomplete obs "
+                   "stream\n",
+                   node);
       return 1;
     }
     d3t::Status match = d3t::serve::EngineReportMatches(*reports[node],
                                                         direct[node]);
     all_identical = all_identical && match.ok();
-    table.AddRow(
-        {"node" + std::to_string(node),
-         d3t::TablePrinter::Int(static_cast<int64_t>(reports[node]->messages)),
-         d3t::TablePrinter::Num(reports[node]->loss_percent, 3),
-         d3t::TablePrinter::Num(
-             static_cast<double>(wire_stats[node]->bytes_rx) / 1024.0, 1),
-         d3t::TablePrinter::Int(
-             static_cast<int64_t>(wire_stats[node]->backpressure_stalls)),
-         d3t::TablePrinter::Int(
-             static_cast<int64_t>(wire_stats[node]->faults_injected)),
-         d3t::TablePrinter::Int(
-             static_cast<int64_t>(wire_stats[node]->decode_errors)),
-         d3t::TablePrinter::Int(
-             static_cast<int64_t>(wire_stats[node]->reconnects)),
-         d3t::TablePrinter::Int(static_cast<int64_t>(cluster->restarts[node])),
-         match.ok() ? "yes" : match.ToString()});
+    identities[node] = match.ok() ? "yes" : match.ToString();
+    rows.push_back(
+        {"node" + std::to_string(node), &obs_streams[node].snapshot(),
+         {d3t::TablePrinter::Int(static_cast<int64_t>(
+              cluster->restarts[node])),
+          identities[node]}});
   }
   if (feed_stats != nullptr) {
-    table.AddRow(
-        {"feed", "-", "-",
-         d3t::TablePrinter::Num(
-             static_cast<double>(feed_stats->bytes_tx) / 1024.0, 1),
-         d3t::TablePrinter::Int(
-             static_cast<int64_t>(feed_stats->backpressure_stalls)),
-         d3t::TablePrinter::Int(
-             static_cast<int64_t>(feed_stats->faults_injected)),
-         d3t::TablePrinter::Int(
-             static_cast<int64_t>(feed_stats->decode_errors)),
-         d3t::TablePrinter::Int(
-             static_cast<int64_t>(feed_stats->reconnects)),
-         "-", "-"});
+    rows.push_back({"feed", &feed_snapshot, {"-", "-"}});
   }
-  table.Print();
+  d3t::obs::NodeSummaryTable(rows, {"restarts", "identical"}).Print();
+
+  if (!trace_out.empty()) {
+    std::vector<d3t::obs::TraceStream> streams;
+    for (size_t node = 0; node < kNodes; ++node) {
+      streams.push_back({static_cast<uint32_t>(node),
+                         "node" + std::to_string(node),
+                         d3t::obs::CanonicalTrace(obs_streams[node].trace())});
+    }
+    if (auto written =
+            d3t::obs::WriteFile(trace_out, d3t::obs::ChromeTraceJson(streams));
+        !written.ok()) {
+      std::fprintf(stderr, "trace-out: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", trace_out.c_str());
+  }
 
   // Chaos mode additionally requires the chaos to have HAPPENED: the
   // script fired, the crash restarted, and recovery still converged to
@@ -468,11 +535,14 @@ int main(int argc, char** argv) {
                    cluster->restarts[1]);
     }
   }
+  const uint64_t frames_collected = cluster_registry.counter_value(
+      cluster_registry.Counter("cluster.frames_collected"));
   std::printf(
-      "\n%zu processes over loopback TCP%s, byte-identical to direct runs: "
-      "%s\n",
+      "\n%zu processes over loopback TCP%s, %llu frames collected, "
+      "byte-identical to direct runs: %s\n",
       kNodes + 1,
       chaos ? " under scripted faults + one supervised crash" : "",
+      static_cast<unsigned long long>(frames_collected),
       all_identical ? "yes" : "NO");
   return all_identical && chaos_ok ? 0 : 1;
 }

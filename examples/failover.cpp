@@ -5,7 +5,7 @@
 // catches back up. The same World runs once statically and once under
 // the scenario, so the fidelity cost of the outage is directly visible.
 //
-//   $ ./build/examples/failover
+//   $ ./build/examples/failover [--trace-out=PATH]
 //
 // Members are overlay indices: 0 is the source, repository i is member
 // i + 1. The scenario fails a mid-tree relay for 3 of the 10 simulated
@@ -15,10 +15,23 @@
 #include <string>
 #include <vector>
 
+#include "common/cli.h"
 #include "exp/scenario.h"
 #include "exp/session.h"
+#include "obs/export.h"
+#include "obs/recorder.h"
 
-int main() {
+int main(int argc, char** argv) {
+  d3t::CommandLine cli;
+  cli.AddFlag("trace-out", "",
+              "write the merged per-repair-policy Chrome-trace JSON here");
+  if (d3t::Status status = cli.Parse(argc, argv); !status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 cli.Help(argv[0]).c_str());
+    return 2;
+  }
+  const std::string trace_out = cli.GetString("trace-out");
+
   // A modest world: 16 repositories watching 6 items for ~10 minutes.
   d3t::exp::NetworkConfig network;
   network.repositories = 16;
@@ -74,15 +87,22 @@ int main() {
   std::printf("%-22s %8.3f %8llu %8llu %10llu %12.3f\n", "static world",
               baseline->metrics.loss_percent, 0ull, 0ull, 0ull, 0.0);
 
-  for (const std::string& repair : {std::string("fallback"),
-                                    std::string("lela"),
-                                    std::string("on-recovery")}) {
+  // The fail+recover runs execute serially, so one recorder per run is
+  // straightforward; the repair records (obs::kRepair) make the
+  // re-attachment wave visible on the merged timeline.
+  std::vector<d3t::obs::TraceStream> streams;
+  const std::vector<std::string> repairs = {"fallback", "lela",
+                                            "on-recovery"};
+  std::vector<d3t::obs::Recorder> recorders(repairs.size());
+  for (size_t r = 0; r < repairs.size(); ++r) {
+    const std::string& repair = repairs[r];
     d3t::exp::RunSpec spec = base;
     spec.scenario = *scenario;
     spec.policy.repair_policy = repair;
     // Children take half a second to notice the silence before they
     // re-attach (except on-recovery, which waits the whole outage out).
     spec.policy.repair_delay_ms = 500.0;
+    if (!trace_out.empty()) spec.recorder = &recorders[r];
     auto run = session->Run(spec);
     if (!run.ok()) {
       std::fprintf(stderr, "%s: %s\n", repair.c_str(),
@@ -96,6 +116,19 @@ int main() {
                 static_cast<unsigned long long>(m.dropped_jobs),
                 static_cast<unsigned long long>(m.orphaned_ticks),
                 m.outage_loss_percent);
+    if (!trace_out.empty()) {
+      streams.push_back({static_cast<uint32_t>(r), "repair/" + repair,
+                         d3t::obs::CanonicalTrace(recorders[r])});
+    }
+  }
+  if (!trace_out.empty()) {
+    if (d3t::Status written = d3t::obs::WriteFile(
+            trace_out, d3t::obs::ChromeTraceJson(streams));
+        !written.ok()) {
+      std::fprintf(stderr, "trace-out: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", trace_out.c_str());
   }
 
   std::printf(

@@ -11,7 +11,11 @@
 // transport counters show the traffic that crossed the wire to get
 // there.
 //
-//   $ ./build/examples/live_node
+//   $ ./build/examples/live_node [--trace-out=PATH]
+//
+// `--trace-out=live_node.trace.json` additionally dumps every node's
+// flight-recorder ring as one merged Chrome-trace JSON (open in
+// chrome://tracing or Perfetto; one process track per node).
 //
 // The feed ring is deliberately tiny (512 bytes, ~16 frames), so the
 // publisher genuinely stalls on backpressure and resumes — the stalls
@@ -27,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cli.h"
 #include "common/table.h"
 #include "core/disseminator.h"
 #include "core/engine.h"
@@ -35,6 +40,9 @@
 #include "exp/session.h"
 #include "net/fault_transport.h"
 #include "net/transport.h"
+#include "obs/export.h"
+#include "obs/recorder.h"
+#include "obs/registry.h"
 #include "serve/node.h"
 #include "sim/time.h"
 
@@ -85,7 +93,17 @@ bool SameMetrics(const d3t::core::EngineMetrics& a,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  d3t::CommandLine cli;
+  cli.AddFlag("trace-out", "",
+              "write the merged per-node Chrome-trace JSON to this path");
+  if (auto parsed = cli.Parse(argc, argv); !parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
+                 cli.Help(argv[0]).c_str());
+    return 1;
+  }
+  const std::string trace_out = cli.GetString("trace-out");
+
   // A 12-repository, three-source world: each source owns a third of
   // the six items (round-robin), and each node serves one source's
   // dissemination graph.
@@ -122,9 +140,12 @@ int main() {
   d3t::core::EngineOptions engine_options;
   engine_options.repair_delay = d3t::sim::Millis(500);
 
-  d3t::TablePrinter table({"node", "msgs", "loss%", "dataTx", "dataKB",
-                           "feedFrames", "feedKB", "feedStalls", "faultsInj",
-                           "decodeErr", "reconn", "resub", "identical"});
+  // Per-node observability: each node gets its own registry/recorder
+  // pair; the summary table below is driven entirely by the snapshots,
+  // and --trace-out merges the recorder rings into one Chrome trace.
+  std::vector<d3t::obs::Snapshot> snapshots(world.source_count());
+  std::vector<std::vector<std::string>> extras(world.source_count());
+  std::vector<d3t::obs::TraceStream> streams;
   bool all_identical = true;
   for (size_t source = 0; source < world.source_count(); ++source) {
     // Reference: the same world as one library call, no wire anywhere.
@@ -165,10 +186,16 @@ int main() {
     }
     d3t::net::FaultInjectingTransport feed(stream, *script, kSeed + source);
     d3t::net::InProcTransport data(node_overlay->member_count(), 64);
+    d3t::obs::Registry registry;
+    d3t::obs::Recorder recorder;
+    feed.set_recorder(&recorder);
+    data.set_recorder(&recorder);
     d3t::serve::NodeOptions options;
     options.engine = engine_options;
     options.resubscribe = true;
     options.feed_publisher = 1;
+    options.recorder = &recorder;
+    options.registry = &registry;
     d3t::serve::Node node(*node_overlay, world.delays(source), feed, data,
                           options);
     d3t::serve::FeedPublisher publisher(
@@ -185,36 +212,43 @@ int main() {
       return 1;
     }
 
+    // Transport counters join the registry under their conventional
+    // prefixes, then the node's whole story is one snapshot.
+    d3t::net::PublishTransportMetrics(registry, "feed", feed.metrics());
+    d3t::net::PublishTransportMetrics(registry, "data", report->data);
+    snapshots[source] = registry.TakeSnapshot();
+
     const bool identical = SameMetrics(*direct_metrics, report->engine);
     all_identical = all_identical && identical;
-    table.AddRow({"node" + std::to_string(source),
-                  d3t::TablePrinter::Int(
-                      static_cast<int64_t>(report->engine.messages)),
-                  d3t::TablePrinter::Num(report->engine.loss_percent, 3),
-                  d3t::TablePrinter::Int(
-                      static_cast<int64_t>(report->data.frames_tx)),
-                  d3t::TablePrinter::Num(
-                      static_cast<double>(report->data.bytes_tx) / 1024.0,
-                      1),
-                  d3t::TablePrinter::Int(
-                      static_cast<int64_t>(report->feed_frames)),
-                  d3t::TablePrinter::Num(
-                      static_cast<double>(feed.metrics().bytes_rx) / 1024.0,
-                      1),
-                  d3t::TablePrinter::Int(static_cast<int64_t>(
-                      feed.metrics().backpressure_stalls)),
-                  d3t::TablePrinter::Int(static_cast<int64_t>(
-                      feed.metrics().faults_injected)),
-                  d3t::TablePrinter::Int(static_cast<int64_t>(
-                      feed.metrics().decode_errors +
-                      report->data.decode_errors)),
-                  d3t::TablePrinter::Int(static_cast<int64_t>(
-                      feed.metrics().reconnects)),
-                  d3t::TablePrinter::Int(
-                      static_cast<int64_t>(report->resubscribes)),
-                  identical ? "yes" : "NO"});
+    extras[source] = {
+        d3t::TablePrinter::Int(static_cast<int64_t>(report->data.frames_tx)),
+        d3t::TablePrinter::Num(
+            static_cast<double>(report->data.bytes_tx) / 1024.0, 1),
+        d3t::TablePrinter::Int(static_cast<int64_t>(report->feed_frames)),
+        d3t::TablePrinter::Int(static_cast<int64_t>(report->resubscribes)),
+        identical ? "yes" : "NO"};
+    streams.push_back({static_cast<uint32_t>(source),
+                       "node" + std::to_string(source),
+                       d3t::obs::CanonicalTrace(recorder)});
   }
-  table.Print();
+
+  std::vector<d3t::obs::NodeSummaryRow> rows;
+  for (size_t source = 0; source < world.source_count(); ++source) {
+    rows.push_back({"node" + std::to_string(source), &snapshots[source],
+                    extras[source]});
+  }
+  d3t::obs::NodeSummaryTable(
+      rows, {"dataTx", "dataKB", "feedFrames", "resub", "identical"})
+      .Print();
+  if (!trace_out.empty()) {
+    if (auto written =
+            d3t::obs::WriteFile(trace_out, d3t::obs::ChromeTraceJson(streams));
+        !written.ok()) {
+      std::fprintf(stderr, "trace-out: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", trace_out.c_str());
+  }
   std::printf("\nwire-routed nodes byte-identical to direct runs: %s\n",
               all_identical ? "yes" : "NO");
   return all_identical ? 0 : 1;

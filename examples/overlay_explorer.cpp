@@ -3,16 +3,20 @@
 // an ASCII rendering of one item's dissemination tree (the d3t).
 //
 //   $ ./build/examples/overlay_explorer [--repositories N] [--degree D]
+//                                       [--trace-out=PATH]
 
 #include <cstdio>
 #include <functional>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "common/cli.h"
 #include "core/lela.h"
 #include "core/overlay_dot.h"
 #include "exp/session.h"
+#include "obs/export.h"
+#include "obs/recorder.h"
 
 namespace {
 
@@ -46,6 +50,9 @@ int main(int argc, char** argv) {
   cli.AddFlag("degree", "3", "degree of cooperation");
   cli.AddFlag("seed", "11", "rng seed");
   cli.AddFlag("dot", "false", "also emit Graphviz for the d3g and item 0");
+  cli.AddFlag("trace-out", "",
+              "simulate a short run on the explored overlay and write its "
+              "Chrome-trace JSON to this path");
   if (d3t::Status status = cli.Parse(argc, argv); !status.ok()) {
     std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
                  cli.Help(argv[0]).c_str());
@@ -63,9 +70,13 @@ int main(int argc, char** argv) {
   d3t::exp::NetworkConfig network;
   network.routers = repos * 4;
   network.repositories = repos;
+  const std::string trace_out = cli.GetString("trace-out");
   d3t::exp::WorkloadConfig workload;
   workload.items = items;
-  workload.ticks = 2;  // traces are irrelevant here; keep them minimal
+  // Traces are irrelevant to the structures; keep them minimal — unless
+  // a flight-recorder dump was asked for, which needs a run worth
+  // watching.
+  workload.ticks = trace_out.empty() ? 2 : 200;
   auto session = d3t::exp::SessionBuilder()
                      .SetNetwork(network)
                      .SetWorkload(workload)
@@ -127,6 +138,28 @@ int main(int argc, char** argv) {
                 d3t::core::ConnectionsToDot(overlay).c_str());
     std::printf("\n%% item 0 dissemination tree:\n%s",
                 d3t::core::ItemTreeToDot(overlay, 0).c_str());
+  }
+
+  if (!trace_out.empty()) {
+    // Watch the explored structure in motion: one short session run
+    // with a flight recorder attached, dumped as Chrome-trace JSON.
+    d3t::obs::Recorder recorder;
+    d3t::exp::RunSpec spec;
+    spec.overlay.coop_degree = degree;
+    spec.seed = seed;
+    spec.recorder = &recorder;
+    if (auto run = session->Run(spec); !run.ok()) {
+      std::fprintf(stderr, "trace run: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    if (d3t::Status written = d3t::obs::WriteChromeTrace(
+            recorder, trace_out, 0, "overlay_explorer");
+        !written.ok()) {
+      std::fprintf(stderr, "trace-out: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", trace_out.c_str());
   }
   return 0;
 }

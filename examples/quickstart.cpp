@@ -2,7 +2,7 @@
 // repositories, disseminate a synthetic stock trace through it with the
 // distributed (Eq. 3 + Eq. 7) algorithm, and report fidelity.
 //
-//   $ ./build/examples/quickstart
+//   $ ./build/examples/quickstart [--trace-out=PATH]
 //
 // Walkthrough:
 //   1. generate a physical topology (routers + repositories + source);
@@ -15,14 +15,27 @@
 
 #include <cstdio>
 
+#include "common/cli.h"
 #include "core/engine.h"
 #include "core/lela.h"
 #include "exp/session.h"
 #include "net/routing.h"
 #include "net/topology_generator.h"
+#include "obs/export.h"
+#include "obs/recorder.h"
 #include "trace/synthetic.h"
 
-int main() {
+int main(int argc, char** argv) {
+  d3t::CommandLine cli;
+  cli.AddFlag("trace-out", "",
+              "write the run's Chrome-trace JSON to this path");
+  if (d3t::Status status = cli.Parse(argc, argv); !status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 cli.Help(argv[0]).c_str());
+    return 2;
+  }
+  const std::string trace_out = cli.GetString("trace-out");
+
   d3t::Rng rng(2002);  // VLDB 2002
 
   // 1. Physical network: 1 source + 8 repositories + 40 routers.
@@ -92,6 +105,10 @@ int main() {
 
   d3t::core::DistributedDisseminator policy;
   d3t::core::EngineOptions engine_options;  // 12.5 ms per dependent
+  // An optional flight recorder: every tick, delivery and processed job
+  // lands in the ring, stamped with logical sim time.
+  d3t::obs::Recorder recorder;
+  if (!trace_out.empty()) engine_options.recorder = &recorder;
   d3t::core::Engine engine(built->overlay, *delays, traces, policy,
                            engine_options);
   auto metrics = engine.Run();
@@ -99,6 +116,15 @@ int main() {
     std::fprintf(stderr, "engine: %s\n",
                  metrics.status().ToString().c_str());
     return 1;
+  }
+  if (!trace_out.empty()) {
+    if (d3t::Status written =
+            d3t::obs::WriteChromeTrace(recorder, trace_out, 0, "quickstart");
+        !written.ok()) {
+      std::fprintf(stderr, "trace-out: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", trace_out.c_str());
   }
 
   std::printf("simulated %.0f seconds of market data\n",

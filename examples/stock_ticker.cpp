@@ -8,19 +8,24 @@
 //   * "chain"      — maximal altruism, degree 1;
 //   * "controlled" — the degree picked by Eq. (2).
 //
-//   $ ./build/examples/stock_ticker [--full]
+//   $ ./build/examples/stock_ticker [--full] [--trace-out=PATH]
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/cli.h"
 #include "common/table.h"
 #include "exp/session.h"
+#include "obs/export.h"
+#include "obs/recorder.h"
 
 int main(int argc, char** argv) {
   d3t::CommandLine cli;
   cli.AddFlag("full", "false", "paper-scale run (slow)");
   cli.AddFlag("seed", "7", "rng seed");
+  cli.AddFlag("trace-out", "",
+              "write the merged per-deployment Chrome-trace JSON here");
   if (d3t::Status status = cli.Parse(argc, argv); !status.ok()) {
     std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
                  cli.Help(argv[0]).c_str());
@@ -75,13 +80,19 @@ int main(int argc, char** argv) {
   };
 
   // One sweep call: three deployment shapes against the one World.
+  // RunSweep builds specs serially before fanning out, so the counter
+  // hands each (possibly concurrent) run its own recorder.
+  const std::string trace_out = cli.GetString("trace-out");
+  std::vector<d3t::obs::Recorder> recorders(shapes.size());
+  size_t next_recorder = 0;
   d3t::exp::RunSpec base;
   base.seed = seed;
   auto results = session->RunSweep(
-      base, shapes, [](d3t::exp::RunSpec& spec, const Shape& shape) {
+      base, shapes, [&](d3t::exp::RunSpec& spec, const Shape& shape) {
         spec.overlay.coop_degree = shape.degree;
         spec.overlay.controlled_cooperation = shape.controlled;
         spec.label = shape.name;
+        if (!trace_out.empty()) spec.recorder = &recorders[next_recorder++];
       });
 
   d3t::TablePrinter table({"Deployment", "Degree", "Diameter", "Loss%",
@@ -106,6 +117,20 @@ int main(int argc, char** argv) {
          d3t::TablePrinter::Int(result.metrics.source_messages)});
   }
   table.Print();
+  if (!trace_out.empty()) {
+    std::vector<d3t::obs::TraceStream> streams;
+    for (size_t i = 0; i < shapes.size(); ++i) {
+      streams.push_back({static_cast<uint32_t>(i), shapes[i].name,
+                         d3t::obs::CanonicalTrace(recorders[i])});
+    }
+    if (d3t::Status written = d3t::obs::WriteFile(
+            trace_out, d3t::obs::ChromeTraceJson(streams));
+        !written.ok()) {
+      std::fprintf(stderr, "trace-out: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", trace_out.c_str());
+  }
   if (direct_loss > 0) {
     std::printf(
         "\ncontrolled cooperation cuts the loss of fidelity %.1fx vs "

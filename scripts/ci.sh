@@ -35,6 +35,11 @@
 # byte) plus one supervised SIGKILL/restart of a node. Exit 0 requires
 # the faults to have fired, the crash to have been restarted, AND the
 # metrics to still match the fault-free direct runs byte for byte.
+#
+# Both smokes pass --trace-out so the merged flight-recorder dump
+# (obs/ trace events shipped back over kObsSnapshot frames) lands in
+# trace-results/ for CI to upload — every smoke run leaves an
+# inspectable Chrome-trace artifact.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -100,12 +105,16 @@ if [[ -n "${D3T_DISTRIBUTED_SMOKE:-}" || -n "${D3T_CHAOS_SMOKE:-}" ]]; then
     -DD3T_BUILD_BENCH=OFF \
     -DD3T_BUILD_EXAMPLES=ON
   cmake --build "$BUILD_DIR" -j
+  TRACE_DIR=trace-results
+  mkdir -p "$TRACE_DIR"
   if [[ -n "${D3T_CHAOS_SMOKE:-}" ]]; then
     echo "== chaos smoke: examples/distributed_world --chaos =="
-    "$BUILD_DIR/examples/distributed_world" --chaos
+    "$BUILD_DIR/examples/distributed_world" --chaos \
+      --trace-out "$TRACE_DIR/TRACE_chaos_smoke.json"
   else
     echo "== distributed smoke: examples/distributed_world =="
-    "$BUILD_DIR/examples/distributed_world"
+    "$BUILD_DIR/examples/distributed_world" \
+      --trace-out "$TRACE_DIR/TRACE_distributed_smoke.json"
   fi
   exit 0
 fi

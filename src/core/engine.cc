@@ -116,6 +116,12 @@ Result<EngineMetrics> Engine::Run() {
   metrics_.horizon = horizon;
   simulator_ = sim::Simulator{};
   simulator_.set_handler(this);
+  // Observability is attach-only: the recorder stamps logical points at
+  // sim time and the registry receives final metrics after aggregation,
+  // so neither can perturb EngineMetrics or the event order.
+  span_jobs_hist_ = options_.registry != nullptr
+                        ? options_.registry->Histogram("engine.span_jobs")
+                        : obs::kInvalidMetricId;
 
   // Fidelity trackers for every (repository, own-interest item) pair,
   // indexed by the overlay-assigned dense TrackerId. Each is bound to
@@ -224,11 +230,31 @@ Result<EngineMetrics> Engine::Run() {
       total_pairs == 0
           ? 0.0
           : pair_loss_sum / static_cast<double>(total_pairs);
+  if (options_.registry != nullptr) {
+    obs::Registry& reg = *options_.registry;
+    reg.Add(reg.Counter("engine.messages"), metrics_.messages);
+    reg.Add(reg.Counter("engine.checks"), metrics_.checks);
+    reg.Add(reg.Counter("engine.source_updates"), metrics_.source_updates);
+    reg.Add(reg.Counter("engine.events"), metrics_.events);
+    reg.Add(reg.Counter("engine.scenario_ops"), metrics_.scenario_ops);
+    reg.Add(reg.Counter("engine.repairs"), metrics_.repairs);
+    reg.Add(reg.Counter("engine.dropped_jobs"), metrics_.dropped_jobs);
+    reg.Add(reg.Counter("engine.delivery_batches"),
+            metrics_.delivery_batches);
+    reg.Add(reg.Counter("engine.process_wakeups"),
+            metrics_.process_wakeups);
+    reg.Set(reg.Gauge("engine.loss_percent"), metrics_.loss_percent);
+    reg.Set(reg.Gauge("engine.pair_loss_percent"),
+            metrics_.pair_loss_percent);
+  }
   return metrics_;
 }
 
 // d3t-lint: hot
 void Engine::HandleEvent(sim::SimTime t, const sim::Event& event) {
+  // The recorder's clock is the simulation clock: everything recorded
+  // while this event runs stamps at its logical time, never wall time.
+  if (options_.recorder != nullptr) options_.recorder->set_now(t);
   // metrics_.events counts *logical* events: one per source tick, per
   // delivered message and per processing step, regardless of how the
   // physical events batch (the FinalizeHook is bookkeeping, not load).
@@ -323,6 +349,10 @@ void Engine::HandleSourceTick(sim::SimTime t, ItemId item,
   if (tick.value != source_values_[item]) {
     source_values_[item] = tick.value;
     ++metrics_.source_updates;
+    if (options_.recorder != nullptr) {
+      options_.recorder->RecordAt(t, obs::TraceEventKind::kSourceTick, item,
+                                  obs::DoubleBits(tick.value));
+    }
     Deliver(t, kSourceOverlayIndex, Job{item, tick.value, 0.0});
   }
 
@@ -333,6 +363,13 @@ void Engine::HandleSourceTick(sim::SimTime t, ItemId item,
 }
 
 void Engine::Deliver(sim::SimTime t, OverlayIndex node, const Job& job) {
+  // One record per logical delivery, stamped at its arrival time — the
+  // same set of (t, node, job) triples whether or not deliveries were
+  // coalesced into batches on the way here.
+  if (options_.recorder != nullptr) {
+    options_.recorder->RecordAt(t, obs::TraceEventKind::kDelivery, node,
+                                job.item, obs::DoubleBits(job.value));
+  }
   NodeState& state = nodes_[node];
   state.queue.push_back(job);
   if (!state.processing_scheduled) {
@@ -367,11 +404,16 @@ void Engine::ProcessWakeup(sim::SimTime t, OverlayIndex node) {
                                    : scenario_pending_times_.top();
   size_t span = options_.drain_process_spans ? state.pending() : 1;
   sim::SimTime busy = t;
+  uint64_t drained = 0;
   while (span-- > 0) {
     const Job job = state.queue[state.next++];
     ++metrics_.events;
+    ++drained;
     busy = ProcessOneJob(busy, node, job);
     if (busy >= barrier) break;  // next job starts after the world mutates
+  }
+  if (span_jobs_hist_ != obs::kInvalidMetricId) {
+    options_.registry->Observe(span_jobs_hist_, drained);
   }
   if (state.next == state.queue.size()) {
     state.queue.clear();
@@ -395,6 +437,12 @@ void Engine::ProcessWakeup(sim::SimTime t, OverlayIndex node) {
 
 sim::SimTime Engine::ProcessOneJob(sim::SimTime start, OverlayIndex node,
                                    const Job& job) {
+  // Stamped at the job's own start, not the wakeup's fire time, so the
+  // record is identical whether the span was drained or stepped per-job.
+  if (options_.recorder != nullptr) {
+    options_.recorder->RecordAt(start, obs::TraceEventKind::kJobProcessed,
+                                node, job.item, obs::DoubleBits(job.value));
+  }
   // Apply the value locally (refreshes this repository's copy).
   if (node != kSourceOverlayIndex) {
     const TrackerId tid = overlay_.tracker_id(node, job.item);
@@ -434,6 +482,12 @@ sim::SimTime Engine::ProcessOneJob(sim::SimTime start, OverlayIndex node,
           ScheduleDelivery(arrival, edge.child,
                            Job{job.item, job.value, decision.tag});
         } else {
+          // Frame records made inside the transport stamp at the send's
+          // logical busy time — a per-job point identical across the
+          // drain/per-job processing modes.
+          if (options_.recorder != nullptr) {
+            options_.recorder->set_now(busy);
+          }
           SendFramedUpdate(node, edge.child, arrival,
                            Job{job.item, job.value, decision.tag});
         }
@@ -541,6 +595,11 @@ void Engine::HandleScenario(sim::SimTime t, uint32_t op_index,
     return;
   }
   ++metrics_.scenario_ops;
+  if (options_.recorder != nullptr) {
+    options_.recorder->RecordAt(t, obs::TraceEventKind::kScenarioOp,
+                                op.member, static_cast<uint64_t>(op.kind),
+                                op.item);
+  }
   switch (op.kind) {
     case ScenarioOpKind::kRepoFail:
       ApplyFail(t, op_index, op.member);
@@ -727,6 +786,11 @@ bool Engine::TryAttachNeed(OverlayIndex m, const MemberNeed& need) {
                                  overlay_.Serving(m, need.item).c_serve,
                                  source_values_[need.item]);
   ++metrics_.repairs;
+  // Stamps at the scenario event being handled (the recorder clock was
+  // set on entry to HandleEvent).
+  if (options_.recorder != nullptr) {
+    options_.recorder->Record(obs::TraceEventKind::kRepair, m, need.item);
+  }
   return true;
 }
 
@@ -780,7 +844,7 @@ void Engine::AttachRepairedEdge(OverlayIndex parent, OverlayIndex child,
 std::vector<OrphanEdge> Engine::RepairOrphans(
     sim::SimTime t, const std::vector<OrphanEdge>& orphans,
     OverlayIndex preferred) {
-  (void)t;
+  (void)t;  // repairs are instantaneous; `t` only stamps trace records
   // The recovered member may have relayed items it never needed itself
   // (LeLA's cascading augmentation); those holdings are not captured as
   // needs, so restore them here — at the tightest tolerance its waiting
@@ -803,6 +867,10 @@ std::vector<OrphanEdge> Engine::RepairOrphans(
       if (grand == kInvalidOverlayIndex) continue;
       AttachRepairedEdge(grand, preferred, item, c);
       ++metrics_.repairs;
+      if (options_.recorder != nullptr) {
+        options_.recorder->RecordAt(t, obs::TraceEventKind::kRepair,
+                                    preferred, item);
+      }
     }
   }
   std::vector<OrphanEdge> unplaced;
@@ -833,6 +901,10 @@ std::vector<OrphanEdge> Engine::RepairOrphans(
     }
     AttachRepairedEdge(parent, orphan.child, orphan.item, c);
     ++metrics_.repairs;
+    if (options_.recorder != nullptr) {
+      options_.recorder->RecordAt(t, obs::TraceEventKind::kRepair,
+                                  orphan.child, orphan.item);
+    }
     --orphaned_pairs_;
   }
   return unplaced;

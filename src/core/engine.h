@@ -14,6 +14,8 @@
 #include "core/scenario.h"
 #include "net/delay_model.h"
 #include "net/transport.h"
+#include "obs/recorder.h"
+#include "obs/registry.h"
 #include "sim/simulator.h"
 #include "trace/trace.h"
 
@@ -67,6 +69,20 @@ struct EngineOptions {
   /// keeps the historical direct path. The transport must outlive the
   /// engine.
   net::Transport* wire_transport = nullptr;
+  /// When non-null, the run's logical points — source ticks, deliveries,
+  /// job processing, scenario ops, repairs — are recorded into this
+  /// flight recorder, stamped with logical sim time. Recording never
+  /// touches EngineMetrics (recorder-on runs are byte-identical to
+  /// recorder-off, pinned by DeterminismTest). The engine also drives
+  /// the recorder's logical clock, so an attached wire transport's
+  /// frame tx/rx records carry logical stamps too. Must outlive the
+  /// engine; null (the default) records nothing.
+  obs::Recorder* recorder = nullptr;
+  /// When non-null, Run() publishes its final EngineMetrics into this
+  /// registry as "engine.*" counters/gauges (cold, once per run) and
+  /// feeds the "engine.span_jobs" histogram per process wakeup. Must
+  /// outlive the engine.
+  obs::Registry* registry = nullptr;
 };
 
 /// Results of one simulation run.
@@ -374,6 +390,9 @@ class Engine final : public sim::EventHandler {
   /// Run() surfaces it after the event loop. Always Ok without a
   /// transport.
   Status wire_status_;
+  /// "engine.span_jobs" histogram slot, registered by Run() when a
+  /// registry is attached (kInvalidMetricId otherwise).
+  obs::MetricId span_jobs_hist_ = obs::kInvalidMetricId;
 };
 
 }  // namespace d3t::core

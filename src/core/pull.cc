@@ -148,11 +148,25 @@ Result<PullMetrics> PullEngine::Run() {
       horizon > 0 ? static_cast<double>(source_busy_total_) /
                         static_cast<double>(horizon)
                   : 0.0;
+  if (options_.registry != nullptr) {
+    obs::Registry& reg = *options_.registry;
+    reg.Add(reg.Counter("pull.polls"), metrics_.polls);
+    reg.Add(reg.Counter("pull.changed_polls"), metrics_.changed_polls);
+    reg.Add(reg.Counter("pull.suppressed_polls"),
+            metrics_.suppressed_polls);
+    reg.Add(reg.Counter("pull.scenario_ops"), metrics_.scenario_ops);
+    reg.Add(reg.Counter("pull.wire_messages"), metrics_.wire_messages);
+    reg.Set(reg.Gauge("pull.loss_percent"), metrics_.loss_percent);
+    reg.Set(reg.Gauge("pull.source_utilization"),
+            metrics_.source_utilization);
+  }
   return metrics_;
 }
 
 // d3t-lint: hot
 void PullEngine::HandleEvent(sim::SimTime t, const sim::Event& event) {
+  // Trace records stamp at the event's logical time, never wall time.
+  if (options_.recorder != nullptr) options_.recorder->set_now(t);
   if (event.kind == sim::EventKind::kFinalizeHook) {
     // Close the outage windows of members still down at the horizon.
     for (OverlayIndex m = 0; m < failed_.size(); ++m) {
@@ -290,6 +304,14 @@ void PullEngine::HandleServiced(sim::SimTime t, size_t state_index) {
 void PullEngine::HandleResponse(sim::SimTime t, size_t state_index) {
   PollState& state = states_[state_index];
   const double value = state.inflight_value;
+  // One record per completed round trip, at the response arrival (the
+  // request/service phases are implementation detail of the same poll).
+  if (options_.recorder != nullptr) {
+    options_.recorder->RecordAt(t, obs::TraceEventKind::kPullPoll,
+                                state.member, state.item,
+                                obs::DoubleBits(value),
+                                static_cast<uint16_t>(kPollResponse));
+  }
   trackers_[state.tracker].OnRepositoryValue(t, value);
   AdaptTtr(state, t, value);
   SchedulePoll(state, t + state.ttr);
@@ -364,6 +386,10 @@ void PullEngine::HandleScenario(sim::SimTime t, uint32_t op_index) {
   const ScenarioOp& op = scenario_->op(op_index);
   const OverlayIndex m = op.member;
   ++metrics_.scenario_ops;
+  if (options_.recorder != nullptr) {
+    options_.recorder->RecordAt(t, obs::TraceEventKind::kScenarioOp, m,
+                                static_cast<uint64_t>(op.kind), op.item);
+  }
   switch (op.kind) {
     case ScenarioOpKind::kRepoFail: {
       if (failed_[m]) {

@@ -10,6 +10,8 @@
 #include "core/scenario.h"
 #include "net/delay_model.h"
 #include "net/transport.h"
+#include "obs/recorder.h"
+#include "obs/registry.h"
 #include "sim/simulator.h"
 #include "trace/trace.h"
 
@@ -53,6 +55,13 @@ struct PullOptions {
   /// DeterminismTest). The source-internal service phase never crosses
   /// the wire. The transport must outlive the engine.
   net::Transport* wire_transport = nullptr;
+  /// Optional flight recorder: completed poll round trips and scenario
+  /// ops are recorded at their logical sim times. Attach-only — never
+  /// touches PullMetrics or event order. Must outlive the engine.
+  obs::Recorder* recorder = nullptr;
+  /// Optional metrics registry: Run() publishes final PullMetrics under
+  /// "pull.*" names after aggregation. Must outlive the engine.
+  obs::Registry* registry = nullptr;
 };
 
 /// Results of a pull simulation. Poll traffic counts two messages per

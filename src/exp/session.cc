@@ -291,6 +291,8 @@ Result<ExperimentResult> SimulationSession::Run(const RunSpec& spec) const {
   engine_options.repair_policy =
       *core::ParseRepairPolicy(spec.policy.repair_policy);
   engine_options.repair_delay = sim::Millis(spec.policy.repair_delay_ms);
+  engine_options.recorder = spec.recorder;
+  engine_options.registry = spec.registry;
   const core::ChangeTimelines* timelines =
       spec.policy.use_cached_timelines ? &world.change_timelines() : nullptr;
   const core::Scenario* scenario =

@@ -16,6 +16,8 @@
 #include "exp/config.h"
 #include "net/delay_model.h"
 #include "net/transport.h"
+#include "obs/recorder.h"
+#include "obs/registry.h"
 #include "trace/trace.h"
 
 namespace d3t::exp {
@@ -61,6 +63,13 @@ struct RunSpec {
   size_t source_index = 0;
   /// Free-form tag echoed back by reports; unused by the runner.
   std::string label;
+  /// Optional observability taps, forwarded into EngineOptions (both
+  /// may be null; must outlive the run). NOTE: a RunSpec carrying these
+  /// is bound to one run — RunAll executes specs concurrently, and the
+  /// obs objects are single-threaded, so sweep specs must either leave
+  /// them null or give every spec its own recorder/registry pair.
+  obs::Recorder* recorder = nullptr;
+  obs::Registry* registry = nullptr;
 };
 
 /// Immutable, sweep-invariant substrate: the routed topology's delay

@@ -150,6 +150,10 @@ Status FaultInjectingTransport::Send(PeerId from, PeerId to,
   const FaultOp op = script_.op(next_op_++);
   ++extra_totals_.faults_injected;
   ++extra_[from].faults_injected;
+  if (recorder_ != nullptr) {
+    recorder_->Record(obs::TraceEventKind::kFaultInjected, from, op.kind,
+                      to);
+  }
 
   switch (static_cast<FaultKind>(op.kind)) {
     case FaultKind::kDropFrame: {

@@ -520,6 +520,10 @@ Status SocketTransport::Send(PeerId from, PeerId to,
   per_peer_[to].bytes_tx += encoded;
   ++totals_.frames_tx;
   totals_.bytes_tx += encoded;
+  if (recorder_ != nullptr) {
+    recorder_->Record(obs::TraceEventKind::kFrameTx, from,
+                      static_cast<uint64_t>(frame.type), to);
+  }
   return FlushOut(to);
 }
 
@@ -557,12 +561,19 @@ bool SocketTransport::Poll(PeerId self, wire::Frame* out, PeerId* from) {
       if (outcome == FrameReassembler::Outcome::kResync) {
         ++per_peer_[peer].decode_errors;
         ++totals_.decode_errors;
+        if (recorder_ != nullptr) {
+          recorder_->Record(obs::TraceEventKind::kDecodeError, self);
+        }
         continue;
       }
       ++per_peer_[peer].frames_rx;
       per_peer_[peer].bytes_rx += frame_size;
       ++totals_.frames_rx;
       totals_.bytes_rx += frame_size;
+      if (recorder_ != nullptr) {
+        recorder_->Record(obs::TraceEventKind::kFrameRx, self,
+                          static_cast<uint64_t>(out->type), peer);
+      }
       if (from != nullptr) *from = peer;
       return true;
     }

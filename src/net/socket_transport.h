@@ -161,6 +161,9 @@ class SocketTransport final : public Transport {
   const TransportMetrics& peer_metrics(PeerId peer) const override {
     return per_peer_[peer];
   }
+  void set_recorder(obs::Recorder* recorder) override {
+    recorder_ = recorder;
+  }
 
  private:
   struct OutChannel {
@@ -209,6 +212,7 @@ class SocketTransport final : public Transport {
   Status channel_status_;
   std::vector<TransportMetrics> per_peer_;
   TransportMetrics totals_;
+  obs::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace d3t::net

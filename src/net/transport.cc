@@ -2,8 +2,27 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
 
 namespace d3t::net {
+
+void PublishTransportMetrics(obs::Registry& registry, const char* prefix,
+                             const TransportMetrics& metrics) {
+  const std::string base = std::string(prefix) + ".";
+  registry.Add(registry.Counter(base + "frames_tx"), metrics.frames_tx);
+  registry.Add(registry.Counter(base + "frames_rx"), metrics.frames_rx);
+  registry.Add(registry.Counter(base + "bytes_tx"), metrics.bytes_tx);
+  registry.Add(registry.Counter(base + "bytes_rx"), metrics.bytes_rx);
+  registry.Add(registry.Counter(base + "backpressure_stalls"),
+               metrics.backpressure_stalls);
+  registry.Add(registry.Counter(base + "decode_errors"),
+               metrics.decode_errors);
+  registry.Add(registry.Counter(base + "faults_injected"),
+               metrics.faults_injected);
+  registry.Add(registry.Counter(base + "frames_dropped"),
+               metrics.frames_dropped);
+  registry.Add(registry.Counter(base + "reconnects"), metrics.reconnects);
+}
 
 // ---------------------------------------------------------------------------
 // InProcTransport
@@ -38,6 +57,10 @@ Status InProcTransport::Send(PeerId from, PeerId to,
   per_peer_[from].bytes_tx += encoded;
   ++totals_.frames_tx;
   totals_.bytes_tx += encoded;
+  if (recorder_ != nullptr) {
+    recorder_->Record(obs::TraceEventKind::kFrameTx, from,
+                      static_cast<uint64_t>(frame.type), to);
+  }
   return Status::Ok();
 }
 
@@ -55,12 +78,20 @@ bool InProcTransport::Poll(PeerId self, wire::Frame* out, PeerId* from) {
       // bytes were corrupted in place; count and keep draining.
       ++per_peer_[self].decode_errors;
       ++totals_.decode_errors;
+      if (recorder_ != nullptr) {
+        recorder_->Record(obs::TraceEventKind::kDecodeError, self, 0, 0,
+                          static_cast<uint16_t>(decoded.status().code()));
+      }
       continue;
     }
     ++per_peer_[self].frames_rx;
     per_peer_[self].bytes_rx += slot.size;
     ++totals_.frames_rx;
     totals_.bytes_rx += slot.size;
+    if (recorder_ != nullptr) {
+      recorder_->Record(obs::TraceEventKind::kFrameRx, self,
+                        static_cast<uint64_t>(decoded->type), slot.from);
+    }
     *out = *decoded;
     if (from != nullptr) *from = slot.from;
     return true;
@@ -139,6 +170,10 @@ Status StreamTransport::Send(PeerId from, PeerId to,
   per_peer_[from].bytes_tx += encoded;
   ++totals_.frames_tx;
   totals_.bytes_tx += encoded;
+  if (recorder_ != nullptr) {
+    recorder_->Record(obs::TraceEventKind::kFrameTx, from,
+                      static_cast<uint64_t>(frame.type), to);
+  }
   return Status::Ok();
 }
 
@@ -166,12 +201,19 @@ bool StreamTransport::Poll(PeerId self, wire::Frame* out, PeerId* from) {
       if (outcome == FrameReassembler::Outcome::kResync) {
         ++per_peer_[self].decode_errors;
         ++totals_.decode_errors;
+        if (recorder_ != nullptr) {
+          recorder_->Record(obs::TraceEventKind::kDecodeError, self);
+        }
         continue;
       }
       ++per_peer_[self].frames_rx;
       per_peer_[self].bytes_rx += frame_size;
       ++totals_.frames_rx;
       totals_.bytes_rx += frame_size;
+      if (recorder_ != nullptr) {
+        recorder_->Record(obs::TraceEventKind::kFrameRx, self,
+                          static_cast<uint64_t>(out->type), ch.from);
+      }
       if (from != nullptr) *from = ch.from;
       return true;
     }

@@ -8,6 +8,8 @@
 #include "common/status.h"
 #include "net/frame_reassembler.h"
 #include "net/wire.h"
+#include "obs/recorder.h"
+#include "obs/registry.h"
 
 namespace d3t::net {
 
@@ -74,7 +76,21 @@ class Transport {
   /// Counters attributed to one peer (tx/stalls as sender, rx/decode
   /// errors as receiver).
   virtual const TransportMetrics& peer_metrics(PeerId peer) const = 0;
+
+  /// Attaches a flight recorder: frame tx/rx and decode errors are
+  /// recorded at the recorder's current *logical* clock (the driving
+  /// engine owns set_now(); the transport never consults a wall clock).
+  /// Null detaches. The default implementation ignores the recorder —
+  /// recording stays opt-in per transport.
+  virtual void set_recorder(obs::Recorder* recorder) { (void)recorder; }
 };
+
+/// Publishes a TransportMetrics struct into the registry as counters
+/// named "<prefix>.frames_tx", "<prefix>.bytes_rx", ... — the one
+/// metrics bridge every transport (and wrapper) shares, replacing the
+/// hand-rolled per-field report paths. Cold: call once per run end.
+void PublishTransportMetrics(obs::Registry& registry, const char* prefix,
+                             const TransportMetrics& metrics);
 
 /// Deterministic in-process bus: one fixed-capacity ring of encoded
 /// frame slots per destination. Every frame genuinely round-trips the
@@ -96,6 +112,9 @@ class InProcTransport : public Transport {
   const TransportMetrics& peer_metrics(PeerId peer) const override {
     return per_peer_[peer];
   }
+  void set_recorder(obs::Recorder* recorder) override {
+    recorder_ = recorder;
+  }
 
  private:
   struct Slot {
@@ -115,6 +134,7 @@ class InProcTransport : public Transport {
   std::vector<Ring> rings_;
   std::vector<TransportMetrics> per_peer_;
   TransportMetrics totals_;
+  obs::Recorder* recorder_ = nullptr;
 };
 
 /// Loopback byte-stream transport: frames cross directed byte rings
@@ -140,6 +160,9 @@ class StreamTransport : public Transport {
   const TransportMetrics& peer_metrics(PeerId peer) const override {
     return per_peer_[peer];
   }
+  void set_recorder(obs::Recorder* recorder) override {
+    recorder_ = recorder;
+  }
 
   /// Appends raw bytes to the `from` → `to` channel without encoding —
   /// the adversarial seam: tests inject truncated or corrupt byte
@@ -160,6 +183,7 @@ class StreamTransport : public Transport {
   std::vector<std::vector<Channel>> inbound_;
   std::vector<TransportMetrics> per_peer_;
   TransportMetrics totals_;
+  obs::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace d3t::net

@@ -58,6 +58,8 @@ const char* FrameTypeName(FrameType type) {
       return "engine-report";
     case FrameType::kResubscribe:
       return "resubscribe";
+    case FrameType::kObsSnapshot:
+      return "obs-snapshot";
   }
   return "invalid";
 }
@@ -190,6 +192,13 @@ Frame Frame::EngineReport(const EngineReportPayload& payload) {
   return f;
 }
 
+Frame Frame::ObsSnapshot(const ObsSnapshotPayload& payload) {
+  Frame f;
+  f.type = FrameType::kObsSnapshot;
+  f.u.obs_snapshot = payload;
+  return f;
+}
+
 size_t PayloadSize(FrameType type) {
   switch (type) {
     case FrameType::kInvalid:
@@ -212,6 +221,8 @@ size_t PayloadSize(FrameType type) {
       return sizeof(EngineReportPayload);
     case FrameType::kResubscribe:
       return sizeof(ResubscribePayload);
+    case FrameType::kObsSnapshot:
+      return sizeof(ObsSnapshotPayload);
   }
   return 0;
 }

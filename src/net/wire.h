@@ -72,6 +72,10 @@ enum class FrameType : uint8_t {
   /// Feed recovery: a consumer that detected a sequence gap asks the
   /// publisher to rewind its cursor and retransmit from `resume_seq`.
   kResubscribe = 9,
+  /// One seq-numbered chunk of a node's observability stream (metrics
+  /// snapshot entries or flight-recorder trace events), reported
+  /// upstream. serve/ owns the chunking/reassembly bridge.
+  kObsSnapshot = 10,
 };
 
 /// Human-readable type name for diagnostics ("invalid" for unknowns).
@@ -275,6 +279,45 @@ static_assert(sizeof(ResubscribePayload) == 8,
 static_assert(std::is_trivially_copyable_v<ResubscribePayload>,
               "wire payloads must stay trivially copyable");
 
+/// One chunk of a node's observability stream. obs::Snapshot (up to 256
+/// 24-byte entries) and a flight-recorder spill (any number of 32-byte
+/// obs::TraceEvents) both exceed a fixed payload, so they cross the wire
+/// as a seq-numbered chunk sequence: `seq` runs 0..total-1 over one
+/// stream, `chunk_kind` says what the words carry, `count` how many
+/// records ride this chunk. Records are memcpy'd into `words` back to
+/// back (the obs PODs are padding-free), so reassembly on the far side
+/// is byte-identical by construction — the cluster test pins that. The
+/// wire layer sits below obs/ consumers in serve/, which own the
+/// chunking bridge (serve::MakeObsSnapshotFrames / ObsAccumulator).
+// d3t-lint: pod-event
+struct ObsSnapshotPayload {
+  /// Chunk carries obs::SnapshotEntry records (3 words each).
+  static constexpr uint16_t kChunkSnapshotEntries = 0;
+  /// Chunk carries obs::TraceEvent records (4 words each).
+  static constexpr uint16_t kChunkTraceEvents = 1;
+  /// Stream header, always seq 0 with count 0: words[0] = snapshot
+  /// entry total, words[1] = snapshot truncated flag, words[2] = trace
+  /// events following, words[3]/words[4] = the recorder's cumulative
+  /// recorded/dropped counts.
+  static constexpr uint16_t kChunkHeader = 2;
+  /// Reporting node (cluster peer id).
+  uint32_t node;
+  uint16_t chunk_kind;
+  /// Records packed into `words` (0 allowed: an empty stream is one
+  /// chunk announcing total=1, count=0).
+  uint16_t count;
+  /// Chunk index within this node's stream.
+  uint32_t seq;
+  /// Total chunks in this node's stream.
+  uint32_t total;
+  uint64_t words[20];
+};
+static_assert(sizeof(ObsSnapshotPayload) == 176,
+              "obs-snapshot chunks fill the largest payload slot: 16-byte "
+              "chunk header + 20 packed words");
+static_assert(std::is_trivially_copyable_v<ObsSnapshotPayload>,
+              "wire payloads must stay trivially copyable");
+
 /// A decoded frame: the type tag plus the payload variant it selects.
 /// Only the member matching `type` is meaningful; factories below are
 /// the one way frames are built, and they aggregate-initialize every
@@ -294,6 +337,7 @@ struct Frame {
     ShutdownPayload shutdown;
     EngineReportPayload engine_report;
     ResubscribePayload resubscribe;
+    ObsSnapshotPayload obs_snapshot;
   };
 
   FrameType type = FrameType::kInvalid;
@@ -322,6 +366,10 @@ struct Frame {
   /// `payload` must have every field set (serve::MakeEngineReport is
   /// the one bridge from core::EngineMetrics).
   static Frame EngineReport(const EngineReportPayload& payload);
+  /// `payload` must have every field set, unused `words` zeroed
+  /// (serve::MakeObsSnapshotFrames is the one bridge from
+  /// obs::Snapshot / obs::TraceEvent streams).
+  static Frame ObsSnapshot(const ObsSnapshotPayload& payload);
 };
 static_assert(sizeof(Frame) == 184,
               "decoded frames are 184-byte slots (8-byte-aligned tag + "

@@ -1,0 +1,168 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+
+namespace d3t::obs {
+
+Registry::Registry(size_t max_metrics)
+    : max_metrics_(std::min(max_metrics, Snapshot::kMaxEntries)) {
+  slots_.reserve(max_metrics_);
+}
+
+MetricId Registry::Register(const std::string& name, MetricKind kind) {
+  const uint64_t hash = HashMetricName(name.c_str());
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].hash != hash || slots_[i].name != name) continue;
+    return slots_[i].kind == kind ? static_cast<MetricId>(i)
+                                  : kInvalidMetricId;
+  }
+  if (slots_.size() >= max_metrics_) return kInvalidMetricId;
+  Slot slot;
+  slot.name = name;
+  slot.hash = hash;
+  slot.kind = kind;
+  slots_.push_back(std::move(slot));
+  return static_cast<MetricId>(slots_.size() - 1);
+}
+
+MetricId Registry::Counter(const std::string& name) {
+  return Register(name, MetricKind::kCounter);
+}
+
+MetricId Registry::Gauge(const std::string& name) {
+  return Register(name, MetricKind::kGauge);
+}
+
+MetricId Registry::Histogram(const std::string& name) {
+  return Register(name, MetricKind::kHistogram);
+}
+
+uint64_t Registry::counter_value(MetricId id) const {
+  if (id >= slots_.size() || slots_[id].kind != MetricKind::kCounter) {
+    return 0;
+  }
+  return slots_[id].value;
+}
+
+double Registry::gauge_value(MetricId id) const {
+  if (id >= slots_.size() || slots_[id].kind != MetricKind::kGauge) {
+    return 0.0;
+  }
+  return BitsToDouble(slots_[id].value);
+}
+
+uint64_t Registry::histogram_count(MetricId id) const {
+  if (id >= slots_.size() || slots_[id].kind != MetricKind::kHistogram) {
+    return 0;
+  }
+  uint64_t total = 0;
+  for (uint64_t bucket : slots_[id].buckets) total += bucket;
+  return total;
+}
+
+const std::string* Registry::NameOf(uint64_t name_hash) const {
+  for (const Slot& slot : slots_) {
+    if (slot.hash == name_hash) return &slot.name;
+  }
+  return nullptr;
+}
+
+MetricKind Registry::KindOf(uint64_t name_hash) const {
+  for (const Slot& slot : slots_) {
+    if (slot.hash == name_hash) return slot.kind;
+  }
+  return MetricKind::kCounter;
+}
+
+Snapshot Registry::TakeSnapshot() const {
+  Snapshot snapshot{};
+  for (const Slot& slot : slots_) {
+    if (slot.kind == MetricKind::kHistogram) {
+      for (size_t bucket = 0; bucket < kHistogramBuckets; ++bucket) {
+        if (slot.buckets[bucket] == 0) continue;
+        if (snapshot.count >= Snapshot::kMaxEntries) {
+          ++snapshot.truncated;
+          continue;
+        }
+        SnapshotEntry& entry = snapshot.entries[snapshot.count++];
+        entry.name_hash = slot.hash;
+        entry.kind = static_cast<uint32_t>(slot.kind);
+        entry.index = static_cast<uint32_t>(bucket);
+        entry.value = slot.buckets[bucket];
+      }
+      continue;
+    }
+    if (snapshot.count >= Snapshot::kMaxEntries) {
+      ++snapshot.truncated;
+      continue;
+    }
+    SnapshotEntry& entry = snapshot.entries[snapshot.count++];
+    entry.name_hash = slot.hash;
+    entry.kind = static_cast<uint32_t>(slot.kind);
+    entry.index = 0;
+    entry.value = slot.value;
+  }
+  return snapshot;
+}
+
+void Registry::Clear() { slots_.clear(); }
+
+void MergeSnapshot(Snapshot& into, const Snapshot& from) {
+  for (uint32_t i = 0; i < from.count; ++i) {
+    const SnapshotEntry& entry = from.entries[i];
+    SnapshotEntry* match = nullptr;
+    for (uint32_t j = 0; j < into.count; ++j) {
+      if (into.entries[j].name_hash == entry.name_hash &&
+          into.entries[j].kind == entry.kind &&
+          into.entries[j].index == entry.index) {
+        match = &into.entries[j];
+        break;
+      }
+    }
+    if (match == nullptr) {
+      if (into.count >= Snapshot::kMaxEntries) {
+        ++into.truncated;
+        continue;
+      }
+      into.entries[into.count++] = entry;
+      continue;
+    }
+    if (entry.kind == static_cast<uint32_t>(MetricKind::kGauge)) {
+      if (BitsToDouble(entry.value) > BitsToDouble(match->value)) {
+        match->value = entry.value;
+      }
+    } else {
+      match->value += entry.value;
+    }
+  }
+  into.truncated += from.truncated;
+}
+
+const SnapshotEntry* FindEntry(const Snapshot& snapshot, uint64_t name_hash,
+                               uint32_t index) {
+  for (uint32_t i = 0; i < snapshot.count; ++i) {
+    if (snapshot.entries[i].name_hash == name_hash &&
+        snapshot.entries[i].index == index) {
+      return &snapshot.entries[i];
+    }
+  }
+  return nullptr;
+}
+
+uint64_t SnapshotCounter(const Snapshot& snapshot, const char* name) {
+  const SnapshotEntry* entry = FindEntry(snapshot, HashMetricName(name));
+  return entry != nullptr ? entry->value : 0;
+}
+
+double SnapshotGauge(const Snapshot& snapshot, const char* name) {
+  const SnapshotEntry* entry = FindEntry(snapshot, HashMetricName(name));
+  return entry != nullptr ? BitsToDouble(entry->value) : 0.0;
+}
+
+bool SnapshotsIdentical(const Snapshot& a, const Snapshot& b) {
+  if (a.count != b.count || a.truncated != b.truncated) return false;
+  return std::memcmp(a.entries, b.entries,
+                     a.count * sizeof(SnapshotEntry)) == 0;
+}
+
+}  // namespace d3t::obs

@@ -7,6 +7,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 #include <utility>
@@ -160,6 +161,156 @@ Status EngineReportMatches(const net::wire::EngineReportPayload& report,
 Status ClusterReport::FirstError() const {
   for (const Status& exit : exits) {
     if (!exit.ok()) return exit;
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+/// Records per kObsSnapshot chunk: 20 words carry 6 snapshot entries
+/// (3 words each) or 5 trace events (4 words each).
+constexpr size_t kEntriesPerChunk =
+    sizeof(net::wire::ObsSnapshotPayload{}.words) /
+    (sizeof(obs::SnapshotEntry));
+constexpr size_t kEventsPerChunk =
+    sizeof(net::wire::ObsSnapshotPayload{}.words) /
+    (sizeof(obs::TraceEvent));
+
+Status ObsStreamError(const char* what, uint32_t seq) {
+  std::string msg("obs snapshot stream: ");
+  msg += what;
+  msg += " at chunk ";
+  msg += std::to_string(seq);
+  return Status::InvalidArgument(msg);
+}
+
+}  // namespace
+
+std::vector<net::wire::Frame> MakeObsSnapshotFrames(
+    uint32_t node, const obs::Snapshot& snapshot,
+    const obs::Recorder* recorder) {
+  const size_t events = recorder != nullptr ? recorder->size() : 0;
+  const uint32_t entry_chunks = static_cast<uint32_t>(
+      (snapshot.count + kEntriesPerChunk - 1) / kEntriesPerChunk);
+  const uint32_t event_chunks =
+      static_cast<uint32_t>((events + kEventsPerChunk - 1) / kEventsPerChunk);
+  const uint32_t total = 1 + entry_chunks + event_chunks;
+
+  std::vector<net::wire::Frame> frames;
+  frames.reserve(total);
+  uint32_t seq = 0;
+
+  net::wire::ObsSnapshotPayload header{};
+  header.node = node;
+  header.chunk_kind = net::wire::ObsSnapshotPayload::kChunkHeader;
+  header.count = 0;
+  header.seq = seq++;
+  header.total = total;
+  header.words[0] = snapshot.count;
+  header.words[1] = snapshot.truncated;
+  header.words[2] = events;
+  header.words[3] = recorder != nullptr ? recorder->recorded() : 0;
+  header.words[4] = recorder != nullptr ? recorder->dropped() : 0;
+  frames.push_back(net::wire::Frame::ObsSnapshot(header));
+
+  for (size_t done = 0; done < snapshot.count;) {
+    const size_t n =
+        std::min(kEntriesPerChunk, static_cast<size_t>(snapshot.count) - done);
+    net::wire::ObsSnapshotPayload p{};
+    p.node = node;
+    p.chunk_kind = net::wire::ObsSnapshotPayload::kChunkSnapshotEntries;
+    p.count = static_cast<uint16_t>(n);
+    p.seq = seq++;
+    p.total = total;
+    std::memcpy(p.words, &snapshot.entries[done],
+                n * sizeof(obs::SnapshotEntry));
+    frames.push_back(net::wire::Frame::ObsSnapshot(p));
+    done += n;
+  }
+
+  for (size_t done = 0; done < events;) {
+    const size_t n = std::min(kEventsPerChunk, events - done);
+    obs::TraceEvent chunk[kEventsPerChunk];
+    for (size_t k = 0; k < n; ++k) chunk[k] = recorder->at(done + k);
+    net::wire::ObsSnapshotPayload p{};
+    p.node = node;
+    p.chunk_kind = net::wire::ObsSnapshotPayload::kChunkTraceEvents;
+    p.count = static_cast<uint16_t>(n);
+    p.seq = seq++;
+    p.total = total;
+    std::memcpy(p.words, chunk, n * sizeof(obs::TraceEvent));
+    frames.push_back(net::wire::Frame::ObsSnapshot(p));
+    done += n;
+  }
+  return frames;
+}
+
+Status ObsAccumulator::Accept(const net::wire::ObsSnapshotPayload& payload) {
+  if (payload.seq != next_seq_) {
+    return ObsStreamError("sequence gap or reorder", payload.seq);
+  }
+  if (next_seq_ == 0) {
+    if (payload.chunk_kind !=
+        net::wire::ObsSnapshotPayload::kChunkHeader) {
+      return ObsStreamError("stream does not start with a header",
+                            payload.seq);
+    }
+    if (payload.total == 0) return ObsStreamError("zero total", payload.seq);
+    total_ = payload.total;
+    expected_entries_ = payload.words[0];
+    snapshot_.count = 0;
+    snapshot_.truncated = static_cast<uint32_t>(payload.words[1]);
+    expected_events_ = payload.words[2];
+    recorded_ = payload.words[3];
+    dropped_ = payload.words[4];
+    if (expected_entries_ > obs::Snapshot::kMaxEntries) {
+      return ObsStreamError("snapshot entry total exceeds capacity",
+                            payload.seq);
+    }
+    trace_.reserve(expected_events_);
+    ++next_seq_;
+    return Status::Ok();
+  }
+  if (next_seq_ >= total_) return ObsStreamError("chunk past total", payload.seq);
+  if (payload.total != total_) {
+    return ObsStreamError("total changed mid-stream", payload.seq);
+  }
+  switch (payload.chunk_kind) {
+    case net::wire::ObsSnapshotPayload::kChunkSnapshotEntries: {
+      if (payload.count > kEntriesPerChunk ||
+          snapshot_.count + payload.count > expected_entries_ ||
+          !trace_.empty()) {
+        return ObsStreamError("malformed snapshot-entry chunk", payload.seq);
+      }
+      std::memcpy(&snapshot_.entries[snapshot_.count], payload.words,
+                  payload.count * sizeof(obs::SnapshotEntry));
+      snapshot_.count += payload.count;
+      break;
+    }
+    case net::wire::ObsSnapshotPayload::kChunkTraceEvents: {
+      if (payload.count > kEventsPerChunk ||
+          trace_.size() + payload.count > expected_events_ ||
+          snapshot_.count != expected_entries_) {
+        return ObsStreamError("malformed trace-event chunk", payload.seq);
+      }
+      for (uint16_t k = 0; k < payload.count; ++k) {
+        obs::TraceEvent event;
+        std::memcpy(&event, &payload.words[k * (sizeof(obs::TraceEvent) /
+                                                sizeof(uint64_t))],
+                    sizeof(obs::TraceEvent));
+        trace_.push_back(event);
+      }
+      break;
+    }
+    default:
+      return ObsStreamError("unknown chunk kind", payload.seq);
+  }
+  ++next_seq_;
+  if (next_seq_ == total_ &&
+      (snapshot_.count != expected_entries_ ||
+       trace_.size() != expected_events_)) {
+    return ObsStreamError("stream ended short of announced records",
+                          payload.seq);
   }
   return Status::Ok();
 }
@@ -357,6 +508,19 @@ Result<ClusterReport> RunCluster(const std::vector<ProcessBody>& bodies,
     if (listen_fds[i] >= 0) close(listen_fds[i]);
   }
 
+  if (options.registry != nullptr) {
+    obs::Registry& reg = *options.registry;
+    reg.Add(reg.Counter("cluster.children"), n);
+    reg.Add(reg.Counter("cluster.frames_collected"), report.frames.size());
+    uint64_t restarts = 0;
+    for (int r : report.restarts) restarts += static_cast<uint64_t>(r);
+    reg.Add(reg.Counter("cluster.restarts"), restarts);
+    uint64_t failed_exits = 0;
+    for (const Status& exit : report.exits) {
+      if (!exit.ok()) ++failed_exits;
+    }
+    reg.Add(reg.Counter("cluster.failed_exits"), failed_exits);
+  }
   return report;
 }
 

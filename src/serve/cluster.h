@@ -11,6 +11,8 @@
 #include "core/engine.h"
 #include "net/socket_transport.h"
 #include "net/wire.h"
+#include "obs/recorder.h"
+#include "obs/registry.h"
 
 namespace d3t::serve {
 
@@ -32,6 +34,48 @@ net::wire::Frame MakeEngineReport(uint32_t node,
 /// count + hash. Otherwise Internal naming the first mismatched field.
 Status EngineReportMatches(const net::wire::EngineReportPayload& report,
                            const core::EngineMetrics& expected);
+
+/// Packs one node's observability stream — a registry snapshot plus,
+/// when `recorder` is non-null, its whole trace ring (oldest first) —
+/// into a seq-numbered kObsSnapshot chunk sequence: a header chunk
+/// (seq 0) announcing the stream shape, then snapshot-entry chunks,
+/// then trace-event chunks. Records are memcpy'd into the chunk words,
+/// so reassembly through ObsAccumulator is byte-identical by
+/// construction (the cluster test pins it across a real socket).
+std::vector<net::wire::Frame> MakeObsSnapshotFrames(
+    uint32_t node, const obs::Snapshot& snapshot,
+    const obs::Recorder* recorder = nullptr);
+
+/// Reassembles one node's kObsSnapshot chunk stream, strictly in
+/// sequence: a gap, duplicate, reorder, or malformed chunk is a precise
+/// InvalidArgument (the transport below already guarantees per-channel
+/// FIFO, so any violation is a real protocol bug, not weather).
+class ObsAccumulator {
+ public:
+  /// Feeds the next chunk. Chunks must arrive with seq 0, 1, 2, ...
+  Status Accept(const net::wire::ObsSnapshotPayload& payload);
+
+  /// True once every announced chunk has been accepted.
+  bool complete() const { return next_seq_ > 0 && next_seq_ == total_; }
+
+  /// Reassembled registry snapshot (valid once complete()).
+  const obs::Snapshot& snapshot() const { return snapshot_; }
+  /// Reassembled trace spill, oldest first (valid once complete()).
+  const std::vector<obs::TraceEvent>& trace() const { return trace_; }
+  /// The sending recorder's cumulative recorded/dropped counts.
+  uint64_t recorded() const { return recorded_; }
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  obs::Snapshot snapshot_{};
+  std::vector<obs::TraceEvent> trace_;
+  uint32_t next_seq_ = 0;
+  uint32_t total_ = 0;
+  uint64_t expected_entries_ = 0;
+  uint64_t expected_events_ = 0;
+  uint64_t recorded_ = 0;
+  uint64_t dropped_ = 0;
+};
 
 /// What a forked cluster process sees. `transport` is the process's
 /// endpoint: its own listener adopted, the channel to the collector
@@ -72,6 +116,10 @@ struct ClusterOptions {
   /// endpoint's SocketOptions::reconnect_attempts to at least this
   /// budget so surviving peers redial the restarted node.
   int max_restarts = 0;
+  /// Optional metrics registry (parent side; must outlive the run).
+  /// RunCluster publishes run totals under "cluster.*": children
+  /// launched, frames collected, restarts performed, non-Ok exits.
+  obs::Registry* registry = nullptr;
 };
 
 /// Everything a cluster run reports.

@@ -99,6 +99,10 @@ Status Node::SendResubscribe() {
   }
   if (!sent.ok()) return sent;
   ++resubscribes_;
+  if (options_.recorder != nullptr) {
+    options_.recorder->Record(obs::TraceEventKind::kResubscribe,
+                              options_.feed_self, next_seq_);
+  }
   gap_outstanding_ = true;
   return Status::Ok();
 }
@@ -246,6 +250,8 @@ Result<NodeReport> Node::Serve() {
 
   core::EngineOptions engine_options = options_.engine;
   engine_options.wire_transport = &data_;
+  engine_options.recorder = options_.recorder;
+  engine_options.registry = options_.registry;
   core::Engine engine(overlay_, delays_, traces, *policy, engine_options,
                       /*change_timelines=*/nullptr, scenario);
   Result<core::EngineMetrics> metrics = engine.Run();
@@ -263,6 +269,14 @@ Result<NodeReport> Node::Serve() {
   report.scenario_frames = scenario_frames_;
   report.stale_frames = stale_frames_;
   report.resubscribes = resubscribes_;
+  if (options_.registry != nullptr) {
+    obs::Registry& reg = *options_.registry;
+    reg.Add(reg.Counter("node.feed_frames"), report.feed_frames);
+    reg.Add(reg.Counter("node.tick_frames"), report.tick_frames);
+    reg.Add(reg.Counter("node.scenario_frames"), report.scenario_frames);
+    reg.Add(reg.Counter("node.stale_frames"), report.stale_frames);
+    reg.Add(reg.Counter("node.resubscribes"), report.resubscribes);
+  }
   return report;
 }
 
@@ -283,6 +297,12 @@ Result<core::PullMetrics> Node::ServePull(
   }
 
   pull_options.wire_transport = &data_;
+  if (pull_options.recorder == nullptr) {
+    pull_options.recorder = options_.recorder;
+  }
+  if (pull_options.registry == nullptr) {
+    pull_options.registry = options_.registry;
+  }
   core::PullEngine engine(delays_, interests, traces, pull_options,
                           /*change_timelines=*/nullptr, scenario);
   return engine.Run();

@@ -14,6 +14,8 @@
 #include "core/scenario.h"
 #include "net/delay_model.h"
 #include "net/transport.h"
+#include "obs/recorder.h"
+#include "obs/registry.h"
 #include "trace/trace.h"
 
 namespace d3t::serve {
@@ -54,6 +56,15 @@ struct NodeOptions {
   /// declaring the feed unrecoverable with a precise error. Bounds the
   /// work a hostile fault script can extract — never a hang.
   uint32_t max_resubscribes = 32;
+  /// Optional observability (both may be null; must outlive the node).
+  /// The recorder is forwarded to the engine (EngineOptions::recorder
+  /// is overwritten by Serve(), like wire_transport) and records this
+  /// node's own resubscribe requests; the registry receives the
+  /// engine's "engine.*" metrics plus the feed-side "node.*" counters.
+  /// Attaching the recorder to the transports themselves remains the
+  /// caller's call (set_recorder on feed/data).
+  obs::Recorder* recorder = nullptr;
+  obs::Registry* registry = nullptr;
 };
 
 /// Everything a completed Serve() reports.

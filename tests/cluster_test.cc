@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,6 +22,8 @@
 #include "net/socket_transport.h"
 #include "net/transport.h"
 #include "net/wire.h"
+#include "obs/recorder.h"
+#include "obs/registry.h"
 #include "serve/cluster.h"
 #include "serve/node.h"
 #include "gtest/gtest.h"
@@ -374,6 +377,97 @@ TEST(ClusterTest, ProcessBoundaryPreservesEngineMetricsByteForByte) {
   // crossed the boundary unchanged.
   EXPECT_GT(served->messages, 0u);
   EXPECT_GT(served->events, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// kObsSnapshot over a real process boundary: the child's registry
+// snapshot and flight-recorder ring, chunked into wire frames and
+// shipped over loopback TCP, reassemble byte-identically at the
+// collector.
+
+// Deterministic obs fixture built identically by the child (who ships
+// it) and the parent (who expects it): enough metrics to span multiple
+// entry chunks, a multi-bucket histogram, and a recorder ring that
+// genuinely wrapped (capacity 8, 11 records) so the dropped count
+// crosses the wire too.
+void FillTestObs(obs::Registry& registry, obs::Recorder& recorder) {
+  const obs::MetricId frames = registry.Counter("test.frames");
+  const obs::MetricId loss = registry.Gauge("test.loss");
+  const obs::MetricId span = registry.Histogram("test.span");
+  for (int i = 0; i < 7; ++i) {
+    registry.Add(registry.Counter("test.c" + std::to_string(i)),
+                 static_cast<uint64_t>(i) * 3);
+  }
+  registry.Add(frames, 41);
+  registry.Set(loss, 0.125);
+  registry.Observe(span, 1);
+  registry.Observe(span, 3);
+  registry.Observe(span, 100);
+  recorder.set_now(5);
+  for (uint32_t i = 0; i < 11; ++i) {
+    recorder.Record(obs::TraceEventKind::kDelivery, i,
+                    static_cast<uint64_t>(i) * 10,
+                    static_cast<uint64_t>(i) * 100);
+  }
+}
+
+TEST(ClusterTest, ObsSnapshotRoundTripsThroughRealClusterByteForByte) {
+  obs::Registry expected_registry;
+  obs::Recorder expected_recorder(8);
+  FillTestObs(expected_registry, expected_recorder);
+  const obs::Snapshot expected = expected_registry.TakeSnapshot();
+
+  std::vector<ProcessBody> bodies;
+  bodies.push_back([](ProcessContext& ctx) {
+    obs::Registry registry;
+    obs::Recorder recorder(8);
+    FillTestObs(registry, recorder);
+    const obs::Snapshot snapshot = registry.TakeSnapshot();
+    for (const net::wire::Frame& frame :
+         MakeObsSnapshotFrames(ctx.self, snapshot, &recorder)) {
+      for (;;) {
+        Status sent = ctx.transport.Send(ctx.self, ctx.collector, frame);
+        if (sent.ok()) break;
+        if (!sent.IsCapacityExhausted()) return sent;
+        Status waited = ctx.transport.WaitIo(10000);
+        if (!waited.ok()) return waited;
+      }
+    }
+    return Status::Ok();
+  });
+  auto cluster = RunCluster(bodies);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  ASSERT_TRUE(cluster->FirstError().ok()) << cluster->FirstError().ToString();
+
+  ObsAccumulator accumulator;
+  size_t obs_frames = 0;
+  for (size_t i = 0; i < cluster->frames.size(); ++i) {
+    const net::wire::Frame& frame = cluster->frames[i];
+    if (frame.type != net::wire::FrameType::kObsSnapshot) continue;
+    EXPECT_EQ(cluster->frame_sources[i], 0u);
+    ++obs_frames;
+    Status accepted = accumulator.Accept(frame.u.obs_snapshot);
+    ASSERT_TRUE(accepted.ok()) << accepted.ToString();
+  }
+  // Header + at least two entry chunks + at least two trace chunks: the
+  // fixture was sized to force real chunking.
+  EXPECT_GE(obs_frames, 5u);
+  ASSERT_TRUE(accumulator.complete());
+
+  // Byte-identical reassembly: the snapshot via the bytewise comparator,
+  // every retained trace event via memcmp, and the ring's bookkeeping
+  // (11 recorded, 3 dropped) intact.
+  EXPECT_TRUE(obs::SnapshotsIdentical(accumulator.snapshot(), expected));
+  EXPECT_EQ(accumulator.recorded(), expected_recorder.recorded());
+  EXPECT_EQ(accumulator.dropped(), expected_recorder.dropped());
+  EXPECT_EQ(accumulator.dropped(), 3u);
+  ASSERT_EQ(accumulator.trace().size(), expected_recorder.size());
+  for (size_t i = 0; i < accumulator.trace().size(); ++i) {
+    EXPECT_EQ(std::memcmp(&accumulator.trace()[i], &expected_recorder.at(i),
+                          sizeof(obs::TraceEvent)),
+              0)
+        << "trace event " << i << " drifted through the wire";
+  }
 }
 
 }  // namespace

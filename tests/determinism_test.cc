@@ -12,6 +12,9 @@
 #include "exp/multi_source.h"
 #include "exp/scenario.h"
 #include "net/transport.h"
+#include "obs/export.h"
+#include "obs/recorder.h"
+#include "obs/registry.h"
 #include "gtest/gtest.h"
 
 namespace d3t::exp {
@@ -416,6 +419,119 @@ TEST(DeterminismTest, WireTransportIsByteIdenticalOnPullEngine) {
   EXPECT_EQ(bus.metrics().frames_rx, bus.metrics().frames_tx);
   EXPECT_EQ(bus.metrics().decode_errors, 0u);
   EXPECT_EQ(bus.metrics().backpressure_stalls, 0u);
+}
+
+TEST(DeterminismTest, RecorderAttachmentLeavesMetricsByteIdentical) {
+  // The flight recorder is a pure tap: attaching it (and a metrics
+  // registry) to a run must not perturb a single metric bit — for every
+  // policy on the golden fixture. The registry's published counters
+  // must in turn mirror the EngineMetrics they were derived from.
+  for (const char* policy :
+       {"distributed", "centralized", "eq3-only", "all-updates"}) {
+    SCOPED_TRACE(policy);
+    ExperimentConfig config = GoldenConfig();
+    config.policy = policy;
+    Result<Workbench> bench = Workbench::Create(config);
+    ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+    const RunSpec plain = Workbench::SpecFromConfig(config);
+    obs::Recorder recorder(1 << 17);
+    obs::Registry registry;
+    RunSpec observed = plain;
+    observed.recorder = &recorder;
+    observed.registry = &registry;
+    Result<ExperimentResult> a = bench->session().Run(plain);
+    Result<ExperimentResult> b = bench->session().Run(observed);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    ExpectIdenticalMetrics(a->metrics, b->metrics);
+    EXPECT_GT(recorder.recorded(), 0u);
+    const obs::Snapshot snapshot = registry.TakeSnapshot();
+    EXPECT_EQ(obs::SnapshotCounter(snapshot, "engine.messages"),
+              b->metrics.messages);
+    EXPECT_EQ(obs::SnapshotCounter(snapshot, "engine.checks"),
+              b->metrics.checks);
+    EXPECT_EQ(obs::SnapshotCounter(snapshot, "engine.events"),
+              b->metrics.events);
+    EXPECT_EQ(obs::SnapshotGauge(snapshot, "engine.loss_percent"),
+              b->metrics.loss_percent);
+  }
+}
+
+TEST(DeterminismTest, TraceDumpIsByteIdenticalAcrossReruns) {
+  // The canonical trace dump is itself a determinism artifact: two runs
+  // of the golden fixture must produce byte-identical dumps. The pin is
+  // only meaningful if the ring never wrapped — assert that too.
+  const ExperimentConfig config = GoldenConfig();
+  Result<Workbench> bench = Workbench::Create(config);
+  ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+  std::string dumps[2];
+  for (std::string& dump : dumps) {
+    obs::Recorder recorder(1 << 17);
+    RunSpec spec = Workbench::SpecFromConfig(config);
+    spec.recorder = &recorder;
+    Result<ExperimentResult> run = bench->session().Run(spec);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    ASSERT_EQ(recorder.dropped(), 0u) << "ring wrapped; pin is not valid";
+    ASSERT_GT(recorder.recorded(), 0u);
+    dump = obs::DumpTrace(recorder);
+  }
+  EXPECT_EQ(dumps[0], dumps[1]);
+}
+
+TEST(DeterminismTest, TraceDumpIsByteIdenticalAcrossKernelToggles) {
+  // Recording ORDER within one logical instant legitimately varies with
+  // the kernel's batching toggles (a drained span interleaves
+  // differently with same-window deliveries), but the canonical
+  // (sorted) dump must not: the four coalesce/drain combinations emit
+  // the same logical events at the same logical times.
+  const ExperimentConfig config = GoldenConfig();
+  Result<Workbench> bench = Workbench::Create(config);
+  ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+  std::string reference;
+  for (bool coalesce : {true, false}) {
+    for (bool drain : {true, false}) {
+      SCOPED_TRACE(std::string("coalesce=") + (coalesce ? "on" : "off") +
+                   " drain=" + (drain ? "on" : "off"));
+      obs::Recorder recorder(1 << 17);
+      RunSpec spec = Workbench::SpecFromConfig(config);
+      spec.policy.coalesce_deliveries = coalesce;
+      spec.policy.drain_process_spans = drain;
+      spec.recorder = &recorder;
+      Result<ExperimentResult> run = bench->session().Run(spec);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      ASSERT_EQ(recorder.dropped(), 0u) << "ring wrapped; pin is not valid";
+      const std::string dump = obs::DumpTrace(recorder);
+      if (reference.empty()) {
+        reference = dump;
+      } else {
+        EXPECT_EQ(reference, dump);
+      }
+    }
+  }
+}
+
+TEST(DeterminismTest, TraceDumpIsByteIdenticalThroughTheWire) {
+  // Routing every push through the framed wire transport must leave the
+  // engine's canonical trace byte-identical too: the transport's own
+  // frame-tx/frame-rx records land in a SEPARATE recorder here, so the
+  // engine-event multiset can be compared dump for dump.
+  const ExperimentConfig config = GoldenConfig();
+  Result<Workbench> bench = Workbench::Create(config);
+  ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+  obs::Recorder direct_recorder(1 << 17);
+  RunSpec direct = Workbench::SpecFromConfig(config);
+  direct.recorder = &direct_recorder;
+  obs::Recorder framed_recorder(1 << 17);
+  RunSpec framed = Workbench::SpecFromConfig(config);
+  framed.policy.route_through_wire = true;
+  framed.recorder = &framed_recorder;
+  Result<ExperimentResult> a = bench->session().Run(direct);
+  Result<ExperimentResult> b = bench->session().Run(framed);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ASSERT_EQ(direct_recorder.dropped(), 0u);
+  ASSERT_EQ(framed_recorder.dropped(), 0u);
+  EXPECT_EQ(obs::DumpTrace(direct_recorder), obs::DumpTrace(framed_recorder));
 }
 
 TEST(DeterminismTest, GoldenMetricsOnFixedScenario) {

@@ -15,12 +15,19 @@
 namespace d3t::net::wire {
 namespace {
 
-// All nine encodable frame kinds with rng-driven payloads. Each entry
+// All ten encodable frame kinds with rng-driven payloads. Each entry
 // re-generates deterministically from the same Rng stream, so tests can
 // iterate kinds while varying content per round.
 std::vector<Frame> RandomFrames(Rng& rng) {
   auto u32 = [&rng] { return static_cast<uint32_t>(rng.Next()); };
   auto i64 = [&rng] { return static_cast<int64_t>(rng.Next() >> 1); };
+  ObsSnapshotPayload obs = {};
+  obs.node = u32();
+  obs.chunk_kind = static_cast<uint16_t>(rng.Next() % 3);
+  obs.count = static_cast<uint16_t>(rng.Next() % 7);
+  obs.seq = u32();
+  obs.total = u32();
+  for (uint64_t& word : obs.words) word = rng.Next();
   EngineReportPayload report = {};
   report.node = u32();
   report.member_count = u32();
@@ -59,6 +66,7 @@ std::vector<Frame> RandomFrames(Rng& rng) {
       Frame::EngineReport(report),
       Frame::Shutdown(u32(), u32()),
       Frame::Resubscribe(u32(), u32()),
+      Frame::ObsSnapshot(obs),
   };
 }
 
@@ -85,6 +93,7 @@ TEST(WireTest, PayloadSizesArePinned) {
   EXPECT_EQ(PayloadSize(FrameType::kEngineReport), 176u);
   EXPECT_EQ(PayloadSize(FrameType::kShutdown), 8u);
   EXPECT_EQ(PayloadSize(FrameType::kResubscribe), 8u);
+  EXPECT_EQ(PayloadSize(FrameType::kObsSnapshot), 176u);
   EXPECT_EQ(PayloadSize(FrameType::kInvalid), 0u);
   EXPECT_EQ(PayloadSize(static_cast<FrameType>(200)), 0u);
   EXPECT_EQ(EncodedSize(FrameType::kUpdate), kHeaderSize + 40u);

@@ -46,14 +46,18 @@ Checks (ids are what allow(...) takes):
                     trivially-copyable-looking members and be pinned by
                     sizeof/is_trivially_copyable static_asserts in the
                     same file. sim/event_queue.h's Event,
-                    core/scenario.h's ScenarioOp and every net/wire.h
+                    core/scenario.h's ScenarioOp, the obs/ flight-
+                    recorder and snapshot structs and every net/wire.h
                     frame struct must carry the tag.
   hot-alloc         Functions tagged `d3t-lint: hot` must not allocate
                     (see above).
   layering          Includes must respect the DAG
-                    common -> sim -> {net, trace} -> core -> {exp, serve}
+                    common -> sim -> obs -> {net, trace} -> core
+                    -> {exp, serve}
                     (sim/time.h is the shared clock vocabulary, hence
-                    sim below net/trace; siblings net and trace may not
+                    sim below obs/net/trace; obs/ is the passive
+                    flight-recorder vocabulary every higher layer may
+                    publish into; siblings net and trace may not
                     include each other; the two tops exp and serve never
                     include each other, and nothing else includes them).
   discarded-status  A call to a Status- or Result<T>-returning function
@@ -85,25 +89,28 @@ CHECKS = (
     "discarded-status",
 )
 
-LAYERS = ("common", "sim", "net", "trace", "core", "exp", "serve")
+LAYERS = ("common", "sim", "obs", "net", "trace", "core", "exp", "serve")
 
 # Layer -> layers it may include. This is the one place the architecture
 # DAG is written down as data. serve/ (the live node loop) sits beside
-# exp/ on top of core/ — the two tops never include each other.
+# exp/ on top of core/ — the two tops never include each other. obs/
+# (flight recorder + metrics registry) sits just above sim/ so every
+# layer from net/ upward can publish into it.
 ALLOWED_INCLUDES = {
     "common": {"common"},
     "sim": {"common", "sim"},
-    "net": {"common", "sim", "net"},
-    "trace": {"common", "sim", "trace"},
-    "core": {"common", "sim", "net", "trace", "core"},
-    "exp": {"common", "sim", "net", "trace", "core", "exp"},
-    "serve": {"common", "sim", "net", "trace", "core", "serve"},
+    "obs": {"common", "sim", "obs"},
+    "net": {"common", "sim", "obs", "net"},
+    "trace": {"common", "sim", "obs", "trace"},
+    "core": {"common", "sim", "obs", "net", "trace", "core"},
+    "exp": {"common", "sim", "obs", "net", "trace", "core", "exp"},
+    "serve": {"common", "sim", "obs", "net", "trace", "core", "serve"},
 }
 
 # Layers in which hash-container traversal is a determinism hazard (the
 # simulation state layers; common/ utilities may traverse as long as the
 # traversal never feeds simulation-visible state).
-ITER_ORDER_LAYERS = {"sim", "core", "net", "exp", "serve"}
+ITER_ORDER_LAYERS = {"sim", "obs", "core", "net", "exp", "serve"}
 
 # Path suffixes exempt from the entropy check: seeding itself, the
 # worker pool (liveness timing, never simulation-visible), and bench
@@ -122,6 +129,11 @@ ENTROPY_ALLOWED_SEGMENTS = {"bench"}
 REQUIRED_POD_EVENT_STRUCTS = (
     ("sim/event_queue.h", "Event"),
     ("core/scenario.h", "ScenarioOp"),
+    # The flight-recorder event and the metrics snapshot are memcpy'd
+    # into kObsSnapshot wire frames; both ends pin their layout.
+    ("obs/recorder.h", "TraceEvent"),
+    ("obs/registry.h", "SnapshotEntry"),
+    ("obs/registry.h", "Snapshot"),
     # Every frame struct of the wire format: header, the payload
     # variants, and the decoded-frame slot itself.
     ("net/wire.h", "FrameHeader"),
@@ -134,6 +146,7 @@ REQUIRED_POD_EVENT_STRUCTS = (
     ("net/wire.h", "EngineReportPayload"),
     ("net/wire.h", "ShutdownPayload"),
     ("net/wire.h", "ResubscribePayload"),
+    ("net/wire.h", "ObsSnapshotPayload"),
     ("net/wire.h", "Frame"),
     # Fault scripts are table-driven and memcpy'd by property tests;
     # the chaos op shares the wire structs' POD discipline.
@@ -719,7 +732,8 @@ def check_layering(src, report):
             report(Finding(
                 src.path, line, "layering",
                 f"{layer}/ must not include {first}/ — the include DAG "
-                "is common -> sim -> {net, trace} -> core -> exp"))
+                "is common -> sim -> obs -> {net, trace} -> core "
+                "-> {exp, serve}"))
 
 
 STATUS_DECL_RE = re.compile(

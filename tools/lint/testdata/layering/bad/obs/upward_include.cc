@@ -1,0 +1,10 @@
+// Fixture: obs/ is a passive vocabulary — it must not reach up into
+// net/ (or anything else above it); higher layers publish INTO obs.
+#include "net/wire.h"
+#include "obs/recorder.h"
+
+namespace d3t::obs {
+
+void Touch() {}
+
+}  // namespace d3t::obs

@@ -1,0 +1,6 @@
+// Fixture: obs/ sits just above sim/ — it may use the shared clock
+// vocabulary and common utilities, plus its own headers.
+#pragma once
+#include "common/status.h"
+#include "obs/recorder.h"
+#include "sim/time.h"

@@ -1,0 +1,12 @@
+// Fixture: every layer above obs/ may publish into the recorder and
+// registry — serve/ included.
+#include "common/status.h"
+#include "net/wire.h"
+#include "obs/recorder.h"
+#include "obs/registry.h"
+
+namespace d3t::serve {
+
+void Touch() {}
+
+}  // namespace d3t::serve
